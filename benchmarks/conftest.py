@@ -1,0 +1,14 @@
+"""Shared configuration for the experiment benches.
+
+Model runs are cached process-wide (see :mod:`repro.eval.models`), so
+Figure 6, Figure 8 and Table 3 share their underlying simulations when
+the whole directory runs in one pytest session.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def scale():
+    """Workload scale used by all benches (1 = Table-1-analog sizes)."""
+    return 1

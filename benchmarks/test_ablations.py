@@ -1,0 +1,73 @@
+"""E-AB1: ablations of the design knobs the paper calls out.
+
+* Confidence threshold (section 2.1.1): lower thresholds remove more,
+  but with more IR-mispredictions — the paper's threshold of 32 keeps
+  IR-mispredictions under 0.05/1000.
+* Trace length / R-DFG size (section 2.1.3): back-propagation is
+  confined to a trace, so shorter traces find fewer chains.
+* Delay buffer capacity (section 2.2): the A-stream's lead distance;
+  small buffers throttle the A-stream with backpressure.
+* IR-detector scope (section 2.1.2): value kills arrive from later
+  traces, so a one-trace scope misses most ineffectual writes.
+"""
+
+from repro.eval.experiments import (
+    ablation_confidence_threshold,
+    ablation_delay_buffer,
+    ablation_ir_scope,
+)
+from repro.eval.reporting import render_table
+
+BENCH = "li"  # mid-sized, removal-sensitive workload
+
+
+def test_confidence_threshold_sweep(benchmark):
+    rows = benchmark.pedantic(
+        ablation_confidence_threshold,
+        kwargs={"benchmark": BENCH, "thresholds": (4, 32, 128)},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(render_table(
+        rows, ["threshold", "removal_fraction", "ir_misp_per_1000", "ipc"],
+        title=f"Ablation: confidence threshold ({BENCH})",
+        float_format="{:.3f}",
+    ))
+    removal = {row["threshold"]: row["removal_fraction"] for row in rows}
+    assert removal[4] >= removal[32] >= removal[128]
+    irm = {row["threshold"]: row["ir_misp_per_1000"] for row in rows}
+    assert irm[4] >= irm[128]
+
+
+def test_delay_buffer_sweep(benchmark):
+    rows = benchmark.pedantic(
+        ablation_delay_buffer,
+        kwargs={"benchmark": BENCH, "capacities": (32, 256)},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(render_table(
+        rows, ["capacity", "backpressure_events", "ipc"],
+        title=f"Ablation: delay buffer capacity ({BENCH})",
+        float_format="{:.3f}",
+    ))
+    by_cap = {row["capacity"]: row for row in rows}
+    assert by_cap[32]["backpressure_events"] >= by_cap[256]["backpressure_events"]
+    assert by_cap[32]["ipc"] <= by_cap[256]["ipc"] + 0.05
+
+
+def test_ir_scope_sweep(benchmark):
+    rows = benchmark.pedantic(
+        ablation_ir_scope,
+        kwargs={"benchmark": BENCH, "scopes": (1, 8)},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(render_table(
+        rows, ["scope_traces", "removal_fraction", "ipc"],
+        title=f"Ablation: IR-detector scope ({BENCH})",
+        float_format="{:.3f}",
+    ))
+    by_scope = {row["scope_traces"]: row for row in rows}
+    # Kills arrive from later traces: a one-trace scope finds less.
+    assert by_scope[1]["removal_fraction"] <= by_scope[8]["removal_fraction"]

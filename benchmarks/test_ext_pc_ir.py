@@ -1,0 +1,74 @@
+"""E-EXT: the paper's sketched non-trace-based IR mechanism (§2.1.3).
+
+The paper predicts ("Using a non-trace-based IR-predictor could fix
+the problem") that per-instruction confidence would recover the
+removal that gcc's unstable traces leave on the table — and warns that
+separate counters risk removing a producer without its consumer,
+causing spurious IR-mispredictions.
+
+This bench tests both halves of that prediction:
+
+* gcc's removal fraction rises substantially under the "pc" mechanism;
+* IR-mispredictions rise too (the chains are no longer removed
+  atomically), with every deviation still detected and recovered
+  (outputs bit-identical, recovery audits clean).
+"""
+
+from repro.arch.functional import FunctionalSimulator
+from repro.core.slipstream import SlipstreamConfig, SlipstreamProcessor
+from repro.eval.models import run_slipstream_model
+from repro.eval.reporting import render_table
+from repro.workloads.suite import get_benchmark
+
+BENCHES = ("gcc", "li")
+
+
+def _compare(scale):
+    rows = []
+    for name in BENCHES:
+        program = get_benchmark(name).program(scale)
+        reference = FunctionalSimulator(program).run()
+        trace = run_slipstream_model(name, scale)
+        pc = SlipstreamProcessor(
+            get_benchmark(name).program(scale),
+            SlipstreamConfig(removal_mechanism="pc"),
+        ).run()
+        assert pc.output == reference.output
+        assert pc.recovery_audit_shortfalls == 0
+        rows.append(
+            {
+                "benchmark": name,
+                "trace_removal": trace.removal_fraction,
+                "pc_removal": pc.removal_fraction,
+                "trace_irm": trace.ir_mispredictions_per_1000,
+                "pc_irm": pc.ir_mispredictions_per_1000,
+                "trace_ipc": trace.ipc,
+                "pc_ipc": pc.ipc,
+            }
+        )
+    return rows
+
+
+def test_pc_mechanism_vs_trace_mechanism(benchmark, scale):
+    rows = benchmark.pedantic(_compare, args=(scale,), rounds=1, iterations=1)
+    print()
+    print(render_table(
+        rows,
+        columns=["benchmark", "trace_removal", "pc_removal", "trace_irm",
+                 "pc_irm", "trace_ipc", "pc_ipc"],
+        headers=["benchmark", "removal (trace)", "removal (pc)",
+                 "IR-misp/1000 (trace)", "IR-misp/1000 (pc)",
+                 "IPC (trace)", "IPC (pc)"],
+        title="Extension: per-instruction vs trace-based removal",
+        float_format="{:.3f}",
+    ))
+    by_name = {row["benchmark"]: row for row in rows}
+    # The paper's prediction: gcc's removal rises without trace
+    # confinement of the confidence.
+    assert by_name["gcc"]["pc_removal"] > by_name["gcc"]["trace_removal"] * 1.3
+    # The paper's warning: separate counters cost IR-mispredictions.
+    assert by_name["gcc"]["pc_irm"] > by_name["gcc"]["trace_irm"]
+    # ... which stay detected-and-recovered (asserted in _compare) and
+    # bounded.
+    for row in rows:
+        assert row["pc_irm"] < 5.0

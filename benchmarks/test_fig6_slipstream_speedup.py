@@ -1,0 +1,41 @@
+"""E-F6: regenerate Figure 6 — % IPC improvement of the slipstream
+CMP(2x64x4) over the SS(64x4) baseline, per benchmark.
+
+Shape expectations (paper: average 7%; m88ksim +20%, perl +16%,
+li/vortex +7%, gcc +4%, compress/go/jpeg ~0):
+
+* m88ksim is the biggest winner, perl second;
+* the unpredictable/low-removal trio (compress, go, jpeg) shows little
+  or no improvement;
+* the average lands in the paper's mid-single-digit to low-teens band.
+"""
+
+from repro.eval.experiments import figure6
+from repro.eval.metrics import arithmetic_mean
+from repro.eval.reporting import render_bar_series, render_table
+
+
+def test_figure6(benchmark, scale):
+    rows = benchmark.pedantic(figure6, args=(scale,), rounds=1, iterations=1)
+    print()
+    print(render_table(
+        rows,
+        columns=["benchmark", "base_ipc", "slip_ipc", "gain_pct",
+                 "paper_gain_pct"],
+        headers=["benchmark", "SS(64x4) IPC", "CMP(2x64x4) IPC",
+                 "gain % (ours)", "gain % (paper)"],
+        title="Figure 6: CMP(2x64x4) IPC improvement over SS(64x4)",
+    ))
+    print()
+    print(render_bar_series(rows, "benchmark", "gain_pct"))
+
+    gains = {row["benchmark"]: row["gain_pct"] for row in rows}
+    best = max(gains, key=gains.get)
+    assert best == "m88ksim", f"biggest winner should be m88ksim, got {best}"
+    assert gains["m88ksim"] >= 15.0
+    assert gains["perl"] >= 10.0
+    assert gains["perl"] > gains["vortex"]
+    for flat in ("compress", "go", "jpeg"):
+        assert gains[flat] < 8.0, f"{flat} should see little improvement"
+    average = arithmetic_mean(list(gains.values()))
+    assert 3.0 <= average <= 15.0, f"average gain {average:.1f}% out of band"

@@ -1,0 +1,35 @@
+"""E-F7: regenerate Figure 7 — % IPC improvement of SS(128x8) over
+SS(64x4).
+
+Shape expectation (paper: average 28%, about four times the slipstream
+gain): doubling window and width helps everything, and by much more
+than slipstreaming does on average.
+"""
+
+from repro.eval.experiments import figure6, figure7
+from repro.eval.metrics import arithmetic_mean
+from repro.eval.reporting import render_bar_series, render_table
+
+
+def test_figure7(benchmark, scale):
+    rows = benchmark.pedantic(figure7, args=(scale,), rounds=1, iterations=1)
+    print()
+    print(render_table(
+        rows,
+        columns=["benchmark", "base_ipc", "big_ipc", "gain_pct"],
+        headers=["benchmark", "SS(64x4) IPC", "SS(128x8) IPC", "gain %"],
+        title="Figure 7: SS(128x8) IPC improvement over SS(64x4)",
+    ))
+    print()
+    print(render_bar_series(rows, "benchmark", "gain_pct"))
+
+    gains = [row["gain_pct"] for row in rows]
+    assert all(g >= 0 for g in gains), "a bigger core must not lose"
+    big_avg = arithmetic_mean(gains)
+    assert big_avg >= 20.0, f"big-core average {big_avg:.1f}% too small"
+
+    slip_avg = arithmetic_mean([r["gain_pct"] for r in figure6(scale)])
+    # The paper's headline comparison: the slipstream gain is a
+    # meaningful fraction (about a quarter) of the big-core gain.
+    assert big_avg > slip_avg
+    assert slip_avg >= big_avg / 10.0

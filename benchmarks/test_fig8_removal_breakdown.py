@@ -1,0 +1,61 @@
+"""E-F8a/E-F8b: regenerate Figure 8 — the breakdown of removed
+A-stream instructions, in full and branch-only removal modes.
+
+Shape expectations:
+
+* full mode: m88ksim has by far the largest removed fraction (~half of
+  its dynamic stream in the paper), dominated by SV and its chains;
+  perl is second; BR/SV and their propagated chains dominate overall;
+* branch-only mode: only BR and P: BR categories appear, and
+  m88ksim's fraction collapses to a fraction of its full-mode value
+  (the paper's counterintuitive "half to one-quarter" observation).
+"""
+
+from repro.core.removal import CATEGORIES
+from repro.eval.experiments import figure8
+from repro.eval.reporting import render_stacked_fractions
+
+
+def test_figure8_full_mode(benchmark, scale):
+    rows = benchmark.pedantic(
+        figure8, kwargs={"mode": "full", "scale": scale}, rounds=1, iterations=1
+    )
+    print()
+    print(render_stacked_fractions(
+        rows, CATEGORIES,
+        title="Figure 8 (top): removed A-stream instructions, % of "
+              "dynamic stream, full removal",
+    ))
+    totals = {row["benchmark"]: row["total_fraction"] for row in rows}
+    assert max(totals, key=totals.get) == "m88ksim"
+    assert totals["m88ksim"] >= 0.40
+    assert totals["perl"] >= 0.15
+    assert totals["li"] >= 0.05
+    assert totals["vortex"] >= 0.10
+    # Per-category accounting must add up.
+    for row in rows:
+        assert abs(sum(row["categories"].values()) - row["total_fraction"]) < 1e-9
+
+
+def test_figure8_branch_only_mode(benchmark, scale):
+    rows = benchmark.pedantic(
+        figure8, kwargs={"mode": "branch_only", "scale": scale},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(render_stacked_fractions(
+        rows, ["BR", "P: BR"],
+        title="Figure 8 (bottom): removed A-stream instructions, "
+              "branch-only removal",
+    ))
+    for row in rows:
+        for category, fraction in row["categories"].items():
+            if fraction > 0:
+                assert category in ("BR", "P: BR"), (
+                    f"{row['benchmark']}: write-removal category "
+                    f"{category} appeared in branch-only mode"
+                )
+    # m88ksim's removal collapses without the ineffectual writes.
+    full = {r["benchmark"]: r["total_fraction"] for r in figure8("full", scale)}
+    only = {r["benchmark"]: r["total_fraction"] for r in rows}
+    assert only["m88ksim"] <= full["m88ksim"] * 0.6

@@ -1,0 +1,21 @@
+"""E-T1: regenerate Table 1 (benchmarks and instruction counts)."""
+
+from repro.eval.experiments import table1
+from repro.eval.reporting import render_table
+
+
+def test_table1(benchmark, scale):
+    rows = benchmark.pedantic(table1, args=(scale,), rounds=1, iterations=1)
+    print()
+    print(render_table(
+        rows,
+        columns=["benchmark", "paper_input", "instr_count",
+                 "paper_instr_count_millions"],
+        headers=["benchmark", "input dataset (paper)", "instr. count (ours)",
+                 "paper (millions)"],
+        title="Table 1: Benchmarks",
+    ))
+    assert len(rows) == 8
+    for row in rows:
+        # Our analogs run at roughly 1/1000 the paper's dynamic sizes.
+        assert 30_000 <= row["instr_count"] <= 600_000

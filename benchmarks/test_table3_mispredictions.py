@@ -1,0 +1,56 @@
+"""E-T3: regenerate Table 3 — misprediction measurements.
+
+Shape expectations (paper):
+
+* base IPCs span roughly 1.7 (compress) to 3.2 (jpeg/vortex);
+* branch misprediction rates order the benchmarks: compress/go worst,
+  vortex/m88ksim/perl best — and instruction removal succeeds exactly
+  where prediction succeeds;
+* slipstreaming leaves the branch misprediction rate roughly unchanged
+  (the CMP row tracks the SS row);
+* IR-mispredictions are rare (paper: < 0.05/1000) and their average
+  penalty sits near the 21-cycle minimum (paper: 22-26).
+"""
+
+from repro.eval.experiments import table3
+from repro.eval.reporting import render_table
+
+
+def test_table3(benchmark, scale):
+    rows = benchmark.pedantic(table3, args=(scale,), rounds=1, iterations=1)
+    print()
+    print(render_table(
+        rows,
+        columns=["benchmark", "ss_ipc", "paper_ss_ipc", "ss_misp_per_1000",
+                 "paper_misp_per_1000", "cmp_misp_per_1000",
+                 "ir_misp_per_1000", "avg_ir_penalty"],
+        headers=["benchmark", "IPC", "IPC(paper)", "misp/1000",
+                 "misp/1000(paper)", "CMP misp/1000", "IR-misp/1000",
+                 "avg IR penalty"],
+        title="Table 3: Misprediction measurements",
+        float_format="{:.2f}",
+    ))
+
+    by_name = {row["benchmark"]: row for row in rows}
+
+    # Base IPC band.
+    for row in rows:
+        assert 1.2 <= row["ss_ipc"] <= 4.0
+
+    # Predictability ordering: the chaotic pair worst, the regular
+    # trio best.
+    misp = {name: row["ss_misp_per_1000"] for name, row in by_name.items()}
+    worst_two = sorted(misp, key=misp.get, reverse=True)[:2]
+    assert set(worst_two) == {"compress", "go"}
+    best_three = sorted(misp, key=misp.get)[:3]
+    assert set(best_three) == {"vortex", "m88ksim", "perl"}
+
+    # Slipstreaming does not blow up the branch misprediction rate.
+    for name, row in by_name.items():
+        assert row["cmp_misp_per_1000"] <= row["ss_misp_per_1000"] * 2 + 1.0
+
+    # IR-mispredictions: rare, and penalty near the 21-cycle minimum.
+    for row in rows:
+        assert row["ir_misp_per_1000"] <= 0.25, row["benchmark"]
+        if row["ir_misp_per_1000"] > 0:
+            assert 21.0 <= row["avg_ir_penalty"] <= 40.0

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Demonstrate the paper's section 3 fault-tolerance scenarios.
+
+Injects single transient faults (bit flips in instruction results) at
+each of the three sites and shows how the slipstream machinery reacts:
+
+* a fault on a redundantly executed instruction is detected as a
+  "misprediction" and recovered transparently;
+* a fault in a region the A-stream bypassed can escape (partial
+  coverage, by design);
+* a fault confined to the A-stream is always repaired — the R-stream
+  independently recomputes everything.
+
+Run:  python examples/fault_tolerance_demo.py
+"""
+
+from repro.arch.functional import FunctionalSimulator
+from repro.fault.scenarios import SCENARIOS, run_scenario
+from repro.isa.assembler import assemble
+
+SOURCE = """
+main:
+    addi r1, r0, 2000
+    addi r10, r0, 0x100000
+loop:
+    addi r2, r0, 7
+    sw   r2, 0(r10)             # silent store: removable, bypassed
+    addi r3, r0, 1
+    addi r3, r0, 2              # dead write: removable, bypassed
+    add  r4, r4, r3             # live, redundantly executed
+    xor  r5, r4, r1
+    add  r6, r5, r4
+    addi r1, r1, -1
+    bne  r1, r0, loop
+    out  r4
+    out  r6
+    halt
+"""
+
+
+def main() -> None:
+    program = assemble(SOURCE, name="fault-demo")
+    reference = FunctionalSimulator(program).run()
+    print(f"fault-free output: {reference.output}\n")
+
+    for scenario in SCENARIOS.values():
+        result = run_scenario(scenario, program, after_seq=6000)
+        print(f"scenario {scenario.name!r}:")
+        print(f"  {scenario.description}")
+        print(f"  struck: seq={result.fault.target_seq} "
+              f"site={result.fault.site.value} "
+              f"compared={result.struck_compared}")
+        print(f"  outcome: {result.outcome.value}")
+        expected = ", ".join(o.value for o in scenario.expected)
+        print(f"  (consistent with the paper's analysis: {expected})\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Run one suite benchmark through all three processor models.
+
+Run:  python examples/run_benchmark.py [benchmark] [scale]
+
+e.g.  python examples/run_benchmark.py m88ksim
+      python examples/run_benchmark.py perl 2
+
+Benchmarks: compress gcc go jpeg li m88ksim perl vortex
+"""
+
+import sys
+
+from repro.arch.functional import FunctionalSimulator
+from repro.core.slipstream import SlipstreamProcessor
+from repro.uarch.config import SS_128x8, SS_64x4
+from repro.uarch.core import SuperscalarCore
+from repro.workloads.suite import get_benchmark
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "m88ksim"
+    scale = int(sys.argv[2]) if len(sys.argv) > 2 else 1
+    bench = get_benchmark(name)
+    print(f"benchmark: {bench.name} (analog of SPEC95 {bench.name}, "
+          f"paper input: {bench.paper_input})")
+    print(f"models: {bench.analog}")
+
+    reference = FunctionalSimulator(bench.program(scale)).run()
+    print(f"\ndynamic instructions: {reference.instruction_count}")
+
+    base = SuperscalarCore(SS_64x4, bench.program(scale)).run()
+    big = SuperscalarCore(SS_128x8, bench.program(scale)).run()
+    slip = SlipstreamProcessor(bench.program(scale)).run()
+    assert slip.output == reference.output
+
+    print(f"\n{'model':14} {'IPC':>6} {'cycles':>9} {'vs base':>8}")
+    print(f"{'SS(64x4)':14} {base.ipc:>6.2f} {base.cycles:>9} {'-':>8}")
+    print(f"{'SS(128x8)':14} {big.ipc:>6.2f} {big.cycles:>9} "
+          f"{100 * (big.ipc / base.ipc - 1):>+7.1f}%")
+    print(f"{'CMP(2x64x4)':14} {slip.ipc:>6.2f} {slip.cycles:>9} "
+          f"{100 * (slip.ipc / base.ipc - 1):>+7.1f}%")
+
+    print(f"\nslipstream detail:")
+    print(f"  removal fraction:      {slip.removal_fraction:.3f}")
+    print(f"  removal breakdown:     {slip.removed_by_category}")
+    print(f"  branch misp/1000:      {slip.mispredictions_per_1000:.2f} "
+          f"(base {base.mispredictions_per_1000:.2f})")
+    print(f"  IR-misp/1000:          {slip.ir_mispredictions_per_1000:.3f}")
+    if slip.ir_mispredictions:
+        print(f"  avg IR-misp penalty:   {slip.avg_ir_penalty:.1f} cycles")
+    print(f"  max tracked addresses: {slip.recovery_max_outstanding}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+"""Slipstream Processors (ASPLOS 2000) reproduction.
+
+An execution-driven simulator of a slipstream processor: two redundant
+copies of a program (a speculatively shortened A-stream and a full,
+validating R-stream) co-executing on a two-way chip multiprocessor,
+improving both single-program performance and transient-fault tolerance.
+
+Public entry points:
+
+* :mod:`repro.isa` -- the mini RISC ISA and assembler.
+* :mod:`repro.arch` -- architectural state and the functional simulator.
+* :mod:`repro.uarch` -- the out-of-order superscalar timing substrate.
+* :mod:`repro.trace` -- trace selection and the hybrid path-based trace
+  predictor.
+* :mod:`repro.core` -- the paper's contribution: IR-predictor, IR-detector,
+  delay buffer, recovery controller, and the slipstream CMP model.
+* :mod:`repro.fault` -- transient-fault injection and coverage analysis.
+* :mod:`repro.workloads` -- SPEC95-integer analog benchmark programs.
+* :mod:`repro.eval` -- experiment harness regenerating the paper's tables
+  and figures.
+"""
+
+__version__ = "1.0.0"
+
+from repro.isa.assembler import assemble
+from repro.isa.program import Program
+from repro.arch.functional import FunctionalSimulator
+
+__all__ = ["assemble", "Program", "FunctionalSimulator", "__version__"]

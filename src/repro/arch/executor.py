@@ -1,0 +1,211 @@
+"""Precise single-instruction semantics.
+
+All arithmetic is 32-bit two's complement.  :func:`execute_one` advances
+one architectural context by one instruction and returns a
+:class:`DynInstr` record — the currency that flows through the entire
+system (IR-detector analysis, delay buffer, timing model, fault
+injection).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.arch.state import ArchState
+from repro.isa.instructions import Instruction, Opcode, WORD
+from repro.isa.program import Program
+
+_U32 = 0xFFFFFFFF
+
+
+def wrap32(value: int) -> int:
+    """Wrap to signed 32-bit two's complement."""
+    value &= _U32
+    return value - 0x100000000 if value & 0x80000000 else value
+
+
+def _unsigned(value: int) -> int:
+    return value & _U32
+
+
+@dataclass
+class DynInstr:
+    """One retired dynamic instruction.
+
+    Attributes:
+        seq: retirement sequence number within its stream.
+        pc: byte PC of the instruction.
+        instr: the static instruction.
+        next_pc: PC of the next instruction in this stream's path.
+        taken: branch/jump taken (False for non-control instructions).
+        src_values: operand values read, in :meth:`Instruction.src_regs`
+            order.
+        dest_reg: destination register, or None.
+        value: value written (register result or store value), or None.
+        mem_addr: effective address for loads/stores, else None.
+        output: value emitted by ``out``, else None.
+    """
+
+    seq: int
+    pc: int
+    instr: Instruction
+    next_pc: int
+    taken: bool = False
+    src_values: Tuple[int, ...] = ()
+    dest_reg: Optional[int] = None
+    value: Optional[int] = None
+    mem_addr: Optional[int] = None
+    output: Optional[int] = None
+
+    @property
+    def is_branch(self) -> bool:
+        return self.instr.is_branch
+
+    @property
+    def is_control(self) -> bool:
+        return self.instr.is_control
+
+    @property
+    def is_load(self) -> bool:
+        return self.instr.is_load
+
+    @property
+    def is_store(self) -> bool:
+        return self.instr.is_store
+
+    @property
+    def writes_memory(self) -> bool:
+        return self.instr.is_store
+
+    @property
+    def writes_register(self) -> bool:
+        return self.dest_reg is not None
+
+
+_ALU_RRR = {
+    Opcode.ADD: lambda a, b: a + b,
+    Opcode.SUB: lambda a, b: a - b,
+    Opcode.MUL: lambda a, b: a * b,
+    Opcode.AND: lambda a, b: a & b,
+    Opcode.OR: lambda a, b: a | b,
+    Opcode.XOR: lambda a, b: a ^ b,
+    Opcode.NOR: lambda a, b: ~(a | b),
+    Opcode.SLL: lambda a, b: a << (b & 31),
+    Opcode.SRL: lambda a, b: _unsigned(a) >> (b & 31),
+    Opcode.SRA: lambda a, b: a >> (b & 31),
+    Opcode.SLT: lambda a, b: int(a < b),
+    Opcode.SLTU: lambda a, b: int(_unsigned(a) < _unsigned(b)),
+}
+
+_ALU_RRI = {
+    Opcode.ADDI: lambda a, imm: a + imm,
+    Opcode.ANDI: lambda a, imm: a & imm,
+    Opcode.ORI: lambda a, imm: a | imm,
+    Opcode.XORI: lambda a, imm: a ^ imm,
+    Opcode.SLLI: lambda a, imm: a << (imm & 31),
+    Opcode.SRLI: lambda a, imm: _unsigned(a) >> (imm & 31),
+    Opcode.SRAI: lambda a, imm: a >> (imm & 31),
+    Opcode.SLTI: lambda a, imm: int(a < imm),
+}
+
+_BRANCH_COND = {
+    Opcode.BEQ: lambda a, b: a == b,
+    Opcode.BNE: lambda a, b: a != b,
+    Opcode.BLT: lambda a, b: a < b,
+    Opcode.BGE: lambda a, b: a >= b,
+    Opcode.BLTU: lambda a, b: _unsigned(a) < _unsigned(b),
+    Opcode.BGEU: lambda a, b: _unsigned(a) >= _unsigned(b),
+}
+
+
+class ExecutionError(Exception):
+    """Raised on architecturally-invalid execution (bad PC, div by zero)."""
+
+
+def execute_one(program: Program, state: ArchState, pc: int, seq: int = 0) -> DynInstr:
+    """Execute the instruction at ``pc``, mutating ``state``.
+
+    Returns the retired :class:`DynInstr`.  ``state.halted`` is set by
+    ``halt``; the returned record's ``next_pc`` equals ``pc`` in that
+    case so callers can treat it as a fixed point.
+    """
+    instr = program.at(pc)
+    op = instr.opcode
+    regs = state.regs
+    srcs = tuple(regs.read(r) for r in instr.src_regs())
+    next_pc = pc + WORD
+    taken = False
+    dest_reg: Optional[int] = None
+    value: Optional[int] = None
+    mem_addr: Optional[int] = None
+    output: Optional[int] = None
+
+    if op in _ALU_RRR:
+        value = wrap32(_ALU_RRR[op](srcs[0], srcs[1]))
+        dest_reg = instr.dest_reg()
+    elif op in _ALU_RRI:
+        value = wrap32(_ALU_RRI[op](srcs[0], instr.imm))
+        dest_reg = instr.dest_reg()
+    elif op in (Opcode.DIV, Opcode.REM):
+        if srcs[1] == 0:
+            raise ExecutionError(f"division by zero at pc {pc:#x}")
+        quotient = abs(srcs[0]) // abs(srcs[1])
+        if (srcs[0] < 0) != (srcs[1] < 0):
+            quotient = -quotient
+        remainder = srcs[0] - quotient * srcs[1]
+        value = wrap32(quotient if op is Opcode.DIV else remainder)
+        dest_reg = instr.dest_reg()
+    elif op is Opcode.LUI:
+        value = wrap32(instr.imm << 16)
+        dest_reg = instr.dest_reg()
+    elif op is Opcode.LW:
+        mem_addr = wrap32(srcs[0] + instr.imm) & _U32
+        value = state.mem.read(mem_addr)
+        dest_reg = instr.dest_reg()
+    elif op is Opcode.SW:
+        mem_addr = wrap32(srcs[0] + instr.imm) & _U32
+        value = srcs[1]
+        state.mem.write(mem_addr, value)
+    elif op in _BRANCH_COND:
+        taken = _BRANCH_COND[op](srcs[0], srcs[1])
+        if taken:
+            next_pc = instr.target
+    elif op is Opcode.J:
+        taken = True
+        next_pc = instr.target
+    elif op is Opcode.JAL:
+        taken = True
+        value = pc + WORD
+        dest_reg = instr.dest_reg()
+        next_pc = instr.target
+    elif op is Opcode.JALR:
+        taken = True
+        value = pc + WORD
+        dest_reg = instr.dest_reg()
+        next_pc = srcs[0] & _U32
+    elif op is Opcode.OUT:
+        output = srcs[0]
+        state.output.append(output)
+    elif op is Opcode.HALT:
+        state.halted = True
+        next_pc = pc
+    elif op is Opcode.NOP:
+        pass
+    else:  # pragma: no cover - exhaustive over Opcode
+        raise ExecutionError(f"unimplemented opcode {op}")
+
+    if dest_reg is not None and value is not None:
+        regs.write(dest_reg, value)
+    return DynInstr(
+        seq=seq,
+        pc=pc,
+        instr=instr,
+        next_pc=next_pc,
+        taken=taken,
+        src_values=srcs,
+        dest_reg=dest_reg,
+        value=value,
+        mem_addr=mem_addr,
+        output=output,
+    )

@@ -1,0 +1,80 @@
+"""Functional (architectural) simulator.
+
+Runs a program to completion with precise semantics.  This is the oracle
+used throughout the project:
+
+* running workloads directly (examples, program-correctness tests);
+* validating the timing simulator's retired control/data flow, exactly as
+  the paper validates its detailed simulator against an independent
+  functional simulator (section 4);
+* providing the R-stream's authoritative execution in the slipstream
+  co-simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+from repro.arch.executor import DynInstr, execute_one
+from repro.arch.state import ArchState
+from repro.isa.program import Program
+
+
+class InstructionLimitExceeded(Exception):
+    """The program did not halt within the allowed instruction budget."""
+
+
+@dataclass
+class RunResult:
+    """Outcome of a complete functional run."""
+
+    state: ArchState
+    instruction_count: int
+    output: List[int] = field(default_factory=list)
+
+    @property
+    def halted(self) -> bool:
+        return self.state.halted
+
+
+class FunctionalSimulator:
+    """Architectural simulator for one program context.
+
+    Use :meth:`run` for a complete run or :meth:`steps` to iterate
+    retired instructions (the dynamic instruction stream).
+    """
+
+    def __init__(self, program: Program, max_instructions: int = 50_000_000):
+        self.program = program
+        self.max_instructions = max_instructions
+
+    def fresh_state(self) -> ArchState:
+        return ArchState(image=self.program.data)
+
+    def steps(self, state: Optional[ArchState] = None) -> Iterator[DynInstr]:
+        """Yield retired instructions until ``halt`` or the budget runs out.
+
+        The ``halt`` instruction itself is yielded last.
+        """
+        if state is None:
+            state = self.fresh_state()
+        pc = self.program.entry
+        for seq in range(self.max_instructions):
+            dyn = execute_one(self.program, state, pc, seq=seq)
+            yield dyn
+            if state.halted:
+                return
+            pc = dyn.next_pc
+        raise InstructionLimitExceeded(
+            f"{self.program.name} exceeded {self.max_instructions} instructions"
+        )
+
+    def run(self, state: Optional[ArchState] = None) -> RunResult:
+        """Run to completion, returning final state and retire count."""
+        if state is None:
+            state = self.fresh_state()
+        count = 0
+        for _ in self.steps(state):
+            count += 1
+        return RunResult(state=state, instruction_count=count, output=state.output)

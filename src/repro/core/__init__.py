@@ -1,0 +1,55 @@
+"""The slipstream core: the paper's contribution.
+
+Four new components wrap around two conventional cores (Figure 1):
+
+* :mod:`repro.core.ir_predictor` — the instruction-removal predictor:
+  the trace predictor extended with per-trace instruction-removal bit
+  vectors (ir-vecs), removal-kind metadata, and a resetting confidence
+  counter.
+* :mod:`repro.core.ir_detector` — monitors the retired R-stream,
+  builds per-trace reverse dataflow graphs (R-DFGs) over an operand
+  rename table, detects unreferenced writes (WW), non-modifying writes
+  (SV) and branches (BR), back-propagates removal through dependence
+  chains, and emits {trace-id, ir-vec} training pairs.
+* :mod:`repro.core.delay_buffer` — the FIFO that carries the A-stream's
+  control and data flow outcomes to the R-stream, with finite capacity
+  and timestamp-coupled backpressure.
+* :mod:`repro.core.recovery` — the recovery controller tracking the
+  memory addresses needed to repair the A-stream's context from the
+  R-stream's after an IR-misprediction.
+
+:mod:`repro.core.slipstream` co-simulates the A-stream and R-stream and
+is the top-level model for the CMP(2x64x4) configuration.
+"""
+
+from repro.core.removal import RemovalKind, removal_category
+from repro.core.ir_predictor import IRPredictor, IRPredictorConfig, RemovalPrediction
+from repro.core.ir_detector import IRDetector, TraceAnalysis
+from repro.core.delay_buffer import DelayBuffer
+from repro.core.recovery import RecoveryController
+from repro.core.slipstream import SlipstreamProcessor, SlipstreamConfig, SlipstreamResult
+from repro.core.pc_ir_predictor import PCIRPredictor, PCIRPredictorConfig
+from repro.core.modes import OperatingMode, run_mode, reliable_config
+from repro.core.smt import smt_partition, smt_slipstream_config
+
+__all__ = [
+    "RemovalKind",
+    "removal_category",
+    "IRPredictor",
+    "IRPredictorConfig",
+    "RemovalPrediction",
+    "IRDetector",
+    "TraceAnalysis",
+    "DelayBuffer",
+    "RecoveryController",
+    "SlipstreamProcessor",
+    "SlipstreamConfig",
+    "SlipstreamResult",
+    "PCIRPredictor",
+    "PCIRPredictorConfig",
+    "OperatingMode",
+    "run_mode",
+    "reliable_config",
+    "smt_partition",
+    "smt_slipstream_config",
+]

@@ -1,0 +1,95 @@
+"""Delay buffer: the A-stream → R-stream outcome FIFO (paper, §2.2).
+
+The buffer carries a complete control-flow history ({trace-id, ir-vec}
+pairs) and a partial data-flow history (operand values and addresses of
+the instructions the A-stream actually executed).  It is finite — 256
+instruction entries in Table 2 — so a far-ahead A-stream stalls until
+the R-stream consumes.
+
+The co-simulation couples the two streams through *timestamps* instead
+of a cycle-synchronous loop: a push records the A-stream cycle its
+outcomes became available, and is delayed (backpressure) until enough
+older entries have pop timestamps that free the required space.
+Because a push only ever depends on strictly older pops, and the driver
+interleaves trace-by-trace (push trace *i*, pop trace *i*, push trace
+*i+1*, …), all timestamps resolve in one forward pass (DESIGN.md,
+"Timestamp-coupled delay buffer").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque
+
+
+class DelayBufferError(Exception):
+    """Protocol misuse (pop without push, oversized trace, ...)."""
+
+
+class DelayBuffer:
+    """Timestamp-coupled bounded FIFO of per-trace outcome groups."""
+
+    def __init__(self, capacity: int = 256, transfer_latency: int = 1):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.transfer_latency = transfer_latency
+        #: (entry_count, pop_cycle) for pushed groups; pop_cycle is None
+        #: until the R-stream consumes the group.
+        self._groups: Deque[list] = deque()
+        self._occupancy = 0
+        self.pushes = 0
+        self.backpressure_events = 0
+
+    @property
+    def occupancy(self) -> int:
+        return self._occupancy
+
+    def push(self, entry_count: int, produce_cycle: int) -> int:
+        """Push one trace's outcome group.
+
+        ``entry_count`` is the number of instruction entries the group
+        occupies (the A-stream's executed instructions; at least one
+        slot for the control-flow record).  Returns the cycle at which
+        the push completes — later than ``produce_cycle`` if the
+        A-stream had to wait for the R-stream to drain.
+        """
+        if entry_count < 1:
+            entry_count = 1
+        if entry_count > self.capacity:
+            raise DelayBufferError(
+                f"group of {entry_count} exceeds capacity {self.capacity}"
+            )
+        cycle = produce_cycle
+        stalled = False
+        while self._occupancy + entry_count > self.capacity:
+            count, pop_cycle = self._groups[0]
+            if pop_cycle is None:
+                raise DelayBufferError(
+                    "backpressure on a group the R-stream has not consumed; "
+                    "the driver must interleave pushes and pops"
+                )
+            self._groups.popleft()
+            self._occupancy -= count
+            if pop_cycle > cycle:
+                cycle = pop_cycle
+                stalled = True
+        if stalled:
+            self.backpressure_events += 1
+        self._groups.append([entry_count, None])
+        self._occupancy += entry_count
+        self.pushes += 1
+        return cycle
+
+    def mark_popped(self, pop_cycle: int) -> None:
+        """Record the R-stream's consumption of the oldest unpopped group."""
+        for group in self._groups:
+            if group[1] is None:
+                group[1] = pop_cycle
+                return
+        raise DelayBufferError("no unpopped group to mark")
+
+    def flush(self) -> None:
+        """Discard all contents (IR-misprediction recovery)."""
+        self._groups.clear()
+        self._occupancy = 0

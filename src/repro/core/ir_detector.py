@@ -1,0 +1,181 @@
+"""Instruction-removal detector (paper, section 2.1.2, Figure 3).
+
+The IR-detector monitors the R-stream as it retires instructions.
+Retired instructions and values construct per-trace reverse dataflow
+graphs over an operand rename table, and three triggering conditions
+select instructions for removal:
+
+* unreferenced writes (WW),
+* non-modifying writes (SV),
+* branch instructions (BR — all conditional branches are candidates;
+  the IR-predictor's confidence counter makes the final decision).
+
+Selection back-propagates to producers whose consumers are all known
+(value killed) and all selected.  The analysis scope is
+``scope_traces`` (8) traces: back-propagation is confined to a single
+trace, but value-kill detection spans the whole scope.  When a trace
+becomes the oldest in the scope it retires: its instruction-removal bit
+vector (ir-vec) is formed from the selected nodes and handed to the
+IR-predictor.
+
+The in-stream analysis is exact — WW/SV/propagation facts are true of
+the observed dynamic instance; the *speculation* lies in predicting
+that future instances of the trace behave identically.
+
+``triggers`` restricts the trigger set; passing ``{"BR"}`` reproduces
+the paper's branch-only removal experiment (Figure 8, bottom), where
+ineffectual writes are not candidates and propagation flows only from
+branches.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, FrozenSet, Iterable, List, Tuple
+
+from repro.arch.executor import DynInstr
+from repro.core.rdfg import RDFGNode, connect, kill, select
+from repro.core.removal import RemovalKind
+from repro.core.rename_table import Operand, OperandRenameTable
+from repro.isa.instructions import InstrClass
+from repro.trace.selection import CompletedTrace
+from repro.trace.trace_id import TraceId
+
+DEFAULT_SCOPE_TRACES = 8
+ALL_TRIGGERS = frozenset({"BR", "WW", "SV"})
+
+#: Instruction classes that must never be removed: indirect jumps steer
+#: control through dynamic targets, OUT is architectural program output,
+#: HALT terminates the program.
+_NEVER_REMOVABLE = (InstrClass.JUMP_INDIRECT, InstrClass.OUT, InstrClass.HALT)
+
+
+@dataclass
+class TraceAnalysis:
+    """The detector's verdict for one retired trace."""
+
+    trace_seq: int
+    trace_id: TraceId
+    ir_vec: Tuple[bool, ...]
+    kinds: Tuple[RemovalKind, ...]
+    #: Per-instruction PCs (used by the per-instruction IR mechanism).
+    pcs: Tuple[int, ...] = ()
+
+    @property
+    def removed_count(self) -> int:
+        return sum(self.ir_vec)
+
+
+class _ScopedTrace:
+    __slots__ = ("seq", "trace_id", "nodes", "touched", "pcs")
+
+    def __init__(self, seq: int, trace_id: TraceId, nodes: List[RDFGNode]):
+        self.seq = seq
+        self.trace_id = trace_id
+        self.nodes = nodes
+        self.touched: List[Operand] = []
+        self.pcs: List[int] = []
+
+
+class IRDetector:
+    """Monitors retired R-stream traces and emits removal analyses."""
+
+    def __init__(
+        self,
+        scope_traces: int = DEFAULT_SCOPE_TRACES,
+        triggers: Iterable[str] = ALL_TRIGGERS,
+    ):
+        if scope_traces < 1:
+            raise ValueError("scope must hold at least one trace")
+        self.scope_traces = scope_traces
+        self.triggers: FrozenSet[str] = frozenset(triggers)
+        unknown = self.triggers - ALL_TRIGGERS
+        if unknown:
+            raise ValueError(f"unknown triggers: {sorted(unknown)}")
+        self._table = OperandRenameTable()
+        self._scope: Deque[_ScopedTrace] = deque()
+        self._next_seq = 0
+
+    # ------------------------------------------------------------------
+
+    def feed_trace(self, trace: CompletedTrace) -> List[TraceAnalysis]:
+        """Merge one retired trace; returns analyses of traces that left
+        the scope as a result (usually zero or one)."""
+        seq = self._next_seq
+        self._next_seq += 1
+        scoped = _ScopedTrace(seq, trace.trace_id, [])
+        self._scope.append(scoped)
+        for index, dyn in enumerate(trace.instructions):
+            node = RDFGNode(seq, index, removable=self._is_removable(dyn))
+            scoped.nodes.append(node)
+            scoped.pcs.append(dyn.pc)
+            self._merge(dyn, node, scoped)
+        retired: List[TraceAnalysis] = []
+        while len(self._scope) > self.scope_traces:
+            retired.append(self._retire_oldest())
+        return retired
+
+    def drain(self) -> List[TraceAnalysis]:
+        """Retire every trace still in the scope (end of program)."""
+        retired = []
+        while self._scope:
+            retired.append(self._retire_oldest())
+        return retired
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _is_removable(dyn: DynInstr) -> bool:
+        return dyn.instr.klass not in _NEVER_REMOVABLE
+
+    def _merge(self, dyn: DynInstr, node: RDFGNode, scoped: _ScopedTrace) -> None:
+        table = self._table
+        # Source operands: establish producer connections and ref bits.
+        for reg in dyn.instr.src_regs():
+            if reg == 0:
+                continue
+            producer = table.read(("r", reg))
+            if producer is not None:
+                connect(producer, node)
+        if dyn.is_load and dyn.mem_addr is not None:
+            producer = table.read(("m", dyn.mem_addr))
+            if producer is not None:
+                connect(producer, node)
+
+        # Trigger: branch instructions are always selected at merge.
+        if dyn.is_branch and "BR" in self.triggers:
+            select(node, RemovalKind.BR)
+
+        # Destination operand: SV/WW detection and value kills.
+        if dyn.is_store and dyn.mem_addr is not None:
+            self._write(("m", dyn.mem_addr), dyn.value, node, scoped)
+        elif dyn.dest_reg is not None and dyn.value is not None:
+            self._write(("r", dyn.dest_reg), dyn.value, node, scoped)
+
+    def _write(self, operand: Operand, value: int, node: RDFGNode, scoped: _ScopedTrace) -> None:
+        outcome = self._table.write(
+            operand, value, node, detect_silent="SV" in self.triggers
+        )
+        if outcome.silent:
+            # Non-modifying write: select; the old producer remains the
+            # live producer of the location (but the write refreshes the
+            # entry's scope lifetime).
+            select(node, RemovalKind.SV)
+            scoped.touched.append(operand)
+            return
+        if outcome.killed is not None:
+            kill(
+                outcome.killed,
+                unreferenced=outcome.killed_unreferenced and "WW" in self.triggers,
+            )
+        scoped.touched.append(operand)
+
+    def _retire_oldest(self) -> TraceAnalysis:
+        scoped = self._scope.popleft()
+        for operand in scoped.touched:
+            self._table.invalidate_if_stale(operand, scoped.seq)
+        ir_vec = tuple(n.selected for n in scoped.nodes)
+        kinds = tuple(n.kind for n in scoped.nodes)
+        return TraceAnalysis(scoped.seq, scoped.trace_id, ir_vec, kinds,
+                             tuple(scoped.pcs))

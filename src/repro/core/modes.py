@@ -1,0 +1,111 @@
+"""Operating modes of the two-context chip (paper, sections 1 and 7).
+
+The paper's larger agenda is a CMP/SMT chip whose second context can be
+flexibly redeployed: "high job throughput and parallel-program
+performance (conventional SMT/CMP), improved single-program performance
+and reliability (slipstreaming), or fully-reliable operation with
+little or no impact on single-program performance (AR-SMT / SRT)."
+
+This module packages those three modes over the same two-core
+substrate:
+
+* ``THROUGHPUT`` — the two cores run two independent programs; the
+  chip maximises job throughput and provides no redundancy.
+* ``SLIPSTREAM`` — the default slipstream configuration: one program,
+  partial redundancy, single-program speedup, partial fault coverage.
+* ``RELIABLE`` — AR-SMT-style full redundancy: instruction removal is
+  disabled (empty trigger set), so the A-stream executes the complete
+  program and *every* instruction is redundantly executed and
+  compared.  Fault coverage of pipeline transients is complete (at the
+  cost of the slipstream speedup); the delay buffer still feeds the
+  R-stream perfect predictions, so the overhead over a single core is
+  small — the AR-SMT observation the paper builds on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence
+
+from repro.core.slipstream import (
+    SlipstreamConfig,
+    SlipstreamProcessor,
+    SlipstreamResult,
+)
+from repro.isa.program import Program
+from repro.uarch.config import CoreConfig, SS_64x4
+from repro.uarch.core import CoreRunResult, SuperscalarCore
+
+
+class OperatingMode(enum.Enum):
+    THROUGHPUT = "throughput"
+    SLIPSTREAM = "slipstream"
+    RELIABLE = "reliable"
+
+
+@dataclass
+class ModeResult:
+    """Outcome of running the chip in one mode."""
+
+    mode: OperatingMode
+    #: Total retired instructions across all program copies counted
+    #: once per *distinct* program (redundant copies are not work).
+    useful_instructions: int
+    cycles: int
+    #: Fraction of useful instructions redundantly executed/validated.
+    redundancy: float
+    core_results: List[object]
+
+    @property
+    def throughput_ipc(self) -> float:
+        return self.useful_instructions / self.cycles if self.cycles else 0.0
+
+
+def reliable_config(base: Optional[SlipstreamConfig] = None) -> SlipstreamConfig:
+    """AR-SMT: the slipstream machine with instruction removal disabled."""
+    return replace(base or SlipstreamConfig(), removal_triggers=())
+
+
+def run_mode(
+    mode: OperatingMode,
+    programs: Sequence[Program],
+    core: CoreConfig = SS_64x4,
+    config: Optional[SlipstreamConfig] = None,
+) -> ModeResult:
+    """Run the two-context chip in the requested mode.
+
+    ``THROUGHPUT`` takes one or two programs (two cores, one each);
+    ``SLIPSTREAM`` and ``RELIABLE`` take exactly one program (both
+    contexts run it).
+    """
+    if mode is OperatingMode.THROUGHPUT:
+        if not 1 <= len(programs) <= 2:
+            raise ValueError("throughput mode takes one or two programs")
+        results: List[CoreRunResult] = [
+            SuperscalarCore(core, program).run() for program in programs
+        ]
+        return ModeResult(
+            mode=mode,
+            useful_instructions=sum(r.retired for r in results),
+            cycles=max(r.cycles for r in results),
+            redundancy=0.0,
+            core_results=results,
+        )
+
+    if len(programs) != 1:
+        raise ValueError(f"{mode.value} mode takes exactly one program")
+    program = programs[0]
+    if mode is OperatingMode.RELIABLE:
+        slip_config = reliable_config(config)
+    else:
+        slip_config = config or SlipstreamConfig()
+    result: SlipstreamResult = SlipstreamProcessor(program, slip_config).run()
+    redundancy = result.a_executed / result.retired if result.retired else 0.0
+    return ModeResult(
+        mode=mode,
+        useful_instructions=result.retired,
+        cycles=result.cycles,
+        redundancy=min(redundancy, 1.0),
+        core_results=[result],
+    )

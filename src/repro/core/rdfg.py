@@ -1,0 +1,108 @@
+"""Per-trace reverse dataflow graph (R-DFG) with back-propagation.
+
+Each trace in the IR-detector's scope owns an R-DFG over its own
+instructions.  Edges connect consumers to producers *within the same
+trace only* (paper: "If the producer is not in the same trace, no
+connection is made"); consumption from another trace merely marks the
+producer as externally referenced, which disqualifies it from
+back-propagated removal.
+
+Selection rules:
+
+* a node is selected directly by a trigger (BR at merge, SV at merge,
+  WW at kill);
+* a killed, unselected node with at least one consumer, all consumers
+  in the same trace and all selected, is selected with
+  ``PROPAGATED | union(consumer base flags)``.
+
+Selection cascades: selecting a node may complete the conditions for
+its producers.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.removal import RemovalKind
+
+_BASE_FLAGS = RemovalKind.BR | RemovalKind.WW | RemovalKind.SV
+
+
+class RDFGNode:
+    """One instruction in a trace's R-DFG."""
+
+    __slots__ = (
+        "trace_seq",
+        "index",
+        "producers",
+        "consumers",
+        "killed",
+        "selected",
+        "kind",
+        "external_ref",
+        "removable",
+    )
+
+    def __init__(self, trace_seq: int, index: int, removable: bool = True):
+        self.trace_seq = trace_seq
+        self.index = index
+        self.producers: List["RDFGNode"] = []
+        self.consumers: List["RDFGNode"] = []
+        self.killed = False
+        self.selected = False
+        self.kind = RemovalKind.NONE
+        self.external_ref = False
+        #: Instructions that must never be removed (indirect jumps,
+        #: program output, halt) regardless of dataflow.
+        self.removable = removable
+
+
+def connect(producer: RDFGNode, consumer: RDFGNode) -> None:
+    """Record a dependence; same-trace edges only, else external ref."""
+    if producer.trace_seq == consumer.trace_seq:
+        producer.consumers.append(consumer)
+        consumer.producers.append(producer)
+    else:
+        producer.external_ref = True
+
+
+def select(node: RDFGNode, kind: RemovalKind) -> bool:
+    """Select a node for removal; cascades to its producers.
+
+    Returns True if the node was newly selected.
+    """
+    if node.selected or not node.removable:
+        return False
+    node.selected = True
+    node.kind = kind
+    for producer in node.producers:
+        try_propagate(producer)
+    return True
+
+
+def kill(node: RDFGNode, unreferenced: bool) -> None:
+    """The node's value has been overwritten; all consumers are known.
+
+    An unreferenced kill is the WW trigger; otherwise the node may now
+    satisfy the back-propagation condition.
+    """
+    node.killed = True
+    if unreferenced and not node.selected:
+        select(node, RemovalKind.WW)
+    else:
+        try_propagate(node)
+
+
+def try_propagate(node: RDFGNode) -> None:
+    """Select the node if killed, unselected, and all consumers (same
+    trace, at least one) are selected."""
+    if node.selected or not node.killed or node.external_ref or not node.removable:
+        return
+    if not node.consumers:
+        return
+    inherited = RemovalKind.NONE
+    for consumer in node.consumers:
+        if not consumer.selected:
+            return
+        inherited |= consumer.kind & _BASE_FLAGS
+    select(node, RemovalKind.PROPAGATED | inherited)

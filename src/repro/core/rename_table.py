@@ -1,0 +1,125 @@
+"""Operand rename table (paper, Figure 3).
+
+Similar to a register renamer but tracking *both* registers and memory
+addresses.  Each live entry records the most recent producer of a
+location, the value it wrote, and whether the value has been referenced.
+It performs the data-dependence checks needed to merge instructions
+into R-DFGs and detects the two ineffectual-write triggers:
+
+* **non-modifying write (SV)** — the new value equals the entry's value;
+* **unreferenced write (WW)** — the old producer is overwritten with its
+  ref bit still clear.
+
+Operands are ``("r", reg)`` or ``("m", addr)`` tuples.  Entries are
+invalidated when their producer's trace leaves the IR-detector's
+analysis scope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+Operand = Tuple[str, int]
+
+
+def reg_operand(reg: int) -> Operand:
+    return ("r", reg)
+
+
+def mem_operand(addr: int) -> Operand:
+    return ("m", addr)
+
+
+class Entry:
+    """One rename-table entry: {valid, ref, value, producer}.
+
+    Validity is represented by presence in the table.  ``producer`` is
+    the R-DFG node of the live producer.  ``last_write_seq`` is the
+    trace of the most recent write *including non-modifying writes*:
+    an entry is invalidated only when its last writer leaves the
+    analysis scope, so a location kept fresh by an ongoing stream of
+    silent writes stays tracked (its live producer may be older than
+    the scope — selection decisions for that producer have already been
+    emitted, which is exactly the paper's scope limitation).
+    """
+
+    __slots__ = ("value", "producer", "ref", "last_write_seq")
+
+    def __init__(self, value: int, producer) -> None:
+        self.value = value
+        self.producer = producer
+        self.ref = False
+        self.last_write_seq = producer.trace_seq if producer is not None else 0
+
+
+@dataclass
+class WriteOutcome:
+    """Result of recording a write.
+
+    ``silent`` — the write was non-modifying (SV trigger; the old
+    producer remains live).
+    ``killed`` — the old producer node whose value this write
+    overwrote, or None.
+    ``killed_unreferenced`` — the killed producer's ref bit was clear
+    (WW trigger).
+    """
+
+    silent: bool = False
+    killed: Optional[object] = None
+    killed_unreferenced: bool = False
+
+
+class OperandRenameTable:
+    """Tracks the most recent producer of every live location."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[Operand, Entry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def read(self, operand: Operand):
+        """Record a read; returns the live producer node or None.
+
+        Sets the entry's ref bit (the value has been used).
+        """
+        entry = self._entries.get(operand)
+        if entry is None:
+            return None
+        entry.ref = True
+        return entry.producer
+
+    def peek_value(self, operand: Operand) -> Optional[int]:
+        entry = self._entries.get(operand)
+        return entry.value if entry is not None else None
+
+    def write(
+        self, operand: Operand, value: int, producer, detect_silent: bool = True
+    ) -> WriteOutcome:
+        """Record a write; detects SV/WW triggers and kills old values.
+
+        On a non-modifying write the table is left unchanged — the old
+        producer remains live (paper, section 2.1.2).  With
+        ``detect_silent=False`` (branch-only removal mode) equal values
+        still replace the producer.
+        """
+        entry = self._entries.get(operand)
+        if entry is not None:
+            if detect_silent and entry.value == value:
+                entry.last_write_seq = producer.trace_seq
+                return WriteOutcome(silent=True)
+            outcome = WriteOutcome(
+                killed=entry.producer, killed_unreferenced=not entry.ref
+            )
+            self._entries[operand] = Entry(value, producer)
+            return outcome
+        self._entries[operand] = Entry(value, producer)
+        return WriteOutcome()
+
+    def invalidate_if_stale(self, operand: Operand, trace_seq: int) -> None:
+        """Drop the entry if its most recent writer belongs to the trace
+        leaving the analysis scope (no newer write refreshed it)."""
+        entry = self._entries.get(operand)
+        if entry is not None and entry.last_write_seq == trace_seq:
+            del self._entries[operand]

@@ -1,0 +1,777 @@
+"""The slipstream processor: A-stream / R-stream co-simulation.
+
+Implements the CMP(2x64x4) model of Figure 1: two conventional cores,
+the leading **A-stream** running the speculatively-reduced program and
+the trailing **R-stream** running the full program, connected by the
+delay buffer, IR-predictor, IR-detector and recovery controller.
+
+Co-simulation proceeds trace by trace:
+
+1.  **A-phase** — the IR-predictor predicts the next trace (the trace
+    predictor supplies the id; the removal table supplies a confident
+    ir-vec, if any).  The A-stream fetches along the predicted path,
+    skipping removed instructions, executing the rest against its own
+    architectural context, and detecting *conventional* mispredictions
+    at branches it executes.  Executed instructions are scheduled on
+    the A-core's timing model with chunk-skipping fetch; outcomes are
+    pushed into the delay buffer (with capacity backpressure).
+
+2.  **R-phase** — the R-stream pops the outcome group and executes its
+    own, architecturally-correct path, using the A-stream's branch
+    outcomes to direct fetch and its operand values as value
+    predictions (delay-buffer arrival replaces producer-completion in
+    the timing model).  Every redundantly-executed instruction is
+    compared; every removed branch's presumed outcome is checked; any
+    mismatch is an **IR-misprediction** (or a transient fault — the
+    two are indistinguishable, section 3).  Retired R-stream traces
+    feed the IR-detector, whose retiring analyses train the
+    IR-predictor, verify predicted ir-vecs (early IR-misprediction
+    detection) and release recovery-controller store tracking.
+
+3.  **Recovery** — on an IR-misprediction the R-core flushes (a
+    redirect), the A-stream's register file is copied from the
+    R-stream's and the tracked memory locations restored, the delay
+    buffer is flushed, and the A-stream restarts at the R-stream's PC
+    after the paper's recovery latency (21-cycle minimum).
+
+The model is honest about corruption: an erroneous removal really does
+corrupt the A-stream's context, which then really does run down wrong
+paths until the R-stream's redundant computation exposes it.  A
+recovery *audit* (enabled by default) verifies the paper's claim that
+the recovery controller's tracked address set suffices to repair the
+A-stream's memory; any shortfall is repaired (keeping the simulation
+sound) and counted, and tests assert the count is zero.
+
+IPC is retired R-stream instructions (the full program, counted once)
+divided by the cycles for **both** streams to complete (section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.arch.executor import DynInstr, ExecutionError, execute_one
+from repro.arch.state import ArchState
+from repro.core.delay_buffer import DelayBuffer
+from repro.core.ir_detector import IRDetector, TraceAnalysis
+from repro.core.ir_predictor import IRPredictor, IRPredictorConfig, RemovalPrediction
+from repro.core.pc_ir_predictor import PCIRPredictor, PCIRPredictorConfig
+from repro.core.recovery import RecoveryController
+from repro.core.removal import RemovalKind, removal_category
+from repro.isa.instructions import InstrClass, WORD
+from repro.isa.program import Program
+from repro.trace.predictor import TracePredictorConfig
+from repro.trace.selection import (
+    CompletedTrace,
+    PredictedStep,
+    StaticTraceWalker,
+    TraceExpansionError,
+    TRACE_LENGTH,
+    trace_id_of,
+)
+from repro.trace.trace_id import TraceId
+from repro.uarch.cache import Cache
+from repro.uarch.config import CoreConfig, SS_64x4
+from repro.uarch.latencies import latency_of
+from repro.uarch.scheduler import InstrTiming, OoOScheduler
+
+#: Fault-injection hook: called for every retired instruction of either
+#: stream.  ``stream`` is "A" or "R"; ``compared`` tells whether the
+#: R-stream instruction is redundantly executed (validated against the
+#: A-stream).  May mutate ``state`` (architectural fault) and/or return
+#: a replacement record (fault visible to the comparison hardware).
+FaultHook = Callable[[str, DynInstr, ArchState, bool], DynInstr]
+
+_NEVER_REMOVED = (InstrClass.JUMP_INDIRECT, InstrClass.OUT, InstrClass.HALT)
+
+
+class SimulationError(Exception):
+    """The co-simulation failed to make forward progress."""
+
+
+@dataclass(frozen=True)
+class SlipstreamConfig:
+    """Configuration of the full slipstream CMP (paper, Table 2)."""
+
+    core: CoreConfig = SS_64x4
+    #: Optional per-stream core overrides.  The default (None) gives
+    #: both streams a full ``core`` each — the paper's CMP(2x64x4).
+    #: Setting them to complementary slices of one big core models the
+    #: SMT implementation the paper leaves as future work (section 5):
+    #: a statically-partitioned 8-wide SMT, e.g. a 3-wide A-stream
+    #: partition and a 5-wide R-stream partition sharing a 128-entry
+    #: ROB (see ``repro.core.smt``).
+    a_core: Optional[CoreConfig] = None
+    r_core: Optional[CoreConfig] = None
+    trace_length: int = TRACE_LENGTH
+    ir_scope_traces: int = 8
+    confidence_threshold: int = 32
+    delay_buffer_capacity: int = 256
+    transfer_latency: int = 1
+    removal_triggers: Tuple[str, ...] = ("BR", "WW", "SV")
+    #: Removal decision mechanism: "trace" (the paper's design —
+    #: per-trace ir-vecs with a single confidence counter on the
+    #: predictor entry) or "pc" (the paper's sketched future-work
+    #: mechanism: per-instruction confidence, no trace confinement of
+    #: the decision; see repro.core.pc_ir_predictor).
+    removal_mechanism: str = "trace"
+    #: Front-end overhead of merging delay-buffer records in the
+    #: R-stream: extra cycles per fetch block as a rational
+    #: (numerator, denominator).  See OoOScheduler.
+    rstream_merge_overhead: Tuple[int, int] = (1, 2)
+    #: Delay-buffer data-flow read ports: at most this many merged
+    #: (value-predicted) instructions dispatch per cycle in the R-stream.
+    delay_merge_width: int = 3
+    predictor: TracePredictorConfig = field(default_factory=TracePredictorConfig)
+    max_instructions: int = 50_000_000
+
+
+@dataclass
+class SlipstreamResult:
+    """Results of one slipstream run."""
+
+    benchmark: str
+    retired: int
+    a_cycles: int
+    r_cycles: int
+    a_executed: int
+    a_removed: int
+    removed_by_category: Dict[str, int]
+    branch_mispredictions: int
+    ir_mispredictions: int
+    ir_penalty_total: int
+    detections: Dict[str, int]
+    recovery_max_outstanding: int
+    recovery_audit_shortfalls: int
+    delay_buffer_backpressure: int
+    output: List[int]
+
+    @property
+    def cycles(self) -> int:
+        """Total execution time: both streams must complete."""
+        return max(self.a_cycles, self.r_cycles)
+
+    @property
+    def ipc(self) -> float:
+        return self.retired / self.cycles if self.cycles else 0.0
+
+    @property
+    def removal_fraction(self) -> float:
+        return self.a_removed / self.retired if self.retired else 0.0
+
+    @property
+    def mispredictions_per_1000(self) -> float:
+        return 1000.0 * self.branch_mispredictions / self.retired if self.retired else 0.0
+
+    @property
+    def ir_mispredictions_per_1000(self) -> float:
+        return 1000.0 * self.ir_mispredictions / self.retired if self.retired else 0.0
+
+    @property
+    def avg_ir_penalty(self) -> float:
+        if not self.ir_mispredictions:
+            return 0.0
+        return self.ir_penalty_total / self.ir_mispredictions
+
+
+class _FollowedStep:
+    """One instruction along the path the A-stream actually followed."""
+
+    __slots__ = ("pc", "instr", "executed", "kind", "dyn", "pred_taken",
+                 "mispredicted", "a_retire")
+
+    def __init__(self, pc, instr, executed, kind=RemovalKind.NONE, dyn=None,
+                 pred_taken=False):
+        self.pc = pc
+        self.instr = instr
+        self.executed = executed
+        self.kind = kind
+        self.dyn = dyn
+        self.pred_taken = pred_taken
+        #: A-stream-detected conventional misprediction at this branch.
+        self.mispredicted = False
+        #: A-core cycle at which this instruction retired (entered the
+        #: delay buffer); 0 for removed instructions.
+        self.a_retire = 0
+
+
+class _ATraceRecord:
+    """One delay-buffer outcome group: an A-stream trace's outcomes."""
+
+    __slots__ = ("steps", "followed_tid", "applied_removal", "available_cycle",
+                 "a_halted", "pushed")
+
+    def __init__(self, steps, followed_tid, applied_removal, a_halted):
+        self.steps: List[_FollowedStep] = steps
+        self.followed_tid: TraceId = followed_tid
+        self.applied_removal: bool = applied_removal
+        self.available_cycle = 0
+        self.a_halted = a_halted
+        self.pushed = False
+
+
+class SlipstreamProcessor:
+    """Co-simulates the two streams of a slipstream CMP."""
+
+    def __init__(
+        self,
+        program: Program,
+        config: Optional[SlipstreamConfig] = None,
+        fault_hook: Optional[FaultHook] = None,
+    ):
+        self.program = program
+        self.config = config or SlipstreamConfig()
+        self.fault_hook = fault_hook
+
+        cfg = self.config
+        if cfg.removal_mechanism not in ("trace", "pc"):
+            raise ValueError(
+                f"unknown removal mechanism {cfg.removal_mechanism!r}"
+            )
+        self.ir_predictor = IRPredictor(
+            IRPredictorConfig(
+                confidence_threshold=cfg.confidence_threshold,
+                trace_predictor=cfg.predictor,
+            )
+        )
+        self.pc_ir = PCIRPredictor(
+            PCIRPredictorConfig(confidence_threshold=cfg.confidence_threshold)
+        )
+        self.detector = IRDetector(cfg.ir_scope_traces, cfg.removal_triggers)
+        self.delay_buffer = DelayBuffer(cfg.delay_buffer_capacity, cfg.transfer_latency)
+        self.recovery = RecoveryController()
+        self.walker = StaticTraceWalker(program, cfg.trace_length)
+        self._expansion_cache: Dict[TraceId, List[PredictedStep]] = {}
+
+        # Two cores (or two SMT partitions) with private caches and
+        # schedulers.
+        self.a_core = cfg.a_core or cfg.core
+        self.r_core = cfg.r_core or cfg.core
+        self.a_sched = OoOScheduler(self.a_core)
+        self.r_sched = OoOScheduler(
+            self.r_core,
+            block_overhead=cfg.rstream_merge_overhead,
+            merge_width=min(cfg.delay_merge_width, self.r_core.dispatch_width),
+        )
+        self.a_icache = Cache(self.a_core.icache)
+        self.a_dcache = Cache(self.a_core.dcache)
+        self.r_icache = Cache(self.r_core.icache)
+        self.r_dcache = Cache(self.r_core.dcache)
+
+        # Architectural contexts: the OS instantiates the program twice.
+        initial = ArchState(image=program.data)
+        self.a_state = initial
+        self.r_state = initial.fork()
+        self.a_pc = program.entry
+        self.r_pc = program.entry
+
+        # Per-stream fetch-block state (blocks persist across traces).
+        self._a_block_count = 0
+        self._a_block_pending = True
+        self._r_block_count = 0
+        self._r_block_break = True
+
+        # Statistics.
+        self.retired = 0
+        self.a_executed = 0
+        self.a_removed = 0
+        self.removed_by_category: Dict[str, int] = {}
+        self.branch_mispredictions = 0
+        self.ir_mispredictions = 0
+        self.ir_penalty_total = 0
+        self.detections: Dict[str, int] = {"value": 0, "control": 0, "ir_detector": 0}
+        self.audit_shortfalls = 0
+
+        self._a_seq = 0
+        self._r_seq = 0
+        self._a_last_complete = 0
+        self._a_last_retire = 0
+        #: detector trace seq -> applied removal bits, for the predicted
+        #: vs computed ir-vec verification.
+        self._pending_vec_checks: Dict[int, List[bool]] = {}
+        #: per fed trace, whether each instruction's branch outcome
+        #: matched the A-stream's prediction (FIFO aligned with the
+        #: detector's analyses; trains the per-instruction mechanism).
+        self._pending_branch_ok: List[List[bool]] = []
+        self._detector_seq = 0
+
+    # ==================================================================
+    # Top level.
+    # ==================================================================
+
+    def run(self) -> SlipstreamResult:
+        """Run the program to completion under slipstream execution."""
+        guard = 0
+        limit = self.config.max_instructions
+        while not self.r_state.halted:
+            record = self._a_phase()
+            self._r_phase(record)
+            guard += 1
+            if self.retired > limit:
+                raise SimulationError(
+                    f"{self.program.name}: exceeded {limit} retired instructions"
+                )
+            if guard > limit:
+                raise SimulationError("no forward progress")
+        # Final detector drain: train with the remaining traces.
+        for analysis in self.detector.drain():
+            self._handle_analysis(analysis)
+        return SlipstreamResult(
+            benchmark=self.program.name,
+            retired=self.retired,
+            a_cycles=self.a_sched.total_cycles,
+            r_cycles=self.r_sched.total_cycles,
+            a_executed=self.a_executed,
+            a_removed=self.a_removed,
+            removed_by_category=dict(self.removed_by_category),
+            branch_mispredictions=self.branch_mispredictions,
+            ir_mispredictions=self.ir_mispredictions,
+            ir_penalty_total=self.ir_penalty_total,
+            detections=dict(self.detections),
+            recovery_max_outstanding=self.recovery.max_outstanding,
+            recovery_audit_shortfalls=self.audit_shortfalls,
+            delay_buffer_backpressure=self.delay_buffer.backpressure_events,
+            output=list(self.r_state.output),
+        )
+
+    # ==================================================================
+    # A-phase: fetch/execute one trace in the A-stream.
+    # ==================================================================
+
+    def _a_phase(self) -> _ATraceRecord:
+        if self.a_state.halted:
+            # Defensive: the A-stream believes the program is over while
+            # the R-stream is still running; emit an empty group so the
+            # R-phase can expose the deviation.
+            record = _ATraceRecord([], TraceId(self.a_pc, ()), False, True)
+            record.available_cycle = self._a_last_retire + self.config.transfer_latency
+            return record
+
+        prediction = self.ir_predictor.predict()
+        steps_static: Optional[List[PredictedStep]] = None
+        removal: Optional[RemovalPrediction] = None
+        charged = False
+        if prediction.trace_id is not None:
+            if prediction.trace_id.start_pc == self.a_pc:
+                steps_static = self._expand(prediction.trace_id)
+                if steps_static is not None:
+                    if self.config.removal_mechanism == "pc":
+                        vec = tuple(
+                            self.pc_ir.removable(st.pc) for st in steps_static
+                        )
+                        if any(vec):
+                            removal = RemovalPrediction(
+                                vec,
+                                tuple(self.pc_ir.kind_of(st.pc)
+                                      for st in steps_static),
+                            )
+                    else:
+                        removal = prediction.removal
+            else:
+                # Wrong next-trace start PC: a boundary misprediction,
+                # resolved when the previous trace's last instruction
+                # completes.
+                self.branch_mispredictions += 1
+                self.a_sched.redirect(self._a_last_complete)
+                charged = True
+
+        steps, a_halted = self._follow(steps_static, removal, charged)
+        applied = removal is not None
+
+        followed_tid = _trace_id_of_steps(steps, self.a_pc)
+        self._schedule_a_trace(steps)
+        record = _ATraceRecord(steps, followed_tid, applied, a_halted)
+
+        # Advance the A-stream PC past the trace.
+        if steps:
+            self.a_pc = _next_pc_of(steps[-1])
+
+        # Push outcomes into the delay buffer; backpressure stalls the
+        # A-stream's subsequent fetch until the R-stream drains.
+        # Entries stream into the FIFO as the A-stream retires them, so
+        # the R-stream may start on the group as soon as its *first*
+        # entry arrives (per-instruction availability comes from each
+        # step's ``a_retire``); a backpressured push delays the whole
+        # group conservatively.
+        executed_count = sum(1 for s in steps if s.executed)
+        push_cycle = self.delay_buffer.push(max(executed_count, 1), self._a_last_retire)
+        record.pushed = True
+        first_retire = next(
+            (s.a_retire for s in steps if s.executed), self._a_last_retire
+        )
+        if push_cycle > self._a_last_retire:
+            self.a_sched.stall_fetch_until(push_cycle)
+            first_retire = push_cycle
+        record.available_cycle = first_retire + self.config.transfer_latency
+        return record
+
+    def _expand(self, tid: TraceId) -> Optional[List[PredictedStep]]:
+        steps = self._expansion_cache.get(tid)
+        if steps is not None:
+            return steps
+        try:
+            steps = self.walker.expand(tid)
+        except TraceExpansionError:
+            return None
+        if len(self._expansion_cache) > (1 << 16):
+            self._expansion_cache.clear()
+        self._expansion_cache[tid] = steps
+        return steps
+
+    def _follow(
+        self,
+        steps_static: Optional[List[PredictedStep]],
+        removal: Optional[RemovalPrediction],
+        charged: bool,
+    ) -> Tuple[List[_FollowedStep], bool]:
+        """Fetch/execute one *canonical* A-stream trace.
+
+        The trace always runs to the static selection policy's boundary
+        (``trace_length`` instructions, or an indirect jump / halt), so
+        the A-stream's trace stream stays aligned with the detector's
+        and the predictor's — a conventional misprediction redirects
+        fetch (one charge per trace) but does not shorten the trace.
+
+        While the prediction holds, removed instructions are skipped
+        and removed branches' outcomes presumed.  After the first
+        divergence (or with no prediction at all) the A-stream executes
+        directly with sequential/BTB fetch, charging at most one
+        misprediction at the first point such fetch would lose.
+        """
+        steps: List[_FollowedStep] = []
+        pc = self.a_pc
+        diverged = steps_static is None
+        for index in range(self.config.trace_length):
+            st: Optional[PredictedStep] = None
+            if not diverged and index < len(steps_static):
+                st = steps_static[index]
+            if st is not None and removal is not None \
+                    and index < len(removal.ir_vec) and removal.ir_vec[index] \
+                    and st.instr.klass not in _NEVER_REMOVED:
+                kind = removal.kinds[index]
+                steps.append(
+                    _FollowedStep(st.pc, st.instr, False, kind=kind,
+                                  pred_taken=st.taken)
+                )
+                self.a_removed += 1
+                category = removal_category(kind)
+                self.removed_by_category[category] = (
+                    self.removed_by_category.get(category, 0) + 1
+                )
+                pc = _next_pc_of(steps[-1])
+                continue
+            dyn = self._a_execute(pc)
+            if dyn is None:  # execution fault on a corrupt path
+                break
+            step = _FollowedStep(pc, dyn.instr, True, dyn=dyn,
+                                 pred_taken=st.taken if st is not None else dyn.taken)
+            steps.append(step)
+            if self.a_state.halted:
+                return steps, True
+            if st is not None:
+                if dyn.instr.is_branch and dyn.taken != st.taken:
+                    # Conventional misprediction, detected by the
+                    # A-stream: fetch redirects; the trace continues to
+                    # its canonical boundary without the prediction.
+                    diverged = True
+                    if not charged:
+                        step.mispredicted = True
+                        self.branch_mispredictions += 1
+                        charged = True
+            else:
+                if not charged and (
+                    (dyn.instr.is_branch and dyn.taken)
+                    or dyn.instr.klass is InstrClass.JUMP_INDIRECT
+                ):
+                    step.mispredicted = True
+                    self.branch_mispredictions += 1
+                    charged = True
+            if dyn.instr.klass in (InstrClass.JUMP_INDIRECT, InstrClass.HALT):
+                break
+            pc = dyn.next_pc
+        return steps, False
+
+    def _a_execute(self, pc: int) -> Optional[DynInstr]:
+        """Execute one instruction in the A-stream's context.
+
+        Returns None if execution faults (corrupt state drove the
+        A-stream onto an invalid path); the A-stream then idles until
+        the R-stream exposes the deviation and recovery restarts it.
+        """
+        try:
+            dyn = execute_one(self.program, self.a_state, pc, seq=self._a_seq)
+        except (ExecutionError, ValueError, IndexError):
+            return None
+        self._a_seq += 1
+        self.a_executed += 1
+        if self.fault_hook is not None:
+            dyn = self.fault_hook("A", dyn, self.a_state, True)
+        if dyn.is_store and dyn.mem_addr is not None:
+            self.recovery.track_undo(dyn.mem_addr)
+        return dyn
+
+    def _schedule_a_trace(self, steps: List[_FollowedStep]) -> None:
+        """Schedule the A-stream's executed instructions with
+        chunk-skipping fetch: blocks break at taken control transfers
+        (executed or presumed) and at the fetch width, and continue
+        across trace boundaries; removed instructions consume no fetch
+        slots (the stored intermediate PCs let the front end skip the
+        removed chunks entirely, Figure 2)."""
+        cfg = self.a_core
+        for step in steps:
+            if step.executed:
+                dyn = step.dyn
+                icache_penalty = 0
+                if not self.a_icache.probe(dyn.pc):
+                    icache_penalty = cfg.icache.miss_penalty
+                    self._a_block_pending = True
+                new_block = (
+                    self._a_block_pending or self._a_block_count >= cfg.fetch_width
+                )
+                if new_block:
+                    self._a_block_count = 0
+                    self._a_block_pending = False
+                self._a_block_count += 1
+                dcache_penalty = 0
+                if dyn.mem_addr is not None and not self.a_dcache.probe(dyn.mem_addr):
+                    dcache_penalty = cfg.dcache.miss_penalty
+                ts = self.a_sched.add(
+                    InstrTiming(
+                        new_block=new_block,
+                        icache_penalty=icache_penalty,
+                        srcs=dyn.instr.src_regs(),
+                        dest=dyn.dest_reg,
+                        latency=latency_of(dyn.instr),
+                        is_load=dyn.is_load,
+                        is_store=dyn.is_store,
+                        mem_addr=dyn.mem_addr,
+                        dcache_penalty=dcache_penalty,
+                    )
+                )
+                self._a_last_complete = ts.complete
+                self._a_last_retire = ts.retire
+                step.a_retire = ts.retire
+                if step.mispredicted:
+                    self.a_sched.redirect(ts.complete)
+                    self._a_block_pending = True
+                taken = dyn.taken
+            else:
+                taken = step.pred_taken and step.instr.is_control
+            if taken:
+                self._a_block_pending = True
+
+    # ==================================================================
+    # R-phase: consume one delay-buffer group in the R-stream.
+    # ==================================================================
+
+    def _r_phase(self, record: _ATraceRecord) -> None:
+        available = record.available_cycle
+        self.r_sched.stall_fetch_until(available)
+
+        executed: List[DynInstr] = []
+        branch_ok: List[bool] = []
+        deviation: Optional[Tuple[str, int]] = None  # (kind, detect_cycle)
+        last_complete = self.r_sched.total_cycles
+
+        for step in record.steps:
+            if self.r_state.halted:
+                break
+            if self.r_pc != step.pc:
+                # Control deviation the A-stream did not know about
+                # (removed mispredicted branch, or corrupt A context).
+                deviation = ("control", last_complete)
+                break
+            dyn = self._r_execute(step)
+            last_complete = self._schedule_r_instr(dyn, step, available)
+            executed.append(dyn)
+            branch_ok.append(
+                not dyn.instr.is_branch or dyn.taken == step.pred_taken
+            )
+
+            if step.executed:
+                if _mismatch(step.dyn, dyn):
+                    deviation = ("value", last_complete)
+                    self.r_pc = dyn.next_pc
+                    break
+                if dyn.is_store and step.dyn.mem_addr is not None:
+                    self.recovery.untrack_undo(step.dyn.mem_addr)
+            else:
+                if dyn.instr.is_branch and dyn.taken != step.pred_taken:
+                    # A removed branch whose presumed outcome was wrong.
+                    deviation = ("control", last_complete)
+                    self.r_pc = dyn.next_pc
+                    break
+                if dyn.is_store and dyn.mem_addr is not None:
+                    self.recovery.track_do(dyn.mem_addr, self._detector_seq)
+            self.r_pc = dyn.next_pc
+
+        # Feed the IR-detector with what the R-stream actually retired,
+        # train the IR-predictor, and verify outstanding ir-vecs.
+        if executed:
+            actual_tid = trace_id_of(executed)
+            self.ir_predictor.update_path(actual_tid)
+            if record.applied_removal and deviation is None:
+                self._pending_vec_checks[self._detector_seq] = [
+                    not s.executed for s in record.steps
+                ]
+            analyses = self.detector.feed_trace(CompletedTrace(executed, actual_tid))
+            self._detector_seq += 1
+            self._pending_branch_ok.append(branch_ok)
+            for analysis in analyses:
+                if self._handle_analysis(analysis) and deviation is None:
+                    deviation = ("ir_detector", last_complete)
+
+        if deviation is None and not self.r_state.halted:
+            if record.a_halted or not record.steps:
+                # The A-stream halted or stalled on a wrong path.
+                deviation = ("control", last_complete)
+
+        if deviation is not None:
+            self._recover(deviation[0], deviation[1])
+        elif record.pushed:
+            self.delay_buffer.mark_popped(self.r_sched.total_cycles)
+
+    def _r_execute(self, step: _FollowedStep) -> DynInstr:
+        dyn = execute_one(self.program, self.r_state, self.r_pc, seq=self._r_seq)
+        self._r_seq += 1
+        self.retired += 1
+        if self.fault_hook is not None:
+            dyn = self.fault_hook("R", dyn, self.r_state, step.executed)
+        return dyn
+
+    def _schedule_r_instr(self, dyn: DynInstr, step: _FollowedStep, available: int) -> int:
+        cfg = self.r_core
+        icache_penalty = 0
+        if not self.r_icache.probe(dyn.pc):
+            icache_penalty = cfg.icache.miss_penalty
+            self._r_block_break = True
+        new_block = self._r_block_break or self._r_block_count >= cfg.fetch_width
+        if new_block:
+            self._r_block_count = 0
+            self._r_block_break = False
+        self._r_block_count += 1
+        if dyn.is_control and dyn.taken:
+            self._r_block_break = True
+        dcache_penalty = 0
+        if dyn.mem_addr is not None and not self.r_dcache.probe(dyn.mem_addr):
+            dcache_penalty = cfg.dcache.miss_penalty
+        ts = self.r_sched.add(
+            InstrTiming(
+                new_block=new_block,
+                icache_penalty=icache_penalty,
+                srcs=dyn.instr.src_regs(),
+                dest=dyn.dest_reg,
+                latency=latency_of(dyn.instr),
+                is_load=dyn.is_load,
+                is_store=dyn.is_store,
+                mem_addr=dyn.mem_addr,
+                dcache_penalty=dcache_penalty,
+                ready_override=(
+                    max(step.a_retire + self.config.transfer_latency, available)
+                    if step.executed
+                    else None
+                ),
+                merged=step.executed,
+            )
+        )
+        return ts.complete
+
+    # ==================================================================
+    # IR-detector analysis handling and recovery.
+    # ==================================================================
+
+    def _handle_analysis(self, analysis: TraceAnalysis) -> bool:
+        """Train the predictor and verify the predicted ir-vec.
+
+        Returns True if verification exposed an IR-misprediction: an
+        instruction was removed that the detector's exact re-analysis
+        says was not removable this time.
+        """
+        self.ir_predictor.train_removal(analysis)
+        oks = self._pending_branch_ok.pop(0) if self._pending_branch_ok else []
+        if self.config.removal_mechanism == "pc":
+            for pc, selected, kind, ok in zip(
+                analysis.pcs, analysis.ir_vec, analysis.kinds,
+                oks or [True] * len(analysis.pcs),
+            ):
+                self.pc_ir.train(pc, selected, kind, ok)
+        predicted = self._pending_vec_checks.pop(analysis.trace_seq, None)
+        if predicted is not None:
+            for removed, computed in zip(predicted, analysis.ir_vec):
+                if removed and not computed:
+                    return True
+        self.recovery.release_verified_trace(analysis.trace_seq)
+        return False
+
+    def _recover(self, kind: str, detect_cycle: int) -> None:
+        """IR-misprediction (or fault) recovery, section 2.3."""
+        self.ir_mispredictions += 1
+        self.detections[kind] = self.detections.get(kind, 0) + 1
+
+        # The R-stream's ROB is flushed: timing redirect.
+        self.r_sched.redirect(detect_cycle)
+        self._r_block_break = True
+
+        # Restore the A-stream context from the R-stream context: the
+        # full register file, then the tracked memory locations.
+        tracked = self.recovery.tracked_addresses()
+        cost = self.recovery.recover()
+        self.a_state.regs.copy_from(self.r_state.regs)
+        self.a_state.halted = self.r_state.halted
+        for addr in tracked:
+            self.a_state.mem.write(addr, self.r_state.mem.read(addr))
+
+        # Audit the sufficiency claim; repair (and count) any shortfall.
+        remaining = self.a_state.mem.differing_addresses(self.r_state.mem)
+        if remaining:
+            self.audit_shortfalls += len(remaining)
+            for addr in remaining:
+                self.a_state.mem.write(addr, self.r_state.mem.read(addr))
+
+        self.ir_penalty_total += cost.latency
+        resume = detect_cycle + cost.latency
+        self.a_sched.stall_fetch_until(resume)
+        if resume > self._a_last_retire:
+            self._a_last_retire = resume
+        if resume > self._a_last_complete:
+            self._a_last_complete = resume
+
+        # Flush the delay buffer; restart the A-stream at the precise
+        # R-stream point.  The predictor's history already reflects only
+        # verified traces (it is trained on the R-stream's retirements).
+        self.delay_buffer.flush()
+        self.a_pc = self.r_pc
+        self._a_block_pending = True
+        self._pending_vec_checks.clear()
+
+
+def _mismatch(a_dyn: DynInstr, r_dyn: DynInstr) -> bool:
+    """Redundant-instruction comparison (the value-prediction check)."""
+    return (
+        a_dyn.value != r_dyn.value
+        or a_dyn.mem_addr != r_dyn.mem_addr
+        or a_dyn.taken != r_dyn.taken
+        or a_dyn.next_pc != r_dyn.next_pc
+    )
+
+
+def _trace_id_of_steps(steps: List[_FollowedStep], start_pc: int) -> TraceId:
+    """Trace id of the path the A-stream followed — presumed outcomes of
+    removed branches included (the delay buffer conveys the complete
+    control history as determined by the A-stream, right or wrong)."""
+    outcomes = []
+    for step in steps:
+        if step.instr.is_branch:
+            outcomes.append(step.dyn.taken if step.executed else step.pred_taken)
+    return TraceId(start_pc, tuple(outcomes))
+
+
+def _next_pc_of(step: _FollowedStep) -> int:
+    if step.executed:
+        return step.dyn.next_pc
+    if step.instr.is_branch:
+        return step.instr.target if step.pred_taken else step.pc + WORD
+    if step.instr.klass is InstrClass.JUMP:
+        return step.instr.target
+    return step.pc + WORD

@@ -1,0 +1,45 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+* :mod:`repro.eval.models` — the three processor models of section 5
+  (SS(64x4), SS(128x8), CMP(2x64x4)) with a per-process result cache so
+  experiments sharing runs (Figure 6 / Figure 8 / Table 3) pay once.
+* :mod:`repro.eval.experiments` — one function per paper artifact:
+  ``table1`` … ``table3``, ``figure6`` … ``figure8``, plus the fault
+  coverage study and the ablations called out in DESIGN.md.
+* :mod:`repro.eval.reporting` — paper-style text rendering.
+"""
+
+from repro.eval.models import (
+    ModelRuns,
+    run_baseline,
+    run_big_core,
+    run_slipstream_model,
+    clear_cache,
+)
+from repro.eval.experiments import (
+    table1,
+    table2,
+    table3,
+    figure6,
+    figure7,
+    figure8,
+    fault_coverage_study,
+)
+from repro.eval.reporting import render_table, render_bar_series
+
+__all__ = [
+    "ModelRuns",
+    "run_baseline",
+    "run_big_core",
+    "run_slipstream_model",
+    "clear_cache",
+    "table1",
+    "table2",
+    "table3",
+    "figure6",
+    "figure7",
+    "figure8",
+    "fault_coverage_study",
+    "render_table",
+    "render_bar_series",
+]

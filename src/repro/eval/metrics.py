@@ -1,0 +1,30 @@
+"""Small metric helpers shared by experiments and benches."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+
+def arithmetic_mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("empty sequence")
+    return sum(values) / len(values)
+
+
+def geometric_mean_speedup(gains_pct: Sequence[float]) -> float:
+    """Geometric mean of speedups expressed as % gains."""
+    if not gains_pct:
+        raise ValueError("empty sequence")
+    product = 1.0
+    for gain in gains_pct:
+        product *= 1.0 + gain / 100.0
+    return (product ** (1.0 / len(gains_pct)) - 1.0) * 100.0
+
+
+def per_1000(count: int, total: int) -> float:
+    return 1000.0 * count / total if total else 0.0
+
+
+def rank_order(values: Dict[str, float]) -> list:
+    """Keys sorted by value, descending — for ordering-shape checks."""
+    return [k for k, _ in sorted(values.items(), key=lambda kv: -kv[1])]

@@ -1,0 +1,96 @@
+"""The three processor models of the evaluation (paper, section 5).
+
+* ``SS(64x4)`` — one conventional 4-way superscalar, 64-entry ROB.
+* ``SS(128x8)`` — one conventional 8-way superscalar, 128-entry ROB.
+* ``CMP(2x64x4)`` — the slipstream processor: two SS(64x4) cores.
+
+All three use the same trace predictor for control-flow prediction, so
+comparisons are direct.  Runs are cached per (benchmark, model, scale,
+variant) within the process: Figure 6, Figure 8 and Table 3 share the
+same underlying simulations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.slipstream import SlipstreamConfig, SlipstreamProcessor, SlipstreamResult
+from repro.uarch.config import SS_128x8, SS_64x4
+from repro.uarch.core import CoreRunResult, SuperscalarCore
+from repro.workloads.suite import get_benchmark
+
+_CACHE: Dict[Tuple, object] = {}
+
+
+def clear_cache() -> None:
+    _CACHE.clear()
+
+
+def run_baseline(benchmark: str, scale: int = 1) -> CoreRunResult:
+    """SS(64x4): the base model."""
+    key = ("ss64", benchmark, scale)
+    if key not in _CACHE:
+        program = get_benchmark(benchmark).program(scale)
+        _CACHE[key] = SuperscalarCore(SS_64x4, program).run()
+    return _CACHE[key]  # type: ignore[return-value]
+
+
+def run_big_core(benchmark: str, scale: int = 1) -> CoreRunResult:
+    """SS(128x8): double the window and width."""
+    key = ("ss128", benchmark, scale)
+    if key not in _CACHE:
+        program = get_benchmark(benchmark).program(scale)
+        _CACHE[key] = SuperscalarCore(SS_128x8, program).run()
+    return _CACHE[key]  # type: ignore[return-value]
+
+
+def run_slipstream_model(
+    benchmark: str,
+    scale: int = 1,
+    removal_triggers: Tuple[str, ...] = ("BR", "WW", "SV"),
+    config: Optional[SlipstreamConfig] = None,
+) -> SlipstreamResult:
+    """CMP(2x64x4): the slipstream processor.
+
+    ``removal_triggers=("BR",)`` reproduces the branch-only removal
+    variant of Figure 8 (bottom).
+    """
+    key = ("cmp", benchmark, scale, removal_triggers, config is None)
+    if key not in _CACHE or config is not None:
+        program = get_benchmark(benchmark).program(scale)
+        cfg = config or SlipstreamConfig(removal_triggers=removal_triggers)
+        result = SlipstreamProcessor(program, cfg).run()
+        if config is not None:
+            return result
+        _CACHE[key] = result
+    return _CACHE[key]  # type: ignore[return-value]
+
+
+@dataclass
+class ModelRuns:
+    """All three models on one benchmark."""
+
+    benchmark: str
+    base: CoreRunResult
+    big: CoreRunResult
+    slip: SlipstreamResult
+
+    @property
+    def slip_gain(self) -> float:
+        """% IPC improvement of CMP(2x64x4) over SS(64x4) (Figure 6)."""
+        return 100.0 * (self.slip.ipc / self.base.ipc - 1.0)
+
+    @property
+    def big_gain(self) -> float:
+        """% IPC improvement of SS(128x8) over SS(64x4) (Figure 7)."""
+        return 100.0 * (self.big.ipc / self.base.ipc - 1.0)
+
+
+def run_all_models(benchmark: str, scale: int = 1) -> ModelRuns:
+    return ModelRuns(
+        benchmark=benchmark,
+        base=run_baseline(benchmark, scale),
+        big=run_big_core(benchmark, scale),
+        slip=run_slipstream_model(benchmark, scale),
+    )

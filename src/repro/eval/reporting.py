@@ -1,0 +1,87 @@
+"""Paper-style text rendering of experiment results."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def render_table(
+    rows: Sequence[Dict],
+    columns: Sequence[str],
+    headers: Optional[Sequence[str]] = None,
+    title: str = "",
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render dict rows as a fixed-width text table."""
+    headers = list(headers or columns)
+    rendered: List[List[str]] = [headers]
+    for row in rows:
+        cells = []
+        for column in columns:
+            value = row.get(column, "")
+            if isinstance(value, float):
+                cells.append(float_format.format(value))
+            else:
+                cells.append(str(value))
+        rendered.append(cells)
+    widths = [max(len(r[i]) for r in rendered) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    for i, cells in enumerate(rendered):
+        lines.append("  ".join(cell.ljust(widths[j]) for j, cell in enumerate(cells)))
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def render_bar_series(
+    rows: Sequence[Dict],
+    label_key: str,
+    value_key: str,
+    title: str = "",
+    unit: str = "%",
+    width: int = 40,
+    vmax: Optional[float] = None,
+) -> str:
+    """Render one numeric series as horizontal ASCII bars (the paper's
+    bar figures, in text)."""
+    values = [float(row[value_key]) for row in rows]
+    top = vmax if vmax is not None else max((abs(v) for v in values), default=1.0)
+    top = top or 1.0
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    label_width = max((len(str(row[label_key])) for row in rows), default=0)
+    for row, value in zip(rows, values):
+        bar = "#" * max(int(round(abs(value) / top * width)), 0)
+        sign = "-" if value < 0 else ""
+        lines.append(
+            f"{str(row[label_key]).ljust(label_width)}  "
+            f"{sign}{bar} {value:.1f}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def render_stacked_fractions(
+    rows: Sequence[Dict],
+    categories: Sequence[str],
+    title: str = "",
+) -> str:
+    """Render Figure 8's stacked-category breakdown as a table of
+    per-category percentages."""
+    table_rows = []
+    for row in rows:
+        entry = {"benchmark": row["benchmark"],
+                 "total": 100.0 * row["total_fraction"]}
+        for category in categories:
+            entry[category] = 100.0 * row["categories"].get(category, 0.0)
+        table_rows.append(entry)
+    return render_table(
+        table_rows,
+        columns=["benchmark", "total", *categories],
+        title=title,
+        float_format="{:.1f}",
+    )

@@ -1,0 +1,34 @@
+"""Transient-fault injection and coverage analysis (paper, section 3).
+
+The slipstream fault-tolerance story: a transient fault manifesting as
+an erroneous value is indistinguishable from an IR-misprediction, so
+the existing detection/recovery machinery transparently handles faults
+that strike *redundantly executed* instructions.  Coverage is partial:
+instructions the A-stream skipped are not compared, and faults that
+corrupt the R-stream's architectural state are unrecoverable (the
+R-stream is the recovery source).
+
+* :mod:`repro.fault.injector` — deterministic single-fault injection
+  at a chosen dynamic instruction, at one of three sites (A-stream
+  result, R-stream transient, R-stream architectural).
+* :mod:`repro.fault.scenarios` — the paper's three analysis scenarios
+  as runnable experiments.
+* :mod:`repro.fault.coverage` — fault-injection campaigns classifying
+  outcomes (detected+recovered / masked / silent corruption /
+  detected-unrecoverable).
+"""
+
+from repro.fault.injector import FaultInjector, FaultSite, TransientFault
+from repro.fault.coverage import FaultOutcome, run_campaign, classify_run
+from repro.fault.scenarios import run_scenario, SCENARIOS
+
+__all__ = [
+    "FaultInjector",
+    "FaultSite",
+    "TransientFault",
+    "FaultOutcome",
+    "run_campaign",
+    "classify_run",
+    "run_scenario",
+    "SCENARIOS",
+]

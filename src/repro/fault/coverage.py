@@ -1,0 +1,160 @@
+"""Fault-injection campaigns and outcome classification.
+
+Each campaign point runs the full slipstream machine with one injected
+fault and classifies the run against a fault-free reference:
+
+* ``DETECTED_RECOVERED`` — the machinery flagged a deviation (an extra
+  "IR-misprediction") and the program output is correct.
+* ``MASKED`` — no deviation flagged, output correct anyway (the
+  corrupted value never influenced architectural results, or the flip
+  hit a value that is re-derived).
+* ``SILENT_CORRUPTION`` — no deviation flagged and the output is
+  wrong: the fault escaped the sphere of replication (scenario #2, or
+  an R-stream architectural hit).
+* ``DETECTED_UNRECOVERABLE`` — a deviation was flagged but the output
+  is still wrong: detection happened, recovery used corrupted
+  R-stream state (the paper's argument for ECC on the R-stream's
+  register file and data cache).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.arch.functional import FunctionalSimulator
+from repro.core.slipstream import SlipstreamConfig, SlipstreamProcessor
+from repro.fault.injector import FaultInjector, FaultSite, TransientFault
+from repro.isa.program import Program
+
+
+class FaultOutcome(enum.Enum):
+    DETECTED_RECOVERED = "detected_recovered"
+    MASKED = "masked"
+    SILENT_CORRUPTION = "silent_corruption"
+    DETECTED_UNRECOVERABLE = "detected_unrecoverable"
+    NOT_FIRED = "not_fired"
+
+
+@dataclass
+class InjectionResult:
+    """Outcome of one fault injection."""
+
+    fault: TransientFault
+    outcome: FaultOutcome
+    struck_compared: Optional[bool]
+    detections: int
+
+
+@dataclass
+class CampaignResult:
+    """Aggregate of a fault-injection campaign."""
+
+    results: List[InjectionResult] = field(default_factory=list)
+
+    def counts(self) -> Dict[FaultOutcome, int]:
+        tally: Dict[FaultOutcome, int] = {}
+        for result in self.results:
+            tally[result.outcome] = tally.get(result.outcome, 0) + 1
+        return tally
+
+    def by_site(self) -> Dict[FaultSite, Dict[FaultOutcome, int]]:
+        grouped: Dict[FaultSite, Dict[FaultOutcome, int]] = {}
+        for result in self.results:
+            site = grouped.setdefault(result.fault.site, {})
+            site[result.outcome] = site.get(result.outcome, 0) + 1
+        return grouped
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of fired, non-masked faults that were handled
+        safely (detected and recovered)."""
+        harmful = [
+            r for r in self.results
+            if r.outcome in (
+                FaultOutcome.DETECTED_RECOVERED,
+                FaultOutcome.SILENT_CORRUPTION,
+                FaultOutcome.DETECTED_UNRECOVERABLE,
+            )
+        ]
+        if not harmful:
+            return 1.0
+        good = sum(
+            1 for r in harmful if r.outcome is FaultOutcome.DETECTED_RECOVERED
+        )
+        return good / len(harmful)
+
+
+def classify_run(
+    reference_output: Sequence[int],
+    injector: FaultInjector,
+    result_output: Sequence[int],
+    baseline_detections: int,
+    detections: int,
+) -> FaultOutcome:
+    """Classify one injected run against the fault-free reference."""
+    if not injector.report.fired:
+        return FaultOutcome.NOT_FIRED
+    correct = list(result_output) == list(reference_output)
+    detected = detections > baseline_detections
+    if correct and detected:
+        return FaultOutcome.DETECTED_RECOVERED
+    if correct:
+        return FaultOutcome.MASKED
+    if detected:
+        return FaultOutcome.DETECTED_UNRECOVERABLE
+    return FaultOutcome.SILENT_CORRUPTION
+
+
+def inject_one(
+    program: Program,
+    fault: TransientFault,
+    config: Optional[SlipstreamConfig] = None,
+    reference_output: Optional[Sequence[int]] = None,
+    baseline_detections: Optional[int] = None,
+) -> InjectionResult:
+    """Run the slipstream machine with one injected fault."""
+    if reference_output is None or baseline_detections is None:
+        clean = SlipstreamProcessor(program, config).run()
+        reference_output = clean.output
+        baseline_detections = clean.ir_mispredictions
+        reference = FunctionalSimulator(program).run()
+        assert list(reference.output) == list(reference_output)
+    injector = FaultInjector(fault)
+    run = SlipstreamProcessor(program, config, fault_hook=injector).run()
+    outcome = classify_run(
+        reference_output, injector, run.output, baseline_detections,
+        run.ir_mispredictions,
+    )
+    return InjectionResult(
+        fault=fault,
+        outcome=outcome,
+        struck_compared=injector.report.struck_compared,
+        detections=run.ir_mispredictions,
+    )
+
+
+def run_campaign(
+    program: Program,
+    sites: Sequence[FaultSite],
+    target_seqs: Sequence[int],
+    bit: int = 7,
+    config: Optional[SlipstreamConfig] = None,
+) -> CampaignResult:
+    """Inject one fault per (site, target) pair and aggregate."""
+    clean = SlipstreamProcessor(program, config).run()
+    reference_output = clean.output
+    baseline = clean.ir_mispredictions
+    campaign = CampaignResult()
+    for site in sites:
+        for seq in target_seqs:
+            fault = TransientFault(site=site, target_seq=seq, bit=bit)
+            campaign.results.append(
+                inject_one(
+                    program, fault, config,
+                    reference_output=reference_output,
+                    baseline_detections=baseline,
+                )
+            )
+    return campaign

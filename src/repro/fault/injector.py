@@ -1,0 +1,146 @@
+"""Deterministic single-fault injection.
+
+A fault strikes one dynamic instruction (identified by its per-stream
+retirement sequence number) and flips one bit of its result value.
+Three sites model the paper's analysis (section 3):
+
+* ``A_RESULT`` — a fault in the A-stream's pipeline or context.  The
+  A-stream retires the corrupted value into its architectural state.
+  Expected behaviour: the R-stream's redundant computation disagrees,
+  the deviation is handled exactly like an IR-misprediction, and the
+  A-stream context is repaired from the R-stream — transparent
+  recovery.
+
+* ``R_TRANSIENT`` — a fault in the R-stream's pipeline.  For a
+  *redundantly executed* instruction the corrupted value reaches the
+  comparison hardware, the mismatch triggers a flush, and re-execution
+  retires the correct value (scenario #1: transparently recoverable).
+  For an instruction the A-stream *skipped* there is nothing to
+  compare against: the corrupted value retires into the R-stream's
+  architectural state (scenario #2: undetectable).
+
+* ``R_ARCH`` — a direct bit flip in the R-stream's architectural state
+  (register file / data cache) after writeback.  The comparison saw
+  the correct computed value, so the fault is invisible at the faulted
+  instruction; later deviations may be *detected* but recovery copies
+  the corrupted R-stream state — detectable at best, unrecoverable
+  (the paper's motivation for ECC on the R-stream's register file and
+  data cache).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.arch.executor import DynInstr, wrap32
+from repro.arch.state import ArchState
+
+
+class FaultSite(enum.Enum):
+    A_RESULT = "a_result"
+    R_TRANSIENT = "r_transient"
+    R_ARCH = "r_arch"
+
+
+@dataclass(frozen=True)
+class TransientFault:
+    """One fault: strike stream instruction ``target_seq``, flip ``bit``."""
+
+    site: FaultSite
+    target_seq: int
+    bit: int = 7
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.bit < 32:
+            raise ValueError("bit must be in 0..31")
+        if self.target_seq < 0:
+            raise ValueError("target_seq must be non-negative")
+
+
+def _flip(value: int, bit: int) -> int:
+    return wrap32(value ^ (1 << bit))
+
+
+@dataclass
+class FaultReport:
+    """What the injector actually did."""
+
+    fired: bool = False
+    struck_compared: Optional[bool] = None
+    original_value: Optional[int] = None
+    corrupted_value: Optional[int] = None
+    pc: Optional[int] = None
+
+
+class FaultInjector:
+    """A :data:`repro.core.slipstream.FaultHook` injecting one fault."""
+
+    def __init__(self, fault: TransientFault):
+        self.fault = fault
+        self.report = FaultReport()
+
+    def __call__(
+        self, stream: str, dyn: DynInstr, state: ArchState, compared: bool
+    ) -> DynInstr:
+        fault = self.fault
+        if self.report.fired:
+            return dyn
+        if fault.site is FaultSite.A_RESULT and stream != "A":
+            return dyn
+        if fault.site in (FaultSite.R_TRANSIENT, FaultSite.R_ARCH) and stream != "R":
+            return dyn
+        if dyn.seq != fault.target_seq:
+            return dyn
+        if dyn.value is None:
+            # The targeted instruction produces no value (branch, nop);
+            # the fault is architecturally masked by construction.
+            self.report = FaultReport(fired=True, struck_compared=compared, pc=dyn.pc)
+            return dyn
+        corrupted = _flip(dyn.value, fault.bit)
+        self.report = FaultReport(
+            fired=True,
+            struck_compared=compared,
+            original_value=dyn.value,
+            corrupted_value=corrupted,
+            pc=dyn.pc,
+        )
+        if fault.site is FaultSite.A_RESULT:
+            # The A-stream retires the corrupted value into its context.
+            self._write_back(dyn, state, corrupted)
+            return self._replace(dyn, corrupted)
+        if fault.site is FaultSite.R_TRANSIENT:
+            if compared:
+                # The comparison sees the corrupted value; the flush
+                # re-executes, so architectural state stays correct.
+                return self._replace(dyn, corrupted)
+            # Unvalidated instruction: the wrong value retires.
+            self._write_back(dyn, state, corrupted)
+            return self._replace(dyn, corrupted)
+        # R_ARCH: corrupt the architectural state *after* writeback;
+        # the comparison still sees the correctly computed value.
+        self._write_back(dyn, state, corrupted)
+        return dyn
+
+    @staticmethod
+    def _write_back(dyn: DynInstr, state: ArchState, corrupted: int) -> None:
+        if dyn.is_store and dyn.mem_addr is not None:
+            state.mem.write(dyn.mem_addr, corrupted)
+        elif dyn.dest_reg is not None:
+            state.regs.write(dyn.dest_reg, corrupted)
+
+    @staticmethod
+    def _replace(dyn: DynInstr, corrupted: int) -> DynInstr:
+        return DynInstr(
+            seq=dyn.seq,
+            pc=dyn.pc,
+            instr=dyn.instr,
+            next_pc=dyn.next_pc,
+            taken=dyn.taken,
+            src_values=dyn.src_values,
+            dest_reg=dyn.dest_reg,
+            value=corrupted,
+            mem_addr=dyn.mem_addr,
+            output=dyn.output,
+        )

@@ -1,0 +1,36 @@
+"""Mini load/store RISC ISA.
+
+A deliberately small, MIPS-flavoured instruction set: 64 general-purpose
+registers (``r0`` hardwired to zero), word-granular memory, and the usual
+ALU / memory / control-transfer instructions.  The slipstream
+microarchitecture only needs a dynamic stream of typed instructions over
+registers, memory and branches, so this ISA stands in for the paper's
+SimpleScalar/MIPS toolchain (see DESIGN.md, substitution table).
+"""
+
+from repro.isa.instructions import (
+    Opcode,
+    Instruction,
+    InstrClass,
+    REG_COUNT,
+    ZERO_REG,
+)
+from repro.isa.program import Program, TEXT_BASE, DATA_BASE, WORD_SIZE
+from repro.isa.assembler import assemble, AssemblerError
+from repro.isa.encoding import encode, decode
+
+__all__ = [
+    "Opcode",
+    "Instruction",
+    "InstrClass",
+    "REG_COUNT",
+    "ZERO_REG",
+    "Program",
+    "TEXT_BASE",
+    "DATA_BASE",
+    "WORD_SIZE",
+    "assemble",
+    "AssemblerError",
+    "encode",
+    "decode",
+]

@@ -1,0 +1,249 @@
+"""Two-pass assembler for the mini RISC ISA.
+
+Syntax example::
+
+    .text
+    main:
+        addi  r1, r0, 10        # loop counter
+    loop:
+        add   r2, r2, r1
+        addi  r1, r1, -1
+        bne   r1, r0, loop
+        sw    r2, 0(r10)
+        lw    r3, total(r0)     # data labels usable as immediates
+        out   r2
+        halt
+
+    .data
+    total:   .word 0
+    table:   .word 1 2 3 4
+    scratch: .space 64          # 64 bytes, zero-initialised
+
+Comments run from ``#`` or ``;`` to end of line.  Labels may be used
+wherever an immediate or branch target is expected; ``%hi(label)`` and
+``%lo(label)`` split an address for LUI/ORI pairs (addresses here fit in
+immediates, so plain labels usually suffice).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+from repro.isa.instructions import (
+    BRANCH_OPS,
+    Instruction,
+    MNEMONICS,
+    Opcode,
+    RRI_OPS,
+    RRR_OPS,
+    WORD,
+)
+from repro.isa.program import DATA_BASE, Program, TEXT_BASE
+
+
+class AssemblerError(Exception):
+    """Raised on any syntax or semantic error, with line context."""
+
+    def __init__(self, message: str, line_no: int, line: str):
+        super().__init__(f"line {line_no}: {message}: {line.strip()!r}")
+        self.line_no = line_no
+        self.line = line
+
+
+_LABEL_RE = re.compile(r"^[A-Za-z_.$][A-Za-z0-9_.$]*$")
+_MEM_OPERAND_RE = re.compile(r"^(?P<off>[^()]*)\((?P<base>r\d+)\)$")
+
+
+def _strip_comment(line: str) -> str:
+    for marker in ("#", ";"):
+        pos = line.find(marker)
+        if pos >= 0:
+            line = line[:pos]
+    return line.strip()
+
+
+def _split_operands(rest: str) -> List[str]:
+    if not rest:
+        return []
+    return [part.strip() for part in rest.split(",")]
+
+
+class _Pass1:
+    """First pass: tokenize, lay out segments, collect labels."""
+
+    def __init__(self) -> None:
+        self.text: List[Tuple[int, str, str, List[str]]] = []
+        self.labels: Dict[str, int] = {}
+        self.data: Dict[int, int] = {}
+        self._segment = "text"
+        self._data_cursor = DATA_BASE
+
+    def feed(self, line_no: int, raw: str) -> None:
+        line = _strip_comment(raw)
+        if not line:
+            return
+        # Strip any leading labels (``name:``), which may precede either a
+        # directive or an instruction on the same line.
+        while not line.startswith("."):
+            label, sep, rest = line.partition(":")
+            if sep and _LABEL_RE.match(label.strip()):
+                self._define_label(line_no, raw, label.strip())
+                line = rest.strip()
+                if not line:
+                    return
+            else:
+                break
+        if line.startswith("."):
+            self._directive(line_no, raw, line)
+            return
+        if self._segment != "text":
+            raise AssemblerError("instruction outside .text", line_no, raw)
+        mnemonic, _, rest = line.partition(" ")
+        self.text.append((line_no, raw, mnemonic.lower(), _split_operands(rest.strip())))
+
+    def _define_label(self, line_no: int, raw: str, label: str) -> None:
+        if label in self.labels:
+            raise AssemblerError(f"duplicate label {label!r}", line_no, raw)
+        if self._segment == "text":
+            self.labels[label] = TEXT_BASE + len(self.text) * WORD
+        else:
+            self.labels[label] = self._data_cursor
+
+    def _directive(self, line_no: int, raw: str, line: str) -> None:
+        parts = line.split()
+        name = parts[0]
+        if name == ".text":
+            self._segment = "text"
+        elif name == ".data":
+            self._segment = "data"
+        elif name == ".word":
+            if self._segment != "data":
+                raise AssemblerError(".word outside .data", line_no, raw)
+            for token in parts[1:]:
+                self.data[self._data_cursor] = _parse_int(token, line_no, raw)
+                self._data_cursor += WORD
+        elif name == ".space":
+            if self._segment != "data":
+                raise AssemblerError(".space outside .data", line_no, raw)
+            size = _parse_int(parts[1], line_no, raw)
+            if size % WORD:
+                raise AssemblerError(".space size must be word multiple", line_no, raw)
+            self._data_cursor += size
+        elif name == ".align":
+            boundary = _parse_int(parts[1], line_no, raw)
+            rem = self._data_cursor % boundary
+            if rem:
+                self._data_cursor += boundary - rem
+        else:
+            raise AssemblerError(f"unknown directive {name!r}", line_no, raw)
+
+
+def _parse_int(token: str, line_no: int, raw: str) -> int:
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblerError(f"bad integer {token!r}", line_no, raw) from None
+
+
+def _parse_reg(token: str, line_no: int, raw: str) -> int:
+    token = token.strip()
+    if not token.startswith("r"):
+        raise AssemblerError(f"expected register, got {token!r}", line_no, raw)
+    try:
+        return int(token[1:])
+    except ValueError:
+        raise AssemblerError(f"bad register {token!r}", line_no, raw) from None
+
+
+class _Pass2:
+    """Second pass: resolve labels, emit instructions."""
+
+    def __init__(self, labels: Dict[str, int]):
+        self.labels = labels
+
+    def imm(self, token: str, line_no: int, raw: str) -> int:
+        token = token.strip()
+        if token.startswith("%hi(") and token.endswith(")"):
+            return (self._label_or_int(token[4:-1], line_no, raw) >> 16) & 0xFFFF
+        if token.startswith("%lo(") and token.endswith(")"):
+            return self._label_or_int(token[4:-1], line_no, raw) & 0xFFFF
+        return self._label_or_int(token, line_no, raw)
+
+    def _label_or_int(self, token: str, line_no: int, raw: str) -> int:
+        token = token.strip()
+        if token in self.labels:
+            return self.labels[token]
+        return _parse_int(token, line_no, raw)
+
+    def emit(self, line_no: int, raw: str, mnemonic: str, ops: List[str]) -> Instruction:
+        opcode = MNEMONICS.get(mnemonic)
+        if opcode is None:
+            raise AssemblerError(f"unknown mnemonic {mnemonic!r}", line_no, raw)
+        try:
+            return self._emit(opcode, line_no, raw, ops)
+        except (IndexError, ValueError) as exc:
+            raise AssemblerError(str(exc) or "malformed operands", line_no, raw) from exc
+
+    def _emit(self, opcode: Opcode, line_no: int, raw: str, ops: List[str]) -> Instruction:
+        reg = lambda i: _parse_reg(ops[i], line_no, raw)  # noqa: E731
+        if opcode in RRR_OPS:
+            return Instruction(opcode, rd=reg(0), rs1=reg(1), rs2=reg(2))
+        if opcode in RRI_OPS:
+            return Instruction(
+                opcode, rd=reg(0), rs1=reg(1), imm=self.imm(ops[2], line_no, raw)
+            )
+        if opcode is Opcode.LUI:
+            return Instruction(opcode, rd=reg(0), imm=self.imm(ops[1], line_no, raw))
+        if opcode in (Opcode.LW, Opcode.SW):
+            offset, base = self._mem_operand(ops[1], line_no, raw)
+            if opcode is Opcode.LW:
+                return Instruction(opcode, rd=reg(0), rs1=base, imm=offset)
+            return Instruction(opcode, rs2=reg(0), rs1=base, imm=offset)
+        if opcode in BRANCH_OPS:
+            return Instruction(
+                opcode, rs1=reg(0), rs2=reg(1), target=self.imm(ops[2], line_no, raw)
+            )
+        if opcode is Opcode.J:
+            return Instruction(opcode, target=self.imm(ops[0], line_no, raw))
+        if opcode is Opcode.JAL:
+            return Instruction(opcode, rd=reg(0), target=self.imm(ops[1], line_no, raw))
+        if opcode is Opcode.JALR:
+            return Instruction(opcode, rd=reg(0), rs1=reg(1))
+        if opcode is Opcode.OUT:
+            return Instruction(opcode, rs1=reg(0))
+        if opcode in (Opcode.NOP, Opcode.HALT):
+            if ops:
+                raise AssemblerError(f"{opcode.mnemonic} takes no operands", line_no, raw)
+            return Instruction(opcode)
+        raise AssemblerError(f"unhandled opcode {opcode}", line_no, raw)
+
+    def _mem_operand(self, token: str, line_no: int, raw: str) -> Tuple[int, int]:
+        match = _MEM_OPERAND_RE.match(token.strip())
+        if not match:
+            raise AssemblerError(f"expected offset(base), got {token!r}", line_no, raw)
+        base = _parse_reg(match.group("base"), line_no, raw)
+        off_text = match.group("off").strip() or "0"
+        return self.imm(off_text, line_no, raw), base
+
+
+def assemble(source: str, name: str = "<anonymous>") -> Program:
+    """Assemble source text into a :class:`Program`.
+
+    Raises :class:`AssemblerError` with line context on any error.  The
+    resulting program is validated (branch targets inside text, aligned
+    data) before being returned.
+    """
+    pass1 = _Pass1()
+    for line_no, raw in enumerate(source.splitlines(), start=1):
+        pass1.feed(line_no, raw)
+    pass2 = _Pass2(pass1.labels)
+    instructions = [
+        pass2.emit(line_no, raw, mnemonic, ops)
+        for line_no, raw, mnemonic, ops in pass1.text
+    ]
+    program = Program(
+        instructions=instructions, data=dict(pass1.data), labels=dict(pass1.labels), name=name
+    )
+    program.validate()
+    return program

@@ -1,0 +1,75 @@
+"""Binary encoding of instructions.
+
+Instructions encode into a 64-bit word::
+
+    [63:56] opcode ordinal
+    [55:50] rd
+    [49:44] rs1
+    [43:38] rs2
+    [37:32] (reserved)
+    [31:0]  imm/target (two's complement), imm for ALU/memory ops,
+            absolute byte target for control transfers
+
+The encoding exists to give transient faults a concrete bit-level
+substrate (a flipped instruction bit decodes to a different instruction
+or operand) and to allow property-based round-trip testing.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import Instruction, Opcode
+
+_OPCODES = list(Opcode)
+_OPCODE_INDEX = {op: i for i, op in enumerate(_OPCODES)}
+
+_IMM_MASK = 0xFFFFFFFF
+ENCODING_BITS = 64
+
+
+def _to_u32(value: int) -> int:
+    return value & _IMM_MASK
+
+
+def _from_u32(value: int) -> int:
+    value &= _IMM_MASK
+    return value - 0x100000000 if value & 0x80000000 else value
+
+
+_TARGET_OPS = frozenset(
+    {Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE, Opcode.BLTU,
+     Opcode.BGEU, Opcode.J, Opcode.JAL}
+)
+
+
+def encode(instr: Instruction) -> int:
+    """Encode an instruction into its 64-bit representation."""
+    imm_field = instr.target if instr.opcode in _TARGET_OPS else instr.imm
+    word = (
+        (_OPCODE_INDEX[instr.opcode] << 56)
+        | (instr.rd << 50)
+        | (instr.rs1 << 44)
+        | (instr.rs2 << 38)
+        | _to_u32(imm_field)
+    )
+    return word
+
+
+def decode(word: int) -> Instruction:
+    """Decode a 64-bit word back into an instruction.
+
+    Raises ValueError if the opcode field does not name a valid opcode —
+    a faulted encoding may be undecodable, which a real machine would
+    raise as an illegal-instruction fault.
+    """
+    opcode_ordinal = (word >> 56) & 0xFF
+    if opcode_ordinal >= len(_OPCODES):
+        raise ValueError(f"invalid opcode ordinal {opcode_ordinal}")
+    opcode = _OPCODES[opcode_ordinal]
+    rd = (word >> 50) & 0x3F
+    rs1 = (word >> 44) & 0x3F
+    rs2 = (word >> 38) & 0x3F
+    imm_field = _from_u32(word)
+    if opcode in (Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE, Opcode.BLTU,
+                  Opcode.BGEU, Opcode.J, Opcode.JAL):
+        return Instruction(opcode, rd=rd, rs1=rs1, rs2=rs2, target=imm_field)
+    return Instruction(opcode, rd=rd, rs1=rs1, rs2=rs2, imm=imm_field)

@@ -1,0 +1,91 @@
+"""Program container: text segment, data segment, labels.
+
+PCs are byte addresses; instructions occupy 4 bytes each starting at
+``TEXT_BASE``.  Data lives at ``DATA_BASE`` and is word-granular.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.isa.instructions import Instruction, Opcode, WORD
+
+TEXT_BASE = 0x1000
+DATA_BASE = 0x100000
+WORD_SIZE = WORD
+
+
+@dataclass
+class Program:
+    """An assembled program.
+
+    Attributes:
+        instructions: static instructions in text-segment order.
+        data: initial memory image, keyed by byte address (word-aligned).
+        labels: label name -> byte PC (text) or byte address (data).
+        name: human-readable program name (used in reports).
+    """
+
+    instructions: List[Instruction] = field(default_factory=list)
+    data: Dict[int, int] = field(default_factory=dict)
+    labels: Dict[str, int] = field(default_factory=dict)
+    name: str = "<anonymous>"
+
+    @property
+    def entry(self) -> int:
+        """Entry PC: the ``main`` label if present, else the text base."""
+        return self.labels.get("main", TEXT_BASE)
+
+    def pc_of(self, index: int) -> int:
+        return TEXT_BASE + index * WORD
+
+    def index_of(self, pc: int) -> int:
+        index, rem = divmod(pc - TEXT_BASE, WORD)
+        if rem or not 0 <= index < len(self.instructions):
+            raise IndexError(f"PC {pc:#x} outside text segment")
+        return index
+
+    def at(self, pc: int) -> Instruction:
+        """Fetch the instruction at a byte PC."""
+        return self.instructions[self.index_of(pc)]
+
+    def contains_pc(self, pc: int) -> bool:
+        index, rem = divmod(pc - TEXT_BASE, WORD)
+        return rem == 0 and 0 <= index < len(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def listing(self) -> str:
+        """Disassembly listing with PCs, for debugging."""
+        by_pc: Dict[int, List[str]] = {}
+        for label, addr in self.labels.items():
+            by_pc.setdefault(addr, []).append(label)
+        lines = []
+        for i, instr in enumerate(self.instructions):
+            pc = self.pc_of(i)
+            for label in by_pc.get(pc, []):
+                lines.append(f"{label}:")
+            lines.append(f"  {pc:#08x}  {instr.format()}")
+        return "\n".join(lines)
+
+    def validate(self) -> None:
+        """Check structural invariants; raise ValueError on violation.
+
+        * every control-transfer target (except indirect jumps) lands on a
+          text-segment instruction boundary;
+        * data addresses are word-aligned and inside the data segment.
+        """
+        for i, instr in enumerate(self.instructions):
+            if instr.is_control and instr.opcode is not Opcode.JALR:
+                if not self.contains_pc(instr.target):
+                    raise ValueError(
+                        f"instruction {i} ({instr.format()}) targets "
+                        f"{instr.target:#x}, outside the text segment"
+                    )
+        for addr in self.data:
+            if addr % WORD:
+                raise ValueError(f"data address {addr:#x} not word-aligned")
+            if addr < DATA_BASE:
+                raise ValueError(f"data address {addr:#x} below DATA_BASE")

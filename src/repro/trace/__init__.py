@@ -1,0 +1,28 @@
+"""Trace selection and prediction.
+
+The paper builds its IR-predictor on a conventional path-based trace
+predictor [Jacobson, Rotenberg, Smith; MICRO-30].  This package provides:
+
+* a *static trace selection policy* (:mod:`repro.trace.selection`) that
+  chunks the dynamic instruction stream into traces of up to 32
+  instructions with embedded conditional branches;
+* canonical trace identifiers (:mod:`repro.trace.trace_id`): start PC
+  plus embedded branch outcomes;
+* the hybrid trace predictor (:mod:`repro.trace.predictor`): a correlated
+  table indexed by a hash of the recent path history (favouring recent
+  trace ids) plus a simple table indexed by the most recent trace id
+  only, each entry guarded by a 2-bit replacement counter.
+"""
+
+from repro.trace.trace_id import TraceId
+from repro.trace.selection import TraceSelector, StaticTraceWalker, TRACE_LENGTH
+from repro.trace.predictor import TracePredictor, TracePredictorConfig
+
+__all__ = [
+    "TraceId",
+    "TraceSelector",
+    "StaticTraceWalker",
+    "TRACE_LENGTH",
+    "TracePredictor",
+    "TracePredictorConfig",
+]

@@ -1,0 +1,191 @@
+"""Hybrid path-based trace predictor (paper, section 2.1.1; [13]).
+
+Two tables predict the id of the *next* trace from the sequence of past
+trace ids:
+
+* **correlated table** — indexed by a hash of the last
+  ``path_depth`` (default 8) trace ids, with a hash function that
+  favours bits from more recent trace ids over less recent ones.  Each
+  entry holds a predicted trace id and a 2-bit counter for replacement.
+* **simple table** — indexed by the most recent trace id only.  It
+  learns faster and suffers less aliasing pressure, and serves as the
+  fallback when the correlated entry is missing or unproven.
+
+Both tables are updated with the actual next trace at every trace
+boundary: a correct entry increments its counter (saturating), an
+incorrect entry decrements and is replaced when the counter reaches
+zero.
+
+To form the slipstream IR-predictor, three pieces of information are
+added *to each table entry* (paper, section 2.1.1): the
+instruction-removal bit vector, intermediate-PC information (implicit
+in this model — see :mod:`repro.core.ir_predictor`), and a resetting
+confidence counter.  Keeping removal state on the predictor entry is
+load-bearing: when a path context is unstable (the entry's trace id
+keeps flipping), the removal confidence resets with it, so instructions
+are never removed along unreliable paths.  The
+:class:`~repro.core.ir_predictor.IRPredictor` manages those fields; the
+entry type here just carries them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, NamedTuple, Optional, Tuple
+
+from repro.trace.trace_id import TraceId
+
+
+@dataclass
+class TracePredictorConfig:
+    """Sizing knobs; defaults follow the paper's Table 2."""
+
+    index_bits: int = 16
+    path_depth: int = 8
+    counter_max: int = 3
+
+    @property
+    def table_size(self) -> int:
+        return 1 << self.index_bits
+
+
+class Entry:
+    """One prediction-table entry.
+
+    ``trace_id``/``counter`` implement the conventional trace predictor.
+    ``removal_tid``/``ir_vec``/``kinds``/``confidence`` are the
+    IR-predictor extension (written by
+    :class:`repro.core.ir_predictor.IRPredictor`).
+    """
+
+    __slots__ = ("trace_id", "counter", "removal_tid", "ir_vec", "kinds",
+                 "confidence")
+
+    def __init__(self) -> None:
+        self.trace_id: Optional[TraceId] = None
+        self.counter = 0
+        self.removal_tid: Optional[TraceId] = None
+        self.ir_vec: Optional[Tuple[bool, ...]] = None
+        self.kinds = None
+        self.confidence = 0
+
+
+class Lookup(NamedTuple):
+    """A prediction plus the entry that produced it."""
+
+    trace_id: Optional[TraceId]
+    entry: Optional[Entry]
+
+
+class _Table:
+    """One prediction table with saturating replacement counters."""
+
+    def __init__(self, size: int, counter_max: int):
+        self._entries: List[Optional[Entry]] = [None] * size
+        self._counter_max = counter_max
+
+    def lookup(self, index: int) -> Optional[Entry]:
+        return self._entries[index]
+
+    def update(self, index: int, actual: TraceId) -> Entry:
+        entry = self._entries[index]
+        if entry is None:
+            entry = Entry()
+            self._entries[index] = entry
+        if entry.trace_id == actual:
+            entry.counter = min(entry.counter + 1, self._counter_max)
+        else:
+            entry.counter -= 1
+            if entry.counter <= 0 or entry.trace_id is None:
+                entry.trace_id = actual
+                entry.counter = 0
+        return entry
+
+
+class TracePredictor:
+    """Predicts the next trace id from the path history of past traces."""
+
+    def __init__(self, config: Optional[TracePredictorConfig] = None):
+        self.config = config or TracePredictorConfig()
+        size = self.config.table_size
+        self._correlated = _Table(size, self.config.counter_max)
+        self._simple = _Table(size, self.config.counter_max)
+        self._history: Deque[TraceId] = deque(maxlen=self.config.path_depth)
+        self.lookups = 0
+        self.correlated_hits = 0
+
+    # ------------------------------------------------------------------
+    # Indexing.
+    # ------------------------------------------------------------------
+
+    def _correlated_index(self) -> int:
+        """Hash the path history, favouring recent trace ids.
+
+        The most recent id contributes all of its bits; each older id is
+        truncated harder and shifted, so recent path information
+        dominates the index (as in the DOLC scheme of [13]).
+        """
+        mask = self.config.table_size - 1
+        acc = 0
+        for age, tid in enumerate(reversed(self._history)):
+            digest = tid.mix()
+            keep_bits = max(self.config.index_bits - 2 * age, 4)
+            acc ^= (digest & ((1 << keep_bits) - 1)) << (age & 0x3)
+        return acc & mask
+
+    def _simple_index(self) -> int:
+        mask = self.config.table_size - 1
+        if not self._history:
+            return 0
+        return self._history[-1].mix() & mask
+
+    # ------------------------------------------------------------------
+    # Prediction / update.
+    # ------------------------------------------------------------------
+
+    def lookup(self) -> Lookup:
+        """Predict the next trace id, returning the entry used.
+
+        The correlated table wins when its entry has proven itself
+        (counter > 0); otherwise the simple table's entry is used.
+        Returns ``Lookup(None, None)`` when untrained.
+        """
+        self.lookups += 1
+        correlated = self._correlated.lookup(self._correlated_index())
+        if (
+            correlated is not None
+            and correlated.trace_id is not None
+            and correlated.counter > 0
+        ):
+            self.correlated_hits += 1
+            return Lookup(correlated.trace_id, correlated)
+        simple = self._simple.lookup(self._simple_index())
+        if simple is not None and simple.trace_id is not None:
+            return Lookup(simple.trace_id, simple)
+        return Lookup(None, None)
+
+    def predict(self) -> Optional[TraceId]:
+        """Predict the id of the next trace, or None if untrained."""
+        return self.lookup().trace_id
+
+    def update(self, actual: TraceId) -> Tuple[Entry, Entry]:
+        """Train both tables with the actual next trace, then shift it
+        into the path history.  Returns the (correlated, simple) entries
+        updated — the IR-predictor trains removal state on them."""
+        correlated = self._correlated.update(self._correlated_index(), actual)
+        simple = self._simple.update(self._simple_index(), actual)
+        self._history.append(actual)
+        return correlated, simple
+
+    # ------------------------------------------------------------------
+    # Recovery support.
+    # ------------------------------------------------------------------
+
+    def history_snapshot(self) -> List[TraceId]:
+        return list(self._history)
+
+    def restore_history(self, snapshot: List[TraceId]) -> None:
+        """Back the predictor up to a precise point (IR-misprediction
+        recovery re-synchronises the predictor to the R-stream's PC)."""
+        self._history = deque(snapshot, maxlen=self.config.path_depth)

@@ -1,0 +1,42 @@
+"""Canonical trace identifiers.
+
+A trace is uniquely identified by its starting PC plus the outcomes of
+the conditional branches embedded in it (paper, section 2.1.1).  With a
+static text segment and the selection policy of
+:mod:`repro.trace.selection` (direct jumps embedded, indirect jumps
+terminate a trace), the pair (start PC, outcome bits) deterministically
+reconstructs the full instruction sequence of the trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class TraceId:
+    """Identifier of one trace: start PC + embedded branch outcomes."""
+
+    start_pc: int
+    outcomes: Tuple[bool, ...]
+
+    @property
+    def branch_count(self) -> int:
+        return len(self.outcomes)
+
+    def mix(self) -> int:
+        """A deterministic integer digest, used for predictor indexing.
+
+        Must not rely on Python's randomized string hashing; trace ids
+        contain only ints/bools so a hand-rolled multiplicative mix keeps
+        simulations reproducible across processes.
+        """
+        acc = self.start_pc * 0x9E3779B1
+        for outcome in self.outcomes:
+            acc = (acc * 31 + (1 if outcome else 2)) & 0xFFFFFFFFFFFF
+        return acc
+
+    def __str__(self) -> str:
+        bits = "".join("T" if o else "N" for o in self.outcomes)
+        return f"{self.start_pc:#x}:{bits or '-'}"

@@ -1,0 +1,49 @@
+"""Microarchitecture substrate: the conventional superscalar core.
+
+Each processing element of the CMP in Figure 1 is a conventional 4-way
+out-of-order superscalar with private instruction and data caches, a
+reorder buffer, and (in the slipstream configuration) its branch
+predictor bypassed in favour of the trace predictor / IR-predictor.
+
+The timing model (:mod:`repro.uarch.scheduler`) is table-scheduled: one
+forward pass assigns each dynamic instruction its
+fetch/dispatch/issue/complete/retire cycles under fetch-bandwidth,
+ROB-occupancy, issue-width, operand-readiness, latency, cache, retire
+bandwidth and misprediction-redirect constraints (see DESIGN.md,
+"Table-scheduled OoO timing model").
+"""
+
+from repro.uarch.config import CacheConfig, CoreConfig, SS_64x4, SS_128x8
+from repro.uarch.cache import Cache
+from repro.uarch.latencies import latency_of
+from repro.uarch.scheduler import InstrTiming, OoOScheduler, Timestamps
+from repro.uarch.fetch import BlockFormer
+from repro.uarch.core import SuperscalarCore, CoreRunResult
+from repro.uarch.branch import (
+    BimodalPredictor,
+    BranchTargetBuffer,
+    GsharePredictor,
+    HybridPredictor,
+)
+from repro.uarch.timeline import PipelineTimeline, trace_core_timeline
+
+__all__ = [
+    "CacheConfig",
+    "CoreConfig",
+    "SS_64x4",
+    "SS_128x8",
+    "Cache",
+    "latency_of",
+    "InstrTiming",
+    "OoOScheduler",
+    "Timestamps",
+    "BlockFormer",
+    "SuperscalarCore",
+    "CoreRunResult",
+    "BimodalPredictor",
+    "BranchTargetBuffer",
+    "GsharePredictor",
+    "HybridPredictor",
+    "PipelineTimeline",
+    "trace_core_timeline",
+]

@@ -1,0 +1,147 @@
+"""Conventional branch predictors.
+
+Each processing element of Figure 1 owns a conventional branch
+predictor; in slipstream mode both are bypassed (open switch in the
+figure) in favour of the trace predictor / delay buffer.  These models
+exist (a) as the substrate the figure shows, (b) to drive the
+``control="gshare"`` variant of :class:`repro.uarch.core.SuperscalarCore`,
+and (c) for the ablation that justifies the paper's methodological
+choice of using the trace predictor for all three models.
+
+Implemented: bimodal (PC-indexed 2-bit counters), gshare (global
+history XOR PC), a bimodal/gshare hybrid with a chooser table, and a
+last-target BTB for indirect jumps.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+class _CounterTable:
+    """2-bit saturating counters, taken if >= 2."""
+
+    def __init__(self, index_bits: int, initial: int = 1):
+        self._mask = (1 << index_bits) - 1
+        self._counters = [initial] * (1 << index_bits)
+
+    def predict(self, index: int) -> bool:
+        return self._counters[index & self._mask] >= 2
+
+    def update(self, index: int, taken: bool) -> None:
+        index &= self._mask
+        counter = self._counters[index]
+        if taken:
+            if counter < 3:
+                self._counters[index] = counter + 1
+        elif counter > 0:
+            self._counters[index] = counter - 1
+
+
+class BimodalPredictor:
+    """PC-indexed 2-bit counters."""
+
+    def __init__(self, index_bits: int = 12):
+        self._table = _CounterTable(index_bits)
+        self.lookups = 0
+        self.correct = 0
+
+    def _index(self, pc: int) -> int:
+        return pc >> 2
+
+    def predict(self, pc: int) -> bool:
+        return self._table.predict(self._index(pc))
+
+    def update(self, pc: int, taken: bool) -> None:
+        self.lookups += 1
+        if self.predict(pc) == taken:
+            self.correct += 1
+        self._table.update(self._index(pc), taken)
+
+    @property
+    def accuracy(self) -> float:
+        return self.correct / self.lookups if self.lookups else 0.0
+
+
+class GsharePredictor:
+    """Global-history XOR PC indexed 2-bit counters."""
+
+    def __init__(self, index_bits: int = 14, history_bits: int = 12):
+        self._table = _CounterTable(index_bits)
+        self._history = 0
+        self._history_mask = (1 << history_bits) - 1
+        self.lookups = 0
+        self.correct = 0
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) ^ self._history
+
+    def predict(self, pc: int) -> bool:
+        return self._table.predict(self._index(pc))
+
+    def update(self, pc: int, taken: bool) -> None:
+        self.lookups += 1
+        if self.predict(pc) == taken:
+            self.correct += 1
+        self._table.update(self._index(pc), taken)
+        self._history = ((self._history << 1) | int(taken)) & self._history_mask
+
+    @property
+    def accuracy(self) -> float:
+        return self.correct / self.lookups if self.lookups else 0.0
+
+
+class HybridPredictor:
+    """Bimodal/gshare hybrid with a chooser table (a la McFarling)."""
+
+    def __init__(self, index_bits: int = 14, history_bits: int = 12):
+        self.bimodal = BimodalPredictor(index_bits)
+        self.gshare = GsharePredictor(index_bits, history_bits)
+        #: chooser >= 2 selects gshare.
+        self._chooser = _CounterTable(index_bits, initial=2)
+        self.lookups = 0
+        self.correct = 0
+
+    def predict(self, pc: int) -> bool:
+        if self._chooser.predict(pc >> 2):
+            return self.gshare.predict(pc)
+        return self.bimodal.predict(pc)
+
+    def update(self, pc: int, taken: bool) -> None:
+        self.lookups += 1
+        prediction = self.predict(pc)
+        if prediction == taken:
+            self.correct += 1
+        bimodal_right = self.bimodal.predict(pc) == taken
+        gshare_right = self.gshare.predict(pc) == taken
+        if bimodal_right != gshare_right:
+            self._chooser.update(pc >> 2, gshare_right)
+        self.bimodal.update(pc, taken)
+        self.gshare.update(pc, taken)
+
+    @property
+    def accuracy(self) -> float:
+        return self.correct / self.lookups if self.lookups else 0.0
+
+
+class BranchTargetBuffer:
+    """Last-target predictor for indirect jumps (``jalr``)."""
+
+    def __init__(self, entries: int = 4096):
+        self._mask = entries - 1
+        self._targets: Dict[int, int] = {}
+        self.lookups = 0
+        self.correct = 0
+
+    def predict(self, pc: int) -> Optional[int]:
+        return self._targets.get((pc >> 2) & self._mask)
+
+    def update(self, pc: int, target: int) -> None:
+        self.lookups += 1
+        if self.predict(pc) == target:
+            self.correct += 1
+        self._targets[(pc >> 2) & self._mask] = target
+
+    @property
+    def accuracy(self) -> float:
+        return self.correct / self.lookups if self.lookups else 0.0

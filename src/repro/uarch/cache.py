@@ -1,0 +1,61 @@
+"""Set-associative cache with LRU replacement.
+
+Used for both instruction and data caches.  The timing model only needs
+hit/miss decisions; lines hold no data (the architectural state lives in
+:class:`repro.arch.state.Memory`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.uarch.config import CacheConfig
+
+
+class Cache:
+    """A hit/miss model of a set-associative LRU cache."""
+
+    def __init__(self, config: CacheConfig):
+        self.config = config
+        self._sets: List[Dict[int, int]] = [dict() for _ in range(config.num_sets)]
+        self._stamp = 0
+        self.accesses = 0
+        self.misses = 0
+
+    def _locate(self, addr: int):
+        line = addr // self.config.line_bytes
+        return self._sets[line % self.config.num_sets], line
+
+    def probe(self, addr: int) -> bool:
+        """Access the byte address; return True on hit.
+
+        Misses allocate (fetch the line); LRU victim is evicted.
+        """
+        self.accesses += 1
+        cache_set, line = self._locate(addr)
+        self._stamp += 1
+        if line in cache_set:
+            cache_set[line] = self._stamp
+            return True
+        self.misses += 1
+        if len(cache_set) >= self.config.assoc:
+            victim = min(cache_set, key=cache_set.get)
+            del cache_set[victim]
+        cache_set[line] = self._stamp
+        return False
+
+    def probe_range(self, addr: int, length_bytes: int) -> bool:
+        """Probe every line overlapping [addr, addr+length); True if all hit."""
+        if length_bytes <= 0:
+            raise ValueError("length must be positive")
+        first = addr // self.config.line_bytes
+        last = (addr + length_bytes - 1) // self.config.line_bytes
+        all_hit = True
+        for line in range(first, last + 1):
+            if not self.probe(line * self.config.line_bytes):
+                all_hit = False
+        return all_hit
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0

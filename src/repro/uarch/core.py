@@ -1,0 +1,187 @@
+"""Conventional superscalar processor model: SS(64x4) and SS(128x8).
+
+A single copy of the program runs on one core.  As in the paper
+(section 5), control-flow prediction comes from the *trace predictor*
+(the same predictor that underlies the slipstream IR-predictor) so that
+all three models are directly comparable.
+
+The run is execution-driven: the functional simulator produces the true
+dynamic stream, the trace machinery decides what the front end would
+have predicted, and the table scheduler turns both into cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.arch.executor import DynInstr
+from repro.arch.functional import FunctionalSimulator
+from repro.isa.program import Program
+from repro.trace.compare import Divergence, first_divergence
+from repro.trace.predictor import TracePredictor, TracePredictorConfig
+from repro.trace.selection import CompletedTrace, TraceSelector, TRACE_LENGTH
+from repro.uarch.branch import BranchTargetBuffer, HybridPredictor
+from repro.uarch.cache import Cache
+from repro.uarch.config import CoreConfig
+from repro.uarch.fetch import BlockFormer
+from repro.uarch.latencies import latency_of
+from repro.uarch.scheduler import InstrTiming, OoOScheduler
+
+
+@dataclass
+class CoreRunResult:
+    """Performance results of one core run."""
+
+    model: str
+    benchmark: str
+    retired: int
+    cycles: int
+    branch_mispredictions: int
+    icache_misses: int
+    dcache_misses: int
+    icache_accesses: int
+    dcache_accesses: int
+
+    @property
+    def ipc(self) -> float:
+        return self.retired / self.cycles if self.cycles else 0.0
+
+    @property
+    def mispredictions_per_1000(self) -> float:
+        return 1000.0 * self.branch_mispredictions / self.retired if self.retired else 0.0
+
+
+class SuperscalarCore:
+    """One conventional out-of-order core running one program."""
+
+    def __init__(
+        self,
+        config: CoreConfig,
+        program: Program,
+        predictor_config: Optional[TracePredictorConfig] = None,
+        trace_length: int = TRACE_LENGTH,
+        max_instructions: int = 50_000_000,
+        control: str = "trace",
+    ):
+        """``control`` selects the control-flow predictor: "trace" (the
+        paper's methodology — the same trace predictor that underlies
+        the slipstream IR-predictor) or "hybrid" (a conventional
+        bimodal/gshare hybrid plus a last-target BTB for indirect
+        jumps, for the methodology ablation)."""
+        if control not in ("trace", "hybrid"):
+            raise ValueError(f"unknown control predictor {control!r}")
+        self.config = config
+        self.program = program
+        self.control = control
+        self.predictor = TracePredictor(predictor_config)
+        self.branch_predictor = HybridPredictor()
+        self.btb = BranchTargetBuffer()
+        self.trace_length = trace_length
+        self.max_instructions = max_instructions
+        self.icache = Cache(config.icache)
+        self.dcache = Cache(config.dcache)
+        self.scheduler = OoOScheduler(config)
+        self._former = BlockFormer(config.fetch_width)
+        self._mispredictions = 0
+        self._last_complete = 0
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> CoreRunResult:
+        """Run the program to completion; returns timing results."""
+        if self.control == "hybrid":
+            return self._run_conventional()
+        sim = FunctionalSimulator(self.program, self.max_instructions)
+        selector = TraceSelector(self.trace_length)
+        upcoming = self.predictor.predict()
+        for trace in selector.chunk(sim.steps()):
+            divergence = first_divergence(upcoming, trace)
+            self._schedule_trace(trace, divergence)
+            self.predictor.update(trace.trace_id)
+            upcoming = self.predictor.predict()
+        return CoreRunResult(
+            model=self.config.name,
+            benchmark=self.program.name,
+            retired=self.scheduler.retired,
+            cycles=self.scheduler.total_cycles,
+            branch_mispredictions=self._mispredictions,
+            icache_misses=self.icache.misses,
+            dcache_misses=self.dcache.misses,
+            icache_accesses=self.icache.accesses,
+            dcache_accesses=self.dcache.accesses,
+        )
+
+    def _run_conventional(self) -> CoreRunResult:
+        """Per-branch prediction with the hybrid predictor and a BTB."""
+        sim = FunctionalSimulator(self.program, self.max_instructions)
+        from repro.isa.instructions import InstrClass
+
+        for dyn in sim.steps():
+            mispredicted = False
+            if dyn.is_branch:
+                mispredicted = self.branch_predictor.predict(dyn.pc) != dyn.taken
+                self.branch_predictor.update(dyn.pc, dyn.taken)
+            elif dyn.instr.klass is InstrClass.JUMP_INDIRECT:
+                mispredicted = self.btb.predict(dyn.pc) != dyn.next_pc
+                self.btb.update(dyn.pc, dyn.next_pc)
+            ts = self.scheduler.add(self._timing_of(dyn))
+            self._last_complete = ts.complete
+            if mispredicted:
+                self._mispredictions += 1
+                self.scheduler.redirect(ts.complete)
+                self._former.force_break()
+        return CoreRunResult(
+            model=f"{self.config.name}/hybrid",
+            benchmark=self.program.name,
+            retired=self.scheduler.retired,
+            cycles=self.scheduler.total_cycles,
+            branch_mispredictions=self._mispredictions,
+            icache_misses=self.icache.misses,
+            dcache_misses=self.dcache.misses,
+            icache_accesses=self.icache.accesses,
+            dcache_accesses=self.dcache.accesses,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _schedule_trace(self, trace: CompletedTrace, divergence: Optional[Divergence]) -> None:
+        if divergence is not None:
+            self._mispredictions += 1
+            if divergence.kind == "boundary":
+                # Wrong next-trace start: redirect resolved by the
+                # previous trace's last instruction.
+                self.scheduler.redirect(self._last_complete)
+                self._former.force_break()
+        for index, dyn in enumerate(trace.instructions):
+            ts = self.scheduler.add(self._timing_of(dyn))
+            self._last_complete = ts.complete
+            if (
+                divergence is not None
+                and divergence.kind == "outcome"
+                and index == divergence.index
+            ):
+                self.scheduler.redirect(ts.complete)
+                self._former.force_break()
+
+    def _timing_of(self, dyn: DynInstr) -> InstrTiming:
+        icache_penalty = 0
+        if not self.icache.probe(dyn.pc):
+            self._former.force_break()
+            icache_penalty = self.config.icache.miss_penalty
+        new_block = self._former.place(ends_block=dyn.is_control and dyn.taken)
+        dcache_penalty = 0
+        if dyn.mem_addr is not None:
+            if not self.dcache.probe(dyn.mem_addr):
+                dcache_penalty = self.config.dcache.miss_penalty
+        return InstrTiming(
+            new_block=new_block,
+            icache_penalty=icache_penalty,
+            srcs=dyn.instr.src_regs(),
+            dest=dyn.dest_reg,
+            latency=latency_of(dyn.instr),
+            is_load=dyn.is_load,
+            is_store=dyn.is_store,
+            mem_addr=dyn.mem_addr,
+            dcache_penalty=dcache_penalty,
+        )

@@ -1,0 +1,42 @@
+"""Fetch-block formation.
+
+The I-cache supplies up to ``fetch_width`` sequential instructions per
+cycle, fetching past multiple not-taken branches; a taken control
+transfer ends the block (paper, Table 2).  Drivers also force breaks at
+redirects, trace boundaries and I-cache misses.
+"""
+
+from __future__ import annotations
+
+
+class BlockFormer:
+    """Tracks fetch-block boundaries across a dynamic stream."""
+
+    def __init__(self, fetch_width: int):
+        if fetch_width < 1:
+            raise ValueError("fetch_width must be positive")
+        self.fetch_width = fetch_width
+        self._count = 0
+        self._pending_break = True  # first instruction starts a block
+        self.blocks = 0
+
+    def force_break(self) -> None:
+        """The next instruction must start a new fetch block."""
+        self._pending_break = True
+
+    def place(self, ends_block: bool) -> bool:
+        """Account for one instruction; returns True if it starts a new
+        fetch block.
+
+        ``ends_block`` marks taken control transfers: the *following*
+        instruction starts a new block.
+        """
+        new_block = self._pending_break or self._count >= self.fetch_width
+        if new_block:
+            self._count = 0
+            self._pending_break = False
+            self.blocks += 1
+        self._count += 1
+        if ends_block:
+            self._pending_break = True
+        return new_block

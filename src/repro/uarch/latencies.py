@@ -1,0 +1,36 @@
+"""Functional-unit latencies (paper, Table 2).
+
+Integer ALU ops take 1 cycle; memory ops take 1 cycle of address
+generation plus a 2-cycle cache access on a hit; complex ops follow MIPS
+R10000 latencies (integer multiply 5, divide 35).
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import InstrClass, Instruction
+
+ADDRESS_GEN = 1
+MEM_ACCESS_HIT = 2
+
+#: MIPS R10000 integer multiply/divide latencies.
+MUL_LATENCY = 5
+DIV_LATENCY = 35
+
+_CLASS_LATENCY = {
+    InstrClass.ALU: 1,
+    InstrClass.MUL: MUL_LATENCY,
+    InstrClass.DIV: DIV_LATENCY,
+    InstrClass.LOAD: ADDRESS_GEN + MEM_ACCESS_HIT,
+    InstrClass.STORE: ADDRESS_GEN,  # data held in store queue until retire
+    InstrClass.BRANCH: 1,
+    InstrClass.JUMP: 1,
+    InstrClass.JUMP_INDIRECT: 1,
+    InstrClass.HALT: 1,
+    InstrClass.OUT: 1,
+    InstrClass.NOP: 1,
+}
+
+
+def latency_of(instr: Instruction) -> int:
+    """Execution latency of an instruction, excluding cache misses."""
+    return _CLASS_LATENCY[instr.klass]

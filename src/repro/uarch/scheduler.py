@@ -1,0 +1,242 @@
+"""Table-scheduled out-of-order timing model.
+
+One forward pass assigns every dynamic instruction its pipeline
+timestamps.  The model enforces, per :class:`repro.uarch.config.CoreConfig`:
+
+* **fetch**: one fetch block per cycle (callers mark block boundaries —
+  taken branches, fetch-width limits, redirects); I-cache misses delay
+  the block; redirects (branch mispredictions, recovery) floor the next
+  block's cycle.
+* **dispatch**: in order, ``dispatch_width`` per cycle,
+  ``frontend_depth`` cycles after fetch, and only when the ROB has a
+  free entry (entry freed by the retire of the instruction ``rob_size``
+  earlier).
+* **issue**: out of order once operands are ready, ``issue_width`` per
+  cycle.  Loads additionally wait for the latest earlier store to the
+  same address (store-to-load forwarding at the store's completion).
+  Value-predicted operands (R-stream) override local readiness with the
+  delay-buffer arrival time.
+* **complete**: issue + FU latency (+ D-cache miss penalty for loads).
+* **retire**: in order, ``retire_width`` per cycle, after completion.
+
+The pass is O(n) in dynamic instructions, which is what makes a pure
+Python reproduction of the paper's full benchmark sweep tractable; see
+DESIGN.md for the fidelity argument.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, NamedTuple, Optional, Tuple
+
+from repro.isa.instructions import REG_COUNT
+from repro.uarch.config import CoreConfig
+
+
+class Timestamps(NamedTuple):
+    """Pipeline timestamps of one dynamic instruction."""
+
+    fetch: int
+    dispatch: int
+    issue: int
+    complete: int
+    retire: int
+
+
+class InstrTiming(NamedTuple):
+    """Semantic metadata the scheduler needs about one instruction.
+
+    ``ready_override``, when not None, is the cycle at which *all*
+    source operands become available from the delay buffer (value
+    prediction), replacing producer-completion readiness.
+    """
+
+    new_block: bool
+    icache_penalty: int
+    srcs: Tuple[int, ...]
+    dest: Optional[int]
+    latency: int
+    is_load: bool = False
+    is_store: bool = False
+    mem_addr: Optional[int] = None
+    dcache_penalty: int = 0
+    ready_override: Optional[int] = None
+    fetch_floor: int = 0
+    #: The instruction consumes a delay-buffer data-flow entry at
+    #: dispatch (slipstream R-stream); capped at ``merge_width``/cycle.
+    merged: bool = False
+
+
+class OoOScheduler:
+    """Incremental timestamp assignment for one core's dynamic stream.
+
+    ``block_overhead`` is an optional rational (numerator, denominator)
+    adding extra front-end cycles per fetch block.  The slipstream
+    R-stream uses (1, 2): merging delay-buffer outcome records (operand
+    values, skip markers) with each fetched block before rename costs
+    its front end an extra cycle every other block.  This is the single
+    global fidelity knob that calibrates the R-stream's efficiency to
+    the paper's (see DESIGN.md); conventional cores use (0, 1).
+    """
+
+    def __init__(
+        self,
+        config: CoreConfig,
+        block_overhead: Tuple[int, int] = (0, 1),
+        merge_width: Optional[int] = None,
+    ):
+        self.config = config
+        self._overhead_num, self._overhead_den = block_overhead
+        self._overhead_acc = 0
+        #: Delay-buffer data-flow read ports: at most this many merged
+        #: (value-predicted) instructions dispatch per cycle.
+        self._merge_width = merge_width if merge_width is not None else config.dispatch_width
+        self._merged_count: Dict[int, int] = {}
+        self._reg_ready: List[int] = [0] * REG_COUNT
+        self._store_ready: Dict[int, int] = {}
+        self._rob_retire: Deque[int] = deque()
+        self._issue_count: Dict[int, int] = {}
+        self._dispatch_count: Dict[int, int] = {}
+        self._next_block_cycle = 0
+        self._cur_block_fetch = 0
+        self._last_dispatch = 0
+        self._retire_cycle = 0
+        self._retire_count = 0
+        self.retired = 0
+
+    # ------------------------------------------------------------------
+    # External timing events.
+    # ------------------------------------------------------------------
+
+    def redirect(self, resolve_cycle: int) -> None:
+        """A branch misprediction resolved at ``resolve_cycle``: the next
+        fetch block cannot start before the redirect propagates."""
+        floor = resolve_cycle + 1 + self.config.redirect_penalty
+        if floor > self._next_block_cycle:
+            self._next_block_cycle = floor
+
+    def stall_fetch_until(self, cycle: int) -> None:
+        """External fetch barrier (recovery completion, delay-buffer
+        availability)."""
+        if cycle > self._next_block_cycle:
+            self._next_block_cycle = cycle
+
+    # ------------------------------------------------------------------
+    # The per-instruction pass.
+    # ------------------------------------------------------------------
+
+    def add(self, timing: InstrTiming) -> Timestamps:
+        """Schedule one instruction; returns its pipeline timestamps."""
+        cfg = self.config
+
+        # Fetch.
+        if timing.new_block:
+            block = self._next_block_cycle
+            if timing.fetch_floor > block:
+                block = timing.fetch_floor
+            fetch = block + timing.icache_penalty
+            self._cur_block_fetch = fetch
+            gap = 1
+            if self._overhead_num:
+                self._overhead_acc += self._overhead_num
+                if self._overhead_acc >= self._overhead_den:
+                    self._overhead_acc -= self._overhead_den
+                    gap += 1
+            self._next_block_cycle = fetch + gap
+        else:
+            fetch = self._cur_block_fetch
+
+        # Operand readiness (computed first: whether the delay-buffer
+        # merge port is needed depends on whether the prediction
+        # actually accelerates this instruction).
+        ready = 0
+        reg_ready = self._reg_ready
+        for src in timing.srcs:
+            t = reg_ready[src]
+            if t > ready:
+                ready = t
+        if timing.is_load and timing.mem_addr is not None:
+            t = self._store_ready.get(timing.mem_addr, 0)
+            if t > ready:
+                ready = t
+        accelerated = (
+            timing.ready_override is not None and timing.ready_override < ready
+        )
+        if accelerated:
+            # Value-predicted operands (delay buffer): predictions only
+            # ever *accelerate* readiness — the local bypass network
+            # still supplies values at producer completion.
+            local_ready = ready
+            ready = timing.ready_override
+
+        # Dispatch: in order, width-limited, ROB-limited.
+        dispatch = fetch + cfg.frontend_depth
+        if dispatch < self._last_dispatch:
+            dispatch = self._last_dispatch
+        if len(self._rob_retire) >= cfg.rob_size:
+            rob_free = self._rob_retire.popleft()
+            if dispatch < rob_free:
+                dispatch = rob_free
+        counts = self._dispatch_count
+        while counts.get(dispatch, 0) >= cfg.dispatch_width:
+            dispatch += 1
+        # Delay-buffer merge ports (slipstream R-stream): consumed only
+        # when the prediction actually matters — the operand would not
+        # have been locally available by dispatch time.
+        needs_merge = (
+            timing.merged and accelerated and local_ready > dispatch
+        )
+        if needs_merge:
+            merged_counts = self._merged_count
+            while counts.get(dispatch, 0) >= cfg.dispatch_width or (
+                merged_counts.get(dispatch, 0) >= self._merge_width
+            ):
+                dispatch += 1
+            merged_counts[dispatch] = merged_counts.get(dispatch, 0) + 1
+        counts[dispatch] = counts.get(dispatch, 0) + 1
+        self._last_dispatch = dispatch
+
+        # Issue: width-limited slot search.
+        issue = dispatch if dispatch > ready else ready
+        counts = self._issue_count
+        while counts.get(issue, 0) >= cfg.issue_width:
+            issue += 1
+        counts[issue] = counts.get(issue, 0) + 1
+
+        # Complete.
+        complete = issue + timing.latency
+        if timing.is_load:
+            complete += timing.dcache_penalty
+        if timing.dest is not None:
+            self._reg_ready[timing.dest] = complete
+        if timing.is_store and timing.mem_addr is not None:
+            self._store_ready[timing.mem_addr] = complete
+
+        # Retire: in order, width-limited.
+        earliest = complete + 1
+        if earliest > self._retire_cycle:
+            self._retire_cycle = earliest
+            self._retire_count = 1
+        elif self._retire_count >= cfg.retire_width:
+            self._retire_cycle += 1
+            self._retire_count = 1
+        else:
+            self._retire_count += 1
+        retire = self._retire_cycle
+
+        self._rob_retire.append(retire)
+        self.retired += 1
+        return Timestamps(fetch, dispatch, issue, complete, retire)
+
+    # ------------------------------------------------------------------
+    # Results.
+    # ------------------------------------------------------------------
+
+    @property
+    def total_cycles(self) -> int:
+        """Cycles elapsed through the last retirement."""
+        return self._retire_cycle
+
+    @property
+    def ipc(self) -> float:
+        return self.retired / self._retire_cycle if self._retire_cycle else 0.0

@@ -1,0 +1,97 @@
+"""Pipeline-timeline rendering for debugging and teaching.
+
+Captures per-instruction pipeline timestamps from an
+:class:`~repro.uarch.scheduler.OoOScheduler` and renders the classic
+textbook pipeline diagram (one row per instruction, one column per
+cycle, F/D/I/C/R stage letters).  Used by tests and by anyone poking at
+why a stream scheduled the way it did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.uarch.scheduler import Timestamps
+
+
+@dataclass
+class TimelineEntry:
+    """One instruction's row in the diagram."""
+
+    label: str
+    stamps: Timestamps
+
+
+class PipelineTimeline:
+    """Collects (label, Timestamps) pairs and renders them."""
+
+    def __init__(self) -> None:
+        self.entries: List[TimelineEntry] = []
+
+    def record(self, label: str, stamps: Timestamps) -> None:
+        self.entries.append(TimelineEntry(label, stamps))
+
+    def window(self, start: int, count: int) -> List[TimelineEntry]:
+        return self.entries[start:start + count]
+
+    def render(
+        self,
+        start: int = 0,
+        count: int = 16,
+        label_width: int = 24,
+    ) -> str:
+        """Render rows [start, start+count) as a stage diagram.
+
+        Stage letters: F fetch, D dispatch, I issue, C complete,
+        R retire; ``.`` marks cycles in flight between stages.
+        """
+        entries = self.window(start, count)
+        if not entries:
+            return "(empty timeline)"
+        base = min(e.stamps.fetch for e in entries)
+        horizon = max(e.stamps.retire for e in entries) - base + 1
+        lines = [
+            " " * label_width + "".join(
+                f"{(base + c) % 10}" for c in range(horizon)
+            )
+        ]
+        for entry in entries:
+            stamps = entry.stamps
+            row = [" "] * horizon
+            for left, right in (
+                (stamps.fetch, stamps.dispatch),
+                (stamps.dispatch, stamps.issue),
+                (stamps.issue, stamps.complete),
+                (stamps.complete, stamps.retire),
+            ):
+                for cycle in range(left, right):
+                    row[cycle - base] = "."
+            row[stamps.fetch - base] = "F"
+            row[stamps.dispatch - base] = "D"
+            row[stamps.issue - base] = "I"
+            row[stamps.complete - base] = "C"
+            row[stamps.retire - base] = "R"
+            label = entry.label[:label_width - 2].ljust(label_width)
+            lines.append(label + "".join(row))
+        return "\n".join(lines)
+
+
+def trace_core_timeline(core, limit: int = 4096) -> PipelineTimeline:
+    """Wrap a :class:`~repro.uarch.core.SuperscalarCore`'s scheduler so
+    that running the core also fills a timeline (first ``limit``
+    instructions)."""
+    timeline = PipelineTimeline()
+    scheduler = core.scheduler
+    original_add = scheduler.add
+    counter = [0]
+
+    def recording_add(timing):
+        stamps = original_add(timing)
+        if counter[0] < limit:
+            timeline.record(f"#{counter[0]}", stamps)
+            counter[0] += 1
+        return stamps
+
+    scheduler.add = recording_add
+    return timeline

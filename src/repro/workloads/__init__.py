@@ -1,0 +1,18 @@
+"""SPEC95-integer analog workloads.
+
+The paper evaluates on the SPEC95 integer benchmarks (Table 1).  Those
+binaries (and the SimpleScalar toolchain that compiled them) are not
+reproducible here, so each benchmark is replaced by a synthetic analog
+written in our ISA that mimics the *relevant* characteristics of its
+namesake — branch predictability, ineffectual-write density (silent
+stores / dead writes), loop structure and ILP — because those are
+exactly the properties that drive the paper's results (Figure 8
+correlates removal with performance; Table 3 correlates removal with
+branch predictability).  See DESIGN.md's substitution table.
+
+Use :func:`repro.workloads.suite.benchmark_suite` to get all eight.
+"""
+
+from repro.workloads.suite import Benchmark, benchmark_suite, get_benchmark
+
+__all__ = ["Benchmark", "benchmark_suite", "get_benchmark"]

@@ -1,0 +1,139 @@
+"""compress analog: an LZW-style hash-probing coder.
+
+Real compress (SPEC95, ``40000 e 2231``) is the least predictable
+benchmark in the paper's table: 16 branch mispredictions per 1000
+instructions and base IPC of only 1.72, with modest removable work.
+Performance is dominated by a data-dependent hash-probe hit/miss
+branch over a large code table.
+
+The analog codes a pseudo-random input stream (in-program LCG — the
+*high* bits, which a trace predictor cannot learn):
+
+* combines the previous code and the next symbol into a hash and
+  probes a 128KB code table — the hit/miss branch depends on the
+  random symbol stream and mispredicts heavily, and the probes miss
+  the 64KB data cache, exactly like real compress's table search;
+* a biased secondary branch on the running code's low bits adds the
+  rest of the misprediction budget;
+* carries a serial dependence (the previous code feeds the next hash);
+* every 64 symbols runs a *block-ratio scan* — a long, perfectly
+  predictable inner loop re-writing compression-ratio status words
+  (silent stores) and a scan scratch slot (dead writes).  The scan is
+  long enough (64 iterations, 16+ traces) that its interior traces see
+  an all-stable path history, so it is the one region where the
+  IR-predictor's confidence can saturate: compress's small removal
+  fraction comes entirely from here.
+"""
+
+from __future__ import annotations
+
+from repro.isa.program import Program
+from repro.workloads.dsl import Asm
+
+_TABLE_SLOTS = 16384
+_RATIO_ENTRIES = 64
+
+
+def build(scale: int = 1) -> Program:
+    """Build the workload; ``scale`` multiplies the iteration count."""
+    asm = Asm("compress")
+    symbols = 6400 * scale
+    ratio_init = " ".join(str((7 * i) & 0xFF) for i in range(_RATIO_ENTRIES))
+    scan_lines = []
+    for i in range(_RATIO_ENTRIES):
+        scan_lines.append(
+            f"""
+            lw   r13, {4 * i}(r25)
+            srai r14, r13, 4
+            xor  r14, r14, r13
+            sltu r15, r14, r0           # saturation flag: always 0
+            sw   r15, 0(r17)            # SV store
+            andi r16, r15, 1            # still 0
+            sw   r16, 4(r17)            # SV store
+            sw   r14, 8(r17)            # WW scan scratch (dead)
+            """
+        )
+    scan_body = "".join(scan_lines)
+    asm.emit(
+        f"""
+        .text
+        main:
+            addi r1, r0, {symbols}
+            addi r2, r0, table
+            addi r3, r0, 0              # previous code
+            addi r20, r0, 0             # emitted-code count
+            addi r21, r0, 0             # table insertions
+            addi r17, r0, flags
+            addi r25, r0, ratio
+        """
+    )
+    asm.lcg_seed(0x2231)
+    asm.emit(
+        f"""
+        symbol:
+        """
+    )
+    asm.lcg_step()
+    asm.emit(
+        f"""
+            srli r4, r29, 24
+            andi r4, r4, 31             # symbol (0..31)
+            # ---- hash(prev_code, symbol): serial through r3 ----
+            slli r5, r3, 4
+            xor  r5, r5, r4
+            add  r5, r5, r3
+            andi r5, r5, {_TABLE_SLOTS - 1}
+            slli r6, r5, 3              # slot = [key, code]
+            add  r6, r6, r2
+            # ---- probe: data-dependent hit/miss branch ----
+            lw   r7, 0(r6)              # stored key
+            slli r8, r3, 5
+            or   r8, r8, r4
+            addi r8, r8, 1              # search key (never 0)
+            beq  r7, r8, hit
+            # ---- miss: emit code, insert entry ----
+            sw   r8, 0(r6)              # live store
+            addi r21, r21, 1
+            sw   r21, 4(r6)             # live store
+            addi r20, r20, 1
+            add  r3, r4, r0             # restart from symbol
+            j    emit_check
+        hit:
+            lw   r3, 4(r6)              # continue from stored code
+            add  r27, r3, r4            # path balance
+            xor  r27, r27, r4
+            add  r27, r27, r3
+            addi r20, r20, 0
+            j    emit_check
+        emit_check:
+            # ---- biased secondary branch on the running code (arms
+            # equal length so the trace phase stays fixed) ----
+            andi r9, r3, 3
+            bne  r9, r0, emit_skip
+            addi r20, r20, 1
+            j    no_emit
+        emit_skip:
+            add  r27, r27, r9           # path balance
+            xor  r27, r27, r3           # path balance
+        no_emit:
+            # ---- block-ratio scan every 64 symbols (fully unrolled:
+            # every trace in the scan has a distinct start PC, so the
+            # IR-predictor's path contexts are unambiguous and its
+            # confidence can saturate) ----
+            andi r10, r1, 63
+            bne  r10, r0, next
+        {scan_body}
+        next:
+            addi r1, r1, -1
+            bne  r1, r0, symbol
+            out  r20
+            out  r21
+            halt
+
+        .data
+        table: .space {_TABLE_SLOTS * 8}
+        ratio: .word {ratio_init}
+        flags: .space 16
+        """
+    )
+    return asm.build()

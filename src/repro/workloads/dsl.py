@@ -1,0 +1,87 @@
+"""Helpers for writing workload programs.
+
+Workloads are generated as assembly text.  The :class:`Asm` builder
+keeps that readable: fresh label allocation, fragment emission, and a
+couple of common idioms (LCG pseudo-random steps, counted loops).
+
+Register conventions used by the workloads (not enforced by hardware):
+
+* ``r31`` — link register (``jal``/``jalr``)
+* ``r29`` — pseudo-random LCG state
+* ``r1``–``r28`` — free
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.isa.assembler import assemble
+from repro.isa.program import Program
+
+#: Multiplier of the classic C-library LCG; together with the +12345
+#: increment it gives a full-period mod-2^32 generator whose *high*
+#: bits are effectively unpredictable to a trace predictor (low bits
+#: are short-period and must not be used for "random" branches).
+LCG_MULTIPLIER = 1103515245
+LCG_INCREMENT = 12345
+
+
+class Asm:
+    """An assembly-text builder with fresh-label support."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._lines: List[str] = []
+        self._label_counter = 0
+
+    def label(self, prefix: str = "L") -> str:
+        """Allocate a fresh, unique label name."""
+        self._label_counter += 1
+        return f"{prefix}_{self._label_counter}"
+
+    def emit(self, text: str) -> None:
+        """Append a fragment (may be multiple lines; indentation-agnostic)."""
+        for line in text.splitlines():
+            line = line.strip()
+            if line:
+                self._lines.append(line)
+
+    def lcg_seed(self, seed: int, state_reg: str = "r29") -> None:
+        """Initialise the LCG state register."""
+        self.emit(
+            f"""
+            lui  {state_reg}, {(seed >> 16) & 0xFFFF}
+            ori  {state_reg}, {state_reg}, {seed & 0xFFFF}
+            """
+        )
+
+    def lcg_step(self, state_reg: str = "r29", tmp_reg: str = "r28") -> None:
+        """Advance the LCG: state = state * 1103515245 + 12345."""
+        hi = (LCG_MULTIPLIER >> 16) & 0xFFFF
+        lo = LCG_MULTIPLIER & 0xFFFF
+        self.emit(
+            f"""
+            lui  {tmp_reg}, {hi}
+            ori  {tmp_reg}, {tmp_reg}, {lo}
+            mul  {state_reg}, {state_reg}, {tmp_reg}
+            addi {state_reg}, {state_reg}, {LCG_INCREMENT}
+            """
+        )
+
+    def random_bit(self, dest_reg: str, bit: int = 28,
+                   state_reg: str = "r29", tmp_reg: str = "r28") -> None:
+        """Advance the LCG and extract one *high* bit into ``dest_reg``."""
+        self.lcg_step(state_reg, tmp_reg)
+        self.emit(
+            f"""
+            srli {dest_reg}, {state_reg}, {bit}
+            andi {dest_reg}, {dest_reg}, 1
+            """
+        )
+
+    def source(self) -> str:
+        return "\n".join(self._lines) + "\n"
+
+    def build(self) -> Program:
+        """Assemble into a :class:`Program`."""
+        return assemble(self.source(), name=self.name)

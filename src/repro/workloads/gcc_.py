@@ -1,0 +1,153 @@
+"""gcc analog: an IR-rewriting (peephole) pass.
+
+Real gcc compiles ``genrecog.i``: branchy traversal code with mixed
+predictability (6.4 mispredictions per 1000 instructions), moderate
+base IPC (2.69) and modest removal (~8%).  The paper singles gcc out:
+its traces embed consistently-removable branches *together with*
+unpredictable branches, so trace-grained confidence rarely saturates —
+removal underperforms its opportunity (section 5's "unstable traces"
+discussion).
+
+The analog makes a single pass over an 8K-node IR buffer (64KB — the
+streaming walk also exercises the data cache).  Per node (a uniform
+34-instruction body; the opcode pattern repeats every 96 nodes, so the
+trace stream is periodic):
+
+* a live folding chain over the node's opcode/operand (window-limiting
+  serial work);
+* a dead-flag check that never fires (predictable, removable BR);
+* an opcode-class split with equal-length arms (periodic,
+  predictable);
+* a *profitability test* on opcode classes 0-1 (~29% of the nodes)
+  keyed to an LCG high bit — genuinely unpredictable, and deliberately
+  embedded in the same loop body as the removable branches above: the
+  chaos rides in the same traces and destabilises their confidence,
+  reproducing gcc's "unstable traces" pathology;
+* pass-status bookkeeping: a silent error-flag store (SV) and a
+  last-match scratch overwritten unread (WW).
+"""
+
+from __future__ import annotations
+
+from repro.isa.program import Program
+from repro.workloads.dsl import Asm
+
+_NODES = 8192
+_PATTERN = 96
+
+
+def _opcode(i: int) -> int:
+    """Opcode class of node *i*: the 96-node pattern clusters the
+    chaotic classes (0-1, which take the LCG-keyed profitability test)
+    into one 28-node stretch, leaving a 68-node chaos-free stretch whose
+    traces stay confidence-stable (real gcc's unpredictable branches
+    likewise cluster in specific functions)."""
+    phase = i % _PATTERN
+    if phase < 28:
+        return phase % 2
+    return 2 + ((phase * 5 + (phase * phase) // 7) % 4)
+
+
+def build(scale: int = 1) -> Program:
+    """Build the workload; ``scale`` multiplies the iteration count."""
+    asm = Asm("gcc")
+    nodes = _NODES * scale
+    words = []
+    for i in range(nodes):
+        words.extend([_opcode(i), (i * 13) & 0x3F])
+    asm.emit(
+        f"""
+        .text
+        main:
+            addi r1, r0, {nodes}
+            addi r2, r0, nodes_buf
+            addi r3, r0, 0              # node index
+            addi r17, r0, stats
+            addi r20, r0, 0             # fold checksum
+            addi r21, r0, 0             # class counter
+            addi r22, r0, 0             # rewrite counter
+        """
+    )
+    asm.lcg_seed(0xBEEF)
+    asm.emit(
+        """
+        node:
+            lw   r4, 0(r2)              # opcode
+            lw   r5, 4(r2)              # operand
+            # ---- live folding chain ----
+            add  r6, r5, r4
+            xor  r6, r6, r3
+            srai r7, r6, 2
+            add  r7, r7, r6
+            xor  r8, r7, r5
+            add  r20, r20, r8
+            # ---- rule 1: dead-flag check (never fires: removable) ----
+            andi r9, r4, 8
+            bne  r9, r0, rewrite_hard
+            # ---- rule 2: opcode class split (periodic pattern) ----
+            slti r10, r4, 3
+            beq  r10, r0, high_class
+            andi r11, r5, 31
+            add  r21, r21, r11
+            add  r27, r21, r11          # path scratch
+            j    class_done
+        high_class:
+            srli r11, r5, 2
+            xor  r21, r21, r11
+            add  r27, r21, r11          # path scratch
+            j    class_done
+        class_done:
+            # ---- rule 3: profitability test on classes 0-1 (~29%% of
+            # nodes) ----
+            slti r12, r4, 2
+            beq  r12, r0, no_chaos
+        """
+    )
+    asm.lcg_step(tmp_reg="r28")
+    asm.emit(
+        """
+            srli r13, r29, 27
+            andi r13, r13, 1
+            beq  r13, r0, chaos_b
+            add  r22, r22, r13
+            j    merge
+        chaos_b:
+            addi r22, r22, 2
+            j    merge
+        no_chaos:
+            # pad to the chaos path's length (9 instructions)
+            add  r27, r27, r8           # path scratch
+            xor  r27, r27, r5           # path scratch
+            add  r27, r27, r4           # path scratch
+            xor  r27, r27, r8           # path scratch
+            add  r27, r27, r5           # path scratch
+            xor  r27, r27, r4           # path scratch
+            add  r27, r27, r8           # path scratch
+            xor  r27, r27, r5           # path scratch
+            add  r27, r27, r4           # path scratch
+        merge:
+            xor  r20, r20, r27          # consume path scratch (live)
+            # ---- pass-status bookkeeping (removable) ----
+            sltu r14, r20, r0           # error flag: always 0
+            sw   r14, 0(r17)            # SV store
+            sw   r8, 4(r17)             # WW last-match scratch
+            # ---- advance ----
+            addi r2, r2, 8
+            addi r3, r3, 1
+            addi r1, r1, -1
+            bne  r1, r0, node
+            out  r20
+            out  r21
+            out  r22
+            halt
+        rewrite_hard:
+            # target of the never-taken dead-flag check
+            addi r22, r22, 64
+            j    merge
+
+        .data
+        """
+    )
+    asm.emit(f"nodes_buf: .word {' '.join(str(w) for w in words)}")
+    asm.emit("stats: .space 16")
+    return asm.build()

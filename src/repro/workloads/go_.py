@@ -1,0 +1,111 @@
+"""go analog: game-tree position evaluation.
+
+Real go (SPEC95, level 99) is control-flow chaos: 11 branch
+mispredictions per 1000 instructions, base IPC 2.15, and essentially
+nothing removable (~4%) — decisions depend on evolving board state.
+
+The analog evaluates candidate moves on a 64-cell board whose contents
+evolve with play:
+
+* a candidate cell is chosen from LCG high bits (unlearnable);
+* the evaluation walks the cell's neighbourhood with branches on cell
+  occupancy — board-dependent, effectively random;
+* promising moves mutate the board (live stores), so the branch
+  behaviour keeps shifting, defeating both the trace predictor and the
+  IR-detector's stability requirement.
+"""
+
+from __future__ import annotations
+
+from repro.isa.program import Program
+from repro.workloads.dsl import Asm
+
+_BOARD_CELLS = 64
+
+
+def build(scale: int = 1) -> Program:
+    """Build the workload; ``scale`` multiplies the iteration count."""
+    asm = Asm("go")
+    moves = 3800 * scale
+    board_init = " ".join(str(1 if i % 8 == 0 else 0) for i in range(_BOARD_CELLS))
+    asm.emit(
+        f"""
+        .text
+        main:
+            addi r1, r0, {moves}
+            addi r2, r0, board
+            addi r20, r0, 0             # score
+            addi r21, r0, 0             # stones placed
+        """
+    )
+    asm.lcg_seed(0x60)
+    asm.emit("move:")
+    asm.lcg_step()
+    asm.emit(
+        f"""
+            srli r3, r29, 23
+            andi r3, r3, {_BOARD_CELLS - 1}   # candidate cell
+            slli r4, r3, 2
+            add  r4, r4, r2
+            lw   r5, 0(r4)              # cell occupancy (mostly empty)
+            bne  r5, r0, occupied
+            # ---- empty cell: evaluate the neighbourhood ----
+            addi r6, r3, 1
+            andi r6, r6, {_BOARD_CELLS - 1}
+            slli r6, r6, 2
+            add  r6, r6, r2
+            lw   r7, 0(r6)              # right neighbour
+            addi r8, r3, {_BOARD_CELLS - 8}
+            andi r8, r8, {_BOARD_CELLS - 1}
+            slli r8, r8, 2
+            add  r8, r8, r2
+            lw   r9, 0(r8)              # "up" neighbour
+            # branches on evolving board content: unpredictable
+            beq  r7, r0, liberty_right
+            addi r20, r20, 2
+            j    check_up
+        liberty_right:
+            addi r20, r20, 5
+        check_up:
+            beq  r9, r0, liberty_up
+            sub  r20, r20, r7
+            j    place_decision
+        liberty_up:
+            addi r20, r20, 3
+        place_decision:
+            # influence evaluation: serial fold over the neighbourhood
+            add  r14, r7, r9
+            xor  r14, r14, r3
+            srai r15, r14, 1
+            add  r15, r15, r14
+            xor  r15, r15, r7
+            add  r20, r20, r15
+            # place a stone only on a strong signal (rare, data-driven)
+            andi r10, r15, 15
+            bne  r10, r0, move_done
+            addi r11, r0, 1
+            sw   r11, 0(r4)             # mutate the board (live)
+            addi r21, r21, 1
+            j    move_done
+        occupied:
+            # contested cell: capture check on diagonal neighbour
+            addi r12, r3, 9
+            andi r12, r12, {_BOARD_CELLS - 1}
+            slli r12, r12, 2
+            add  r12, r12, r2
+            lw   r13, 0(r12)
+            bne  r13, r5, move_done
+            sw   r0, 0(r12)             # capture (live store)
+            addi r20, r20, 1
+        move_done:
+            addi r1, r1, -1
+            bne  r1, r0, move
+            out  r20
+            out  r21
+            halt
+
+        .data
+        board: .word {board_init}
+        """
+    )
+    return asm.build()

@@ -1,0 +1,113 @@
+"""jpeg analog: blocked transform coding (DCT-like).
+
+Real ijpeg (``vigo.ppm``) is loop-dominated image arithmetic: high ILP
+(base IPC 3.24, the highest alongside vortex), decent predictability
+(4.1 mispredictions per 1000 — fixed-trip loops with a few
+data-dependent clamps) and very little removable work: almost every
+computed value is consumed by the output block.
+
+The analog transforms 8-sample blocks of a synthetic image:
+
+* the inner loop multiply-accumulates samples against a coefficient
+  row (independent accumulators: ILP-rich, fully predictable trips);
+* coefficients are quantised with a data-dependent clamp branch (the
+  modest misprediction source);
+* results are stored to the output block (live stores — nothing
+  ineffectual), so removal finds only loop-control branches.
+"""
+
+from __future__ import annotations
+
+from repro.isa.program import Program
+from repro.workloads.dsl import Asm
+
+_BLOCK = 8
+
+
+def build(scale: int = 1) -> Program:
+    """Build the workload; ``scale`` multiplies the iteration count."""
+    asm = Asm("jpeg")
+    blocks = 800 * scale
+    coeffs = " ".join(str(3 + 2 * i) for i in range(_BLOCK))
+    samples = " ".join(str((i * 29 + 7) & 0xFF) for i in range(64))
+    asm.emit(
+        f"""
+        .text
+        main:
+            addi r1, r0, {blocks}
+            addi r2, r0, samples
+            addi r3, r0, coeffs
+            addi r4, r0, outblock
+            addi r26, r0, 0             # image checksum
+            addi r5, r0, 0              # block index
+        block:
+            # ---- select the block's sample row (wraps over 8 rows) ----
+            andi r6, r5, 7
+            slli r6, r6, 5              # row * 8 samples * 4 bytes
+            add  r6, r6, r2
+            # ---- transform: 8 independent MACs (ILP-rich) ----
+            lw   r10, 0(r6)
+            lw   r11, 4(r6)
+            lw   r12, 8(r6)
+            lw   r13, 12(r6)
+            lw   r14, 16(r6)
+            lw   r15, 20(r6)
+            lw   r16, 24(r6)
+            lw   r17, 28(r6)
+            lw   r18, 0(r3)
+            lw   r19, 4(r3)
+            mul  r10, r10, r18
+            mul  r11, r11, r19
+            lw   r18, 8(r3)
+            lw   r19, 12(r3)
+            mul  r12, r12, r18
+            mul  r13, r13, r19
+            lw   r18, 16(r3)
+            lw   r19, 20(r3)
+            mul  r14, r14, r18
+            mul  r15, r15, r19
+            lw   r18, 24(r3)
+            lw   r19, 28(r3)
+            mul  r16, r16, r18
+            mul  r17, r17, r19
+            add  r20, r10, r11
+            add  r21, r12, r13
+            add  r22, r14, r15
+            add  r23, r16, r17
+            add  r20, r20, r21
+            add  r22, r22, r23
+            add  r20, r20, r22          # block energy
+            # ---- quantise with a data-dependent clamp ----
+            srai r24, r20, 6
+            slti r25, r24, 2048
+            bne  r25, r0, no_clamp
+            addi r24, r0, 2047
+        no_clamp:
+            # ---- dithering decision (rare, data-dependent: the modest
+            # misprediction source real jpeg has) ----
+            mul  r8, r26, r5
+            srli r8, r8, 21
+            andi r8, r8, 7
+            bne  r8, r0, no_dither
+            addi r24, r24, 1
+        no_dither:
+            # ---- store the coded block (live) ----
+            andi r7, r5, 15
+            slli r7, r7, 2
+            add  r7, r7, r4
+            sw   r24, 0(r7)
+            add  r26, r26, r24
+            # ---- next block ----
+            addi r5, r5, 1
+            addi r1, r1, -1
+            bne  r1, r0, block
+            out  r26
+            halt
+
+        .data
+        samples:  .word {samples}
+        coeffs:   .word {coeffs}
+        outblock: .space 64
+        """
+    )
+    return asm.build()

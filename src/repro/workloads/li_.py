@@ -1,0 +1,142 @@
+"""li analog: a lisp-interpreter evaluation loop.
+
+Real li (xlisp running ``queens 7``) chases cons cells and dispatches
+on type tags: moderate branch predictability (6.5 mispredictions per
+1000 instructions), pointer-chasing load-use chains that hold base IPC
+to 2.88, and ~10% removal.
+
+The analog walks a ring of 64 cons cells.  Each evaluation step is a
+uniform 32 instructions (16 cells = 512 instructions = 16 traces, so
+the trace-phase pattern is short and stable):
+
+* **pointer chase** — the cell's cdr is stored as an *index* that must
+  be loaded, scaled and added before the next cell can be touched: a
+  loop-carried serial chain (the classic lisp heap walk) that limits
+  the conventional core and that the R-stream's value predictions
+  dissolve;
+* **type dispatch** — the tag pattern repeats every 16 cells: mostly
+  trace-predictable, all dispatch paths padded to the same length;
+* **gc poll** — three of every eight cells run an allocation check keyed to an
+  in-program LCG high bit: concentrated, genuinely unpredictable
+  branches (the source of li's moderate misprediction rate), confined
+  to their own paths so the other traces keep stable removal
+  confidence;
+* **bookkeeping** — gc-colour and environment-depth words re-written
+  unchanged (SV) and a per-step scratch slot overwritten unread (WW).
+"""
+
+from __future__ import annotations
+
+from repro.isa.program import Program
+from repro.workloads.dsl import Asm
+
+_CELLS = 64
+_TAG_PATTERN = [0, 1, 2, 0, 1, 3, 0, 2, 1, 0, 3, 2, 0, 1, 2, 3]
+
+
+def build(scale: int = 1) -> Program:
+    """Build the workload; ``scale`` multiplies the iteration count."""
+    asm = Asm("li")
+    steps = 8000 * scale
+    # Cons cells: [tag, value, cdr_index, pad]; 16-byte cells.
+    cells = []
+    for i in range(_CELLS):
+        tag = _TAG_PATTERN[i % len(_TAG_PATTERN)]
+        cells.extend([tag, (i * 37) & 0xFF, (i + 1) % _CELLS, 0])
+    asm.emit(
+        f"""
+        .text
+        main:
+            addi r1, r0, {steps}
+            addi r2, r0, cells          # heap base
+            addi r3, r0, 0              # current cell index
+            addi r17, r0, gcstate
+            addi r6, r0, 1
+            sw   r6, 0(r17)             # gc colour = white(1)
+            addi r6, r0, 3
+            sw   r6, 4(r17)             # env depth = 3
+            addi r26, r0, 0             # eval accumulator
+        """
+    )
+    asm.lcg_seed(0x71)
+    asm.emit(
+        f"""
+        eval:
+            # ---- locate cell and load it (pointer-chase chain) ----
+            slli r4, r3, 4
+            add  r4, r4, r2             # cell address
+            lw   r5, 0(r4)              # tag
+            lw   r7, 4(r4)              # value
+            lw   r3, 8(r4)              # cdr index (carried chain)
+            # ---- gc poll on three of every eight cells (concentrated
+            # chaos; the quiet stretches keep their traces stable) ----
+            andi r8, r3, 7
+            slti r8, r8, 3
+            beq  r8, r0, no_gc
+        """
+    )
+    asm.random_bit("r9", bit=26)
+    asm.emit(
+        f"""
+            beq  r9, r0, gc_white
+            add  r26, r26, r9           # "grey" bookkeeping
+            j    dispatch
+        gc_white:
+            addi r26, r26, 2
+            j    dispatch
+        no_gc:
+            # pad to match the gc-poll path length (9 instructions)
+            add  r27, r7, r5            # path scratch (live via eval_done)
+            add  r27, r27, r5           # path scratch (live via eval_done)
+            xor  r27, r27, r7           # path scratch (live via eval_done)
+            add  r27, r27, r7           # path scratch (live via eval_done)
+            add  r27, r27, r5           # path scratch (live via eval_done)
+            xor  r27, r27, r5           # path scratch (live via eval_done)
+            add  r27, r27, r5           # path scratch (live via eval_done)
+            xor  r27, r27, r7           # path scratch (live via eval_done)
+            add  r27, r27, r5           # path scratch (live via eval_done)
+        dispatch:
+            # ---- type dispatch (tag pattern repeats every 16 cells;
+            # all paths are seven instructions) ----
+            beq  r5, r0, tag_fixnum
+            addi r10, r0, 1
+            beq  r5, r10, tag_cons
+            slti r11, r5, 3
+            beq  r11, r0, tag_string
+            sub  r26, r26, r7           # tag 2: symbol
+            j    eval_done
+        tag_string:
+            xor  r26, r26, r7
+            j    eval_done
+        tag_fixnum:
+            add  r26, r26, r7
+            add  r27, r27, r5           # path scratch (live via eval_done)
+            add  r27, r27, r5           # path scratch (live via eval_done)
+            xor  r27, r27, r5           # path scratch (live via eval_done)
+            add  r27, r27, r5           # path scratch (live via eval_done)
+            j    eval_done
+        tag_cons:
+            slli r12, r7, 1
+            add  r26, r26, r12
+            add  r27, r27, r5           # path scratch (live via eval_done)
+            j    eval_done
+        eval_done:
+            xor  r26, r26, r27          # consume the path scratch (live)
+            add  r26, r26, r8           # poll-phase bit (live)
+            # ---- interpreter bookkeeping: removable ----
+            lw   r14, 0(r17)
+            add  r26, r26, r14          # gc colour feeds the checksum
+            sw   r14, 0(r17)            # SV gc colour rewrite
+            sw   r27, 12(r17)           # WW last-eval scratch
+            # ---- advance ----
+            addi r1, r1, -1
+            bne  r1, r0, eval
+            out  r26
+            halt
+
+        .data
+        cells:   .word {' '.join(str(w) for w in cells)}
+        gcstate: .space 16
+        """
+    )
+    return asm.build()

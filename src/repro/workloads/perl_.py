@@ -1,0 +1,124 @@
+"""perl analog: string hashing and dictionary bookkeeping.
+
+Real perl (the SPEC95 ``scrabble`` input) hashes dictionary words and
+updates interpreter bookkeeping: very predictable control flow (2.0
+branch mispredictions per 1000 instructions), base IPC 3.08, and the
+second-largest removal fraction in the paper (~20%) — interpreter
+flag/arena state is re-written unchanged constantly.
+
+The analog iterates over a word table.  Per word it:
+
+* hashes the word's packed 4-character chunks (an inner loop whose
+  trip count follows a short periodic length table — the loop-carried
+  hash chain runs through a chunk load, which is what holds the
+  conventional core's IPC down and what the R-stream's value
+  predictions dissolve);
+* updates the bucket count for the hash (live read-modify-write);
+* folds the hash through a post-processing chain into a checksum
+  (live, independent across words);
+* re-writes the interpreter's hot state block — taint flag, locale
+  word — with unchanged values (SV) through feeder chains (P: SV),
+  and writes per-word "last match" scratch that the next word
+  overwrites unread (WW).
+
+The word body is exactly 31 fixed instructions plus 10 per chunk; the
+8-word length pattern sums to 20 chunks, so one pattern cycle is 448
+instructions = 14 traces, giving the trace-phase stability the
+IR-predictor's confidence mechanism needs.
+"""
+
+from __future__ import annotations
+
+from repro.isa.program import Program
+from repro.workloads.dsl import Asm
+
+#: Word lengths in 4-byte chunks, cycled (sums to 20).
+_WORD_CHUNKS = [2, 3, 2, 4, 2, 3, 2, 2]
+_BUCKETS = 32768
+
+
+def build(scale: int = 1) -> Program:
+    """Build the workload; ``scale`` multiplies the iteration count."""
+    asm = Asm("perl")
+    words = 4200 * scale
+    pool = [(0x61626364 + 17 * i) & 0x7FFFFFFF for i in range(16)]
+    lengths = " ".join(str(c) for c in _WORD_CHUNKS)
+    asm.emit(
+        f"""
+        .text
+        main:
+            addi r1, r0, {words}
+            addi r2, r0, pool
+            addi r3, r0, lengths
+            addi r4, r0, 0              # word index
+            addi r5, r0, buckets
+            addi r17, r0, state
+            addi r6, r0, 1
+            sw   r6, 0(r17)             # taint flag = 1
+            addi r26, r0, 0             # total words hashed
+            addi r25, r0, 0             # checksum
+        word:
+            # ---- pick this word's chunk count (periodic) ----
+            andi r7, r4, 7
+            slli r7, r7, 2
+            add  r7, r7, r3
+            lw   r8, 0(r7)              # chunks in this word
+            addi r9, r0, 0              # hash
+            addi r10, r0, 0             # chunk index
+        chunk:
+            # ---- fold one chunk: the hash chain runs through the
+            # chunk load (serial per iteration) ----
+            add  r11, r10, r4
+            andi r11, r11, 15
+            slli r11, r11, 2
+            add  r11, r11, r2
+            lw   r12, 0(r11)            # chunk data
+            slli r13, r9, 3
+            add  r13, r13, r9           # hash * 9
+            xor  r9, r13, r12
+            addi r10, r10, 1
+            bne  r10, r8, chunk
+            # ---- bucket update (live; the hash spreads over a heap-
+            # sized bucket table, so this read-modify-write misses the
+            # data cache like real perl's hash tables do) ----
+            xor  r9, r9, r4
+            andi r14, r9, {_BUCKETS - 1}
+            slli r14, r14, 2
+            add  r14, r14, r5
+            lw   r15, 0(r14)
+            addi r15, r15, 1
+            sw   r15, 0(r14)
+            addi r26, r26, 1
+            # ---- post-processing fold (live, short) ----
+            srai r16, r9, 3
+            xor  r16, r16, r9
+            add  r25, r25, r16          # checksum
+            # ---- interpreter state: a chained block of bookkeeping
+            # computations feeding silent stores (removable: SV/P: SV),
+            # plus per-word scratch overwritten unread (WW) ----
+            sltu r20, r16, r0           # overflow flag: always 0
+            slli r21, r20, 1            # arena-mark delta: 0
+            or   r21, r21, r20          # still 0
+            sw   r21, 0(r17)            # SV taint flag
+            andi r22, r21, 3            # locale subfield: 0
+            xor  r22, r22, r20          # still 0
+            sw   r22, 4(r17)            # SV locale word
+            or   r23, r22, r21          # utf8 flag: 0
+            sw   r23, 8(r17)            # SV store
+            sw   r16, 12(r17)           # WW last-match fold
+            sw   r9, 16(r17)            # WW last-match hash
+            addi r4, r4, 1
+            addi r1, r1, -1
+            bne  r1, r0, word
+            out  r26
+            out  r25
+            halt
+
+        .data
+        pool:    .word {' '.join(str(v) for v in pool)}
+        lengths: .word {lengths}
+        buckets: .space {_BUCKETS * 4}
+        state:   .space 32
+        """
+    )
+    return asm.build()

@@ -1,0 +1,75 @@
+"""Benchmark registry: the Table 1 analog.
+
+Maps each SPEC95-integer benchmark name to its analog builder plus the
+metadata the paper's Table 1 reports (benchmark, input dataset,
+instruction count -- ours measured at run time on demand).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.isa.program import Program
+from repro.workloads import (
+    compress_,
+    gcc_,
+    go_,
+    jpeg_,
+    li_,
+    m88ksim_,
+    perl_,
+    vortex_,
+)
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """One entry of the benchmark suite."""
+
+    name: str
+    #: The paper's Table 1 "input dataset" column, for reference.
+    paper_input: str
+    #: What our analog actually models.
+    analog: str
+    build: Callable[[int], Program]
+
+    def program(self, scale: int = 1) -> Program:
+        return self.build(scale)
+
+
+_SUITE: List[Benchmark] = [
+    Benchmark("compress", "40000 e 2231", "LZW hash-probing coder",
+              compress_.build),
+    Benchmark("gcc", "-O3 genrecog.i -o genrecog.s",
+              "IR peephole-rewriting pass", gcc_.build),
+    Benchmark("go", "99", "game-tree position evaluation", go_.build),
+    Benchmark("jpeg", "vigo.ppm", "blocked DCT-like transform coding",
+              jpeg_.build),
+    Benchmark("li", "test.lsp (queens 7)", "lisp-interpreter eval loop",
+              li_.build),
+    Benchmark("m88ksim", "-c < ctl.in (dcrand.big)",
+              "microprocessor simulator loop", m88ksim_.build),
+    Benchmark("perl", "scrabble.pl < scrabble.in (dictionary)",
+              "string hashing and dictionary bookkeeping", perl_.build),
+    Benchmark("vortex", "vortex.in (persons.250, bendian.*)",
+              "object-database transaction loop", vortex_.build),
+]
+
+_BY_NAME: Dict[str, Benchmark] = {b.name: b for b in _SUITE}
+
+
+def benchmark_suite() -> List[Benchmark]:
+    """All eight benchmarks, in the paper's Table 1 order."""
+    return list(_SUITE)
+
+
+def get_benchmark(name: str) -> Benchmark:
+    """Look up one benchmark by its SPEC95 name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; expected one of "
+            f"{sorted(_BY_NAME)}"
+        ) from None

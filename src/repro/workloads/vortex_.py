@@ -1,0 +1,125 @@
+"""vortex analog: an object-oriented database transaction loop.
+
+Real vortex runs object-database transactions: the most predictable
+control flow in SPECint95 (1.1 branch mispredictions per 1000
+instructions), base IPC 3.24, and a meaningful removal fraction
+(~16%): session/status state is re-validated and re-written with
+unchanged values on nearly every transaction.
+
+The analog processes transactions round-robin over a table of 32
+fixed-layout records.  Each transaction is exactly 48 instructions
+(3 traces per 2 transactions — a short trace-phase period):
+
+* **locate + follow** — the record's link field chains into a second,
+  data-dependent record load: a serial pointer-follow chain per
+  transaction (independent across transactions) that limits the
+  conventional core and is dissolved by the R-stream's value
+  predictions;
+* **validate** — magic and session status checks (always pass:
+  predictable branches, their feeder chains P: BR);
+* **update** — access counter read-modify-write and a payload
+  checksum (live);
+* **session block** — status/version words re-written unchanged (SV)
+  plus a transaction journal slot overwritten unread (WW).
+"""
+
+from __future__ import annotations
+
+from repro.isa.program import Program
+from repro.workloads.dsl import Asm
+
+_RECORDS = 1024
+_MAGIC = 0x4D2
+
+
+def build(scale: int = 1) -> Program:
+    """Build the workload; ``scale`` multiplies the iteration count."""
+    asm = Asm("vortex")
+    transactions = 5600 * scale
+    # Record layout (8 words): [magic, counter, payload0, payload1,
+    # link(index of a partner record), pad, pad, pad].
+    init_words = []
+    for i in range(_RECORDS):
+        link = (i * 7 + 3) % _RECORDS
+        init_words.extend([_MAGIC, 0, i * 3 + 1, i ^ 21, link, 0, 0, 0])
+    asm.emit(
+        f"""
+        .text
+        main:
+            addi r1, r0, {transactions}
+            addi r2, r0, records
+            addi r3, r0, 0              # record index
+            addi r4, r0, journal
+            addi r17, r0, session
+            addi r18, r0, 1
+            sw   r18, 0(r17)            # session status = 1
+            addi r18, r0, 7
+            sw   r18, 4(r17)            # schema version = 7
+            addi r26, r0, 0             # checksum accumulator
+        txn:
+            # ---- locate record ----
+            slli r5, r3, 5
+            add  r5, r5, r2             # record base (32 bytes)
+            # ---- validate record magic (always passes) ----
+            lw   r6, 0(r5)
+            addi r7, r0, {_MAGIC}
+            bne  r6, r7, corrupt
+            # ---- validate session status (always 1) ----
+            lw   r8, 0(r17)
+            slti r9, r8, 2
+            beq  r9, r0, corrupt
+            # ---- pointer follow: serial, data-dependent chain ----
+            lw   r10, 16(r5)            # link index
+            andi r10, r10, {_RECORDS - 1}
+            slli r11, r10, 5
+            add  r11, r11, r2           # partner record base
+            lw   r12, 8(r11)            # partner payload0
+            add  r13, r12, r6
+            xor  r13, r13, r3
+            andi r14, r13, 4
+            add  r14, r14, r11
+            lw   r15, 8(r14)            # second data-dependent load
+            add  r16, r15, r13
+            xor  r16, r16, r12
+            srai r18, r16, 2
+            xor  r18, r18, r16
+            add  r26, r26, r18          # fold into checksum (live)
+            # ---- bump access counter (live RMW) ----
+            lw   r19, 4(r5)
+            addi r19, r19, 1
+            sw   r19, 4(r5)
+            # ---- payload checksum (live, ILP) ----
+            lw   r20, 8(r5)
+            lw   r21, 12(r5)
+            add  r22, r20, r21
+            add  r26, r26, r22
+            # ---- session block: removable rewrites ----
+            sltu r23, r18, r0           # error flag: always 0
+            sw   r23, 8(r17)            # SV store
+            lw   r25, 0(r17)
+            sw   r25, 0(r17)            # SV status rewrite
+            # ---- journal entry, overwritten next txn unread ----
+            sw   r18, 0(r4)             # WW store
+            # ---- live tail chain (extends the serial path) ----
+            srai r27, r18, 1
+            xor  r27, r27, r15
+            add  r24, r27, r13
+            xor  r24, r24, r19
+            add  r26, r26, r24
+            addi r3, r3, 1
+            andi r3, r3, {_RECORDS - 1}
+            addi r1, r1, -1
+            bne  r1, r0, txn
+            out  r26
+            halt
+        corrupt:
+            out  r0
+            halt
+
+        .data
+        records: .word {' '.join(str(w) for w in init_words)}
+        session: .space 16
+        journal: .space 16
+        """
+    )
+    return asm.build()

@@ -1,0 +1,185 @@
+"""Unit tests for single-instruction semantics and the functional simulator."""
+
+import pytest
+
+from repro.arch.executor import ExecutionError, execute_one, wrap32
+from repro.arch.functional import FunctionalSimulator, InstructionLimitExceeded
+from repro.arch.state import ArchState
+from repro.isa.assembler import assemble
+from repro.isa.program import DATA_BASE
+
+
+def run_source(source, **kwargs):
+    program = assemble(source)
+    sim = FunctionalSimulator(program, **kwargs)
+    return sim.run()
+
+
+class TestWrap32:
+    def test_identity_in_range(self):
+        assert wrap32(123) == 123
+        assert wrap32(-123) == -123
+
+    def test_overflow_wraps(self):
+        assert wrap32(2**31) == -(2**31)
+        assert wrap32(-(2**31) - 1) == 2**31 - 1
+        assert wrap32(0xFFFFFFFF) == -1
+
+
+class TestAluSemantics:
+    @pytest.mark.parametrize(
+        "op, a, b, expected",
+        [
+            ("add", 3, 4, 7),
+            ("sub", 3, 4, -1),
+            ("mul", -3, 4, -12),
+            ("and", 0b1100, 0b1010, 0b1000),
+            ("or", 0b1100, 0b1010, 0b1110),
+            ("xor", 0b1100, 0b1010, 0b0110),
+            ("slt", -1, 0, 1),
+            ("slt", 1, 0, 0),
+            ("sltu", -1, 0, 0),  # -1 is 0xFFFFFFFF unsigned
+            ("sll", 1, 4, 16),
+            ("sra", -16, 2, -4),
+            ("srl", -16, 28, 15),
+        ],
+    )
+    def test_rrr(self, op, a, b, expected):
+        result = run_source(
+            f"addi r1, r0, {a}\naddi r2, r0, {b}\n{op} r3, r1, r2\nout r3\nhalt"
+        )
+        assert result.output == [expected]
+
+    def test_nor(self):
+        result = run_source("addi r1, r0, 0\nnor r3, r1, r1\nout r3\nhalt")
+        assert result.output == [-1]
+
+    def test_lui_builds_high_bits(self):
+        result = run_source("lui r1, 0x1234\nout r1\nhalt")
+        assert result.output == [0x12340000]
+
+    def test_div_rem_signs(self):
+        result = run_source(
+            "addi r1, r0, -7\naddi r2, r0, 2\n"
+            "div r3, r1, r2\nrem r4, r1, r2\nout r3\nout r4\nhalt"
+        )
+        # Truncating division: -7 / 2 = -3 rem -1.
+        assert result.output == [-3, -1]
+
+    def test_div_by_zero_raises(self):
+        with pytest.raises(ExecutionError, match="division by zero"):
+            run_source("div r1, r2, r0\nhalt")
+
+    def test_mul_wraps_32_bit(self):
+        result = run_source(
+            "lui r1, 0x7fff\nori r1, r1, 0xffff\nmul r2, r1, r1\nout r2\nhalt"
+        )
+        assert result.output == [wrap32(0x7FFFFFFF * 0x7FFFFFFF)]
+
+    def test_r0_writes_discarded(self):
+        result = run_source("addi r0, r0, 99\nout r0\nhalt")
+        assert result.output == [0]
+
+
+class TestMemorySemantics:
+    def test_store_load_roundtrip(self):
+        result = run_source(
+            f"addi r1, r0, {DATA_BASE}\naddi r2, r0, 77\n"
+            "sw r2, 0(r1)\nlw r3, 0(r1)\nout r3\nhalt"
+        )
+        assert result.output == [77]
+
+    def test_load_from_initial_image(self):
+        result = run_source(
+            ".text\nlw r1, seed(r0)\nout r1\nhalt\n.data\nseed: .word 31415"
+        )
+        assert result.output == [31415]
+
+    def test_load_of_untouched_address_is_zero(self):
+        result = run_source(f"addi r1, r0, {DATA_BASE + 4096}\nlw r2, 0(r1)\nout r2\nhalt")
+        assert result.output == [0]
+
+    def test_unaligned_access_raises(self):
+        with pytest.raises(ValueError, match="unaligned"):
+            run_source(f"addi r1, r0, {DATA_BASE + 2}\nlw r2, 0(r1)\nhalt")
+
+    def test_negative_offset_addressing(self):
+        result = run_source(
+            f"addi r1, r0, {DATA_BASE + 8}\naddi r2, r0, 5\n"
+            "sw r2, -8(r1)\n"
+            f"addi r3, r0, {DATA_BASE}\nlw r4, 0(r3)\nout r4\nhalt"
+        )
+        assert result.output == [5]
+
+
+class TestControlFlow:
+    def test_loop_sums(self):
+        result = run_source(
+            "addi r1, r0, 5\n"
+            "loop: add r2, r2, r1\n"
+            "addi r1, r1, -1\n"
+            "bne r1, r0, loop\n"
+            "out r2\nhalt"
+        )
+        assert result.output == [15]
+
+    def test_branch_flavours(self):
+        result = run_source(
+            "addi r1, r0, -1\naddi r2, r0, 1\n"
+            "blt r1, r2, a\nout r0\n"
+            "a: bltu r1, r2, b\nout r2\n"  # unsigned: 0xFFFFFFFF >= 1, no branch
+            "b: bge r2, r1, c\nout r0\n"
+            "c: halt"
+        )
+        assert result.output == [1]
+
+    def test_jal_jalr_call_return(self):
+        result = run_source(
+            "main:\n jal r31, func\n out r2\n halt\n"
+            "func:\n addi r2, r0, 123\n jalr r0, r31\n"
+        )
+        assert result.output == [123]
+
+    def test_jal_records_link(self):
+        program = assemble("main: jal r31, target\nnop\ntarget: out r31\nhalt")
+        sim = FunctionalSimulator(program)
+        result = sim.run()
+        assert result.output == [program.entry + 4]
+
+    def test_halt_is_fixed_point(self):
+        program = assemble("halt")
+        state = ArchState(image=program.data)
+        dyn = execute_one(program, state, program.entry)
+        assert state.halted
+        assert dyn.next_pc == program.entry
+
+    def test_instruction_limit_enforced(self):
+        with pytest.raises(InstructionLimitExceeded):
+            run_source("loop: j loop", max_instructions=100)
+
+
+class TestDynInstrRecords:
+    def test_store_record_fields(self):
+        program = assemble(f"addi r1, r0, {DATA_BASE}\naddi r2, r0, 9\nsw r2, 4(r1)\nhalt")
+        sim = FunctionalSimulator(program)
+        records = list(sim.steps())
+        store = records[2]
+        assert store.is_store and store.mem_addr == DATA_BASE + 4 and store.value == 9
+        assert store.dest_reg is None
+
+    def test_branch_record_fields(self):
+        program = assemble("beq r0, r0, target\nnop\ntarget: halt")
+        records = list(FunctionalSimulator(program).steps())
+        br = records[0]
+        assert br.is_branch and br.taken and br.next_pc == program.labels["target"]
+
+    def test_seq_numbers_monotonic(self):
+        program = assemble("addi r1, r0, 3\nloop: addi r1, r1, -1\nbne r1, r0, loop\nhalt")
+        seqs = [d.seq for d in FunctionalSimulator(program).steps()]
+        assert seqs == list(range(len(seqs)))
+
+    def test_src_values_captured_before_write(self):
+        program = assemble("addi r1, r0, 10\nadd r1, r1, r1\nhalt")
+        records = list(FunctionalSimulator(program).steps())
+        assert records[1].src_values == (10, 10)
+        assert records[1].value == 20

@@ -1,0 +1,132 @@
+"""Unit tests for the delay buffer and the recovery controller."""
+
+import pytest
+
+from repro.core.delay_buffer import DelayBuffer, DelayBufferError
+from repro.core.recovery import (
+    MIN_RECOVERY_LATENCY,
+    RecoveryController,
+    RecoveryCost,
+)
+
+
+class TestDelayBuffer:
+    def test_push_without_pressure_is_immediate(self):
+        buf = DelayBuffer(capacity=64)
+        assert buf.push(10, produce_cycle=100) == 100
+        assert buf.occupancy == 10
+
+    def test_backpressure_delays_push(self):
+        buf = DelayBuffer(capacity=16)
+        buf.push(16, produce_cycle=0)
+        buf.mark_popped(pop_cycle=500)
+        # Second group needs the first to drain at cycle 500.
+        assert buf.push(8, produce_cycle=10) == 500
+        assert buf.backpressure_events == 1
+
+    def test_no_delay_when_pop_already_happened(self):
+        buf = DelayBuffer(capacity=16)
+        buf.push(16, produce_cycle=0)
+        buf.mark_popped(pop_cycle=5)
+        assert buf.push(8, produce_cycle=10) == 10
+
+    def test_partial_drain(self):
+        buf = DelayBuffer(capacity=20)
+        buf.push(10, 0)
+        buf.mark_popped(100)
+        buf.push(10, 0)
+        buf.mark_popped(200)
+        # Needs only the first group's space.
+        assert buf.push(10, 50) == 100
+
+    def test_zero_entry_group_counts_as_one(self):
+        buf = DelayBuffer(capacity=4)
+        buf.push(0, 0)
+        assert buf.occupancy == 1
+
+    def test_oversized_group_rejected(self):
+        with pytest.raises(DelayBufferError):
+            DelayBuffer(capacity=4).push(5, 0)
+
+    def test_backpressure_on_unpopped_group_is_protocol_error(self):
+        buf = DelayBuffer(capacity=8)
+        buf.push(8, 0)  # never popped
+        with pytest.raises(DelayBufferError):
+            buf.push(8, 0)
+
+    def test_mark_popped_without_group_rejected(self):
+        with pytest.raises(DelayBufferError):
+            DelayBuffer().mark_popped(0)
+
+    def test_flush_empties(self):
+        buf = DelayBuffer(capacity=8)
+        buf.push(4, 0)
+        buf.flush()
+        assert buf.occupancy == 0
+        buf.push(8, 0)  # full capacity available again
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            DelayBuffer(capacity=0)
+
+
+class TestRecoveryCost:
+    def test_minimum_latency_is_21(self):
+        assert MIN_RECOVERY_LATENCY == 21
+        assert RecoveryCost(0).latency == 21
+
+    def test_memory_restores_add_cycles(self):
+        assert RecoveryCost(4).latency == 22
+        assert RecoveryCost(5).latency == 23
+        assert RecoveryCost(8).latency == 23
+
+
+class TestRecoveryController:
+    def test_undo_tracking_lifecycle(self):
+        ctrl = RecoveryController()
+        ctrl.track_undo(0x100)
+        assert ctrl.tracked_addresses() == {0x100}
+        ctrl.untrack_undo(0x100)
+        assert ctrl.tracked_addresses() == set()
+
+    def test_undo_refcounting(self):
+        ctrl = RecoveryController()
+        ctrl.track_undo(0x100)
+        ctrl.track_undo(0x100)
+        ctrl.untrack_undo(0x100)
+        assert 0x100 in ctrl.tracked_addresses()
+        ctrl.untrack_undo(0x100)
+        assert 0x100 not in ctrl.tracked_addresses()
+
+    def test_do_tracking_released_by_trace_verification(self):
+        ctrl = RecoveryController()
+        ctrl.track_do(0x200, trace_seq=7)
+        ctrl.track_do(0x204, trace_seq=7)
+        ctrl.track_do(0x208, trace_seq=8)
+        ctrl.release_verified_trace(7)
+        assert ctrl.tracked_addresses() == {0x208}
+
+    def test_release_unknown_trace_is_noop(self):
+        ctrl = RecoveryController()
+        ctrl.release_verified_trace(99)
+        assert ctrl.outstanding == 0
+
+    def test_recover_reports_unique_addresses_and_clears(self):
+        ctrl = RecoveryController()
+        ctrl.track_undo(0x100)
+        ctrl.track_do(0x100, trace_seq=1)  # same address in both sets
+        ctrl.track_do(0x200, trace_seq=1)
+        cost = ctrl.recover()
+        assert cost.memory_locations == 2
+        assert cost.latency == 21 + 1
+        assert ctrl.tracked_addresses() == set()
+        assert ctrl.recoveries == 1
+
+    def test_max_outstanding_statistic(self):
+        ctrl = RecoveryController()
+        for i in range(5):
+            ctrl.track_undo(0x100 + 4 * i)
+        for i in range(5):
+            ctrl.untrack_undo(0x100 + 4 * i)
+        assert ctrl.max_outstanding == 5
+        assert ctrl.outstanding == 0

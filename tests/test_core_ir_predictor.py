@@ -1,0 +1,108 @@
+"""Unit tests for the IR-predictor: per-entry removal confidence."""
+
+from repro.core.ir_detector import TraceAnalysis
+from repro.core.ir_predictor import IRPredictor, IRPredictorConfig
+from repro.core.removal import RemovalKind
+from repro.trace.trace_id import TraceId
+
+
+def tid(n, outcomes=(True,)):
+    return TraceId(0x1000 + 64 * n, tuple(outcomes))
+
+
+def analysis(trace_id, ir_vec):
+    kinds = tuple(
+        RemovalKind.BR if bit else RemovalKind.NONE for bit in ir_vec
+    )
+    return TraceAnalysis(0, trace_id, tuple(ir_vec), kinds)
+
+
+def train_sequence(pred, sequence, vec_of):
+    """Simulate the driver's per-trace protocol: update path, then
+    (with the detector's lag collapsed to zero) train removal."""
+    for trace_id in sequence:
+        pred.update_path(trace_id)
+        pred.train_removal(analysis(trace_id, vec_of(trace_id)))
+
+
+class TestConfidence:
+    def test_stable_pair_reaches_threshold_and_predicts_removal(self):
+        pred = IRPredictor(IRPredictorConfig(confidence_threshold=8))
+        sequence = [tid(0), tid(1)] * 30
+        train_sequence(pred, sequence, lambda t: (True, False))
+        prediction = pred.predict()
+        assert prediction.trace_id in (tid(0), tid(1))
+        assert prediction.removal is not None
+        assert prediction.removal.ir_vec == (True, False)
+
+    def test_below_threshold_no_removal(self):
+        pred = IRPredictor(IRPredictorConfig(confidence_threshold=1000))
+        train_sequence(pred, [tid(0), tid(1)] * 20, lambda t: (True,))
+        assert pred.predict().removal is None
+
+    def test_flapping_vec_resets_confidence(self):
+        pred = IRPredictor(IRPredictorConfig(confidence_threshold=4))
+        flip = [0]
+
+        def vec_of(trace_id):
+            flip[0] += 1
+            # Alternates per *entry visit* (each entry is trained every
+            # other call in this two-trace cycle).
+            return ((flip[0] // 2) % 2 == 0,)
+
+        train_sequence(pred, [tid(0), tid(1)] * 30, vec_of)
+        assert pred.predict().removal is None
+        assert pred.confidence_resets > 10
+
+    def test_unstable_path_context_resets_confidence(self):
+        """The paper's safety property: if a context sometimes leads to
+        trace A and sometimes to trace B, the entry's stored pair keeps
+        flipping and removal never engages — even though each trace's
+        own ir-vec is perfectly stable."""
+        pred = IRPredictor(IRPredictorConfig(confidence_threshold=8))
+        import random
+        rng = random.Random(0)
+        # Context X is followed by A or B with no learnable pattern.
+        x, a, b = tid(10), tid(11), tid(12)
+        sequence = []
+        for _ in range(120):
+            sequence.append(x)
+            sequence.append(a if rng.random() < 0.5 else b)
+        train_sequence(pred, sequence, lambda t: (True,))
+        # Ask for the prediction after X: whatever it predicts, the
+        # removal state at that entry must not be confident.
+        pred.update_path(x)
+        prediction = pred.predict()
+        if prediction.trace_id in (a, b):
+            assert prediction.removal is None
+
+    def test_empty_vec_never_predicts_removal(self):
+        pred = IRPredictor(IRPredictorConfig(confidence_threshold=2))
+        train_sequence(pred, [tid(0), tid(1)] * 20, lambda t: (False, False))
+        assert pred.predict().removal is None
+
+
+class TestTrainingProtocol:
+    def test_pending_queue_alignment(self):
+        pred = IRPredictor()
+        pred.update_path(tid(0))
+        pred.update_path(tid(1))
+        # Analyses arrive in feed order; a mismatched id is dropped
+        # defensively rather than corrupting another entry.
+        pred.train_removal(analysis(tid(0), (True,)))
+        pred.train_removal(analysis(tid(9), (True,)))  # misaligned
+        assert pred.trainings == 2
+
+    def test_train_without_pending_is_noop(self):
+        pred = IRPredictor()
+        pred.train_removal(analysis(tid(0), (True,)))
+        assert pred.trainings == 1
+
+    def test_history_snapshot_roundtrip(self):
+        pred = IRPredictor()
+        for n in range(6):
+            pred.update_path(tid(n))
+        snap = pred.history_snapshot()
+        pred.update_path(tid(99))
+        pred.restore_history(snap)
+        assert pred.history_snapshot() == snap

@@ -1,0 +1,179 @@
+"""Unit tests for the two-pass assembler."""
+
+import pytest
+
+from repro.isa.assembler import AssemblerError, assemble
+from repro.isa.instructions import Opcode
+from repro.isa.program import DATA_BASE, TEXT_BASE
+
+
+class TestBasicAssembly:
+    def test_empty_program(self):
+        program = assemble("")
+        assert len(program) == 0
+
+    def test_single_instruction(self):
+        program = assemble("addi r1, r0, 42")
+        assert len(program) == 1
+        instr = program.instructions[0]
+        assert instr.opcode is Opcode.ADDI
+        assert instr.rd == 1 and instr.rs1 == 0 and instr.imm == 42
+
+    def test_comments_stripped(self):
+        program = assemble("add r1, r2, r3  # a comment\n; whole-line comment\n")
+        assert len(program) == 1
+
+    def test_negative_and_hex_immediates(self):
+        program = assemble("addi r1, r0, -7\naddi r2, r0, 0xff")
+        assert program.instructions[0].imm == -7
+        assert program.instructions[1].imm == 0xFF
+
+    def test_all_mnemonics_assemble(self):
+        source = "\n".join(
+            [
+                "main:",
+                "add r1, r2, r3", "sub r1, r2, r3", "mul r1, r2, r3",
+                "div r1, r2, r3", "rem r1, r2, r3", "and r1, r2, r3",
+                "or r1, r2, r3", "xor r1, r2, r3", "nor r1, r2, r3",
+                "sll r1, r2, r3", "srl r1, r2, r3", "sra r1, r2, r3",
+                "slt r1, r2, r3", "sltu r1, r2, r3",
+                "addi r1, r2, 1", "andi r1, r2, 1", "ori r1, r2, 1",
+                "xori r1, r2, 1", "slli r1, r2, 1", "srli r1, r2, 1",
+                "srai r1, r2, 1", "slti r1, r2, 1", "lui r1, 1",
+                "lw r1, 0(r2)", "sw r1, 4(r2)",
+                "beq r1, r2, main", "bne r1, r2, main", "blt r1, r2, main",
+                "bge r1, r2, main", "bltu r1, r2, main", "bgeu r1, r2, main",
+                "j main", "jal r31, main", "jalr r0, r31",
+                "nop", "out r1", "halt",
+            ]
+        )
+        program = assemble(source)
+        assert len(program) == 37
+
+
+class TestLabels:
+    def test_branch_target_resolution(self):
+        program = assemble("main:\nloop:\n  addi r1, r1, 1\n  bne r1, r2, loop\n  halt")
+        branch = program.instructions[1]
+        assert branch.target == program.labels["loop"] == TEXT_BASE
+
+    def test_forward_reference(self):
+        program = assemble("  beq r0, r0, done\n  nop\ndone:\n  halt")
+        assert program.instructions[0].target == TEXT_BASE + 8
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblerError, match="duplicate"):
+            assemble("a:\n nop\na:\n nop")
+
+    def test_label_on_same_line_as_instruction(self):
+        program = assemble("start: addi r1, r0, 1\nhalt")
+        assert program.labels["start"] == TEXT_BASE
+        assert len(program) == 2
+
+    def test_data_label_as_load_offset(self):
+        program = assemble(
+            ".text\n lw r1, counter(r0)\n halt\n.data\ncounter: .word 99"
+        )
+        assert program.instructions[0].imm == DATA_BASE
+        assert program.data[DATA_BASE] == 99
+
+
+class TestDataSegment:
+    def test_word_directive(self):
+        program = assemble(".data\nvals: .word 10 20 30")
+        base = program.labels["vals"]
+        assert [program.data[base + 4 * i] for i in range(3)] == [10, 20, 30]
+
+    def test_space_reserves_zeroed_words(self):
+        program = assemble(".data\nbuf: .space 16\nafter: .word 1")
+        assert program.labels["after"] == program.labels["buf"] + 16
+
+    def test_label_on_same_line_as_word(self):
+        program = assemble(".data\nx: .word 5\ny: .word 6")
+        assert program.labels["y"] == program.labels["x"] + 4
+
+    def test_space_must_be_word_multiple(self):
+        with pytest.raises(AssemblerError):
+            assemble(".data\nb: .space 3")
+
+    def test_align_directive(self):
+        program = assemble(".data\na: .word 1\n.align 16\nb: .word 2")
+        assert program.labels["b"] % 16 == 0
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError, match="unknown mnemonic"):
+            assemble("frobnicate r1, r2")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblerError):
+            assemble("add r1, r2, x3")
+
+    def test_register_out_of_range(self):
+        with pytest.raises(AssemblerError):
+            assemble("add r1, r2, r64")
+
+    def test_undefined_label(self):
+        with pytest.raises(AssemblerError):
+            assemble("j nowhere")
+
+    def test_instruction_in_data_segment(self):
+        with pytest.raises(AssemblerError, match="outside .text"):
+            assemble(".data\nadd r1, r2, r3")
+
+    def test_halt_takes_no_operands(self):
+        with pytest.raises(AssemblerError):
+            assemble("halt r1")
+
+    def test_bad_memory_operand(self):
+        with pytest.raises(AssemblerError, match="offset"):
+            assemble("lw r1, r2")
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(AssemblerError, match="line 3"):
+            assemble("nop\nnop\nbogus r1")
+
+
+class TestProgramValidation:
+    def test_listing_contains_labels_and_pcs(self):
+        program = assemble("main:\n addi r1, r0, 1\n halt")
+        listing = program.listing()
+        assert "main:" in listing
+        assert "addi" in listing
+
+    def test_entry_defaults_to_text_base(self):
+        assert assemble("nop").entry == TEXT_BASE
+
+    def test_entry_uses_main_label(self):
+        program = assemble("nop\nmain: halt")
+        assert program.entry == TEXT_BASE + 4
+
+
+class TestHiLoRelocation:
+    def test_hi_lo_split_reassembles_address(self):
+        source = """
+        .text
+            lui  r1, %hi(buf)
+            ori  r1, r1, %lo(buf)
+            addi r2, r0, 77
+            sw   r2, 0(r1)
+            lw   r3, buf(r0)
+            out  r3
+            halt
+        .data
+        buf: .word 0
+        """
+        from repro.arch.functional import FunctionalSimulator
+
+        program = assemble(source)
+        result = FunctionalSimulator(program).run()
+        assert result.output == [77]
+
+    def test_hi_lo_values(self):
+        program = assemble(
+            ".text\n addi r1, r0, %hi(0x12345678)\n"
+            " addi r2, r0, %lo(0x12345678)\n halt"
+        )
+        assert program.instructions[0].imm == 0x1234
+        assert program.instructions[1].imm == 0x5678

@@ -1,0 +1,50 @@
+"""Round-trip and fault-substrate tests for the binary encoding."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.encoding import ENCODING_BITS, decode, encode
+from repro.isa.instructions import Instruction, Opcode
+
+_CONTROL = {Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE, Opcode.BLTU,
+            Opcode.BGEU, Opcode.J, Opcode.JAL}
+
+
+def instruction_strategy():
+    regs = st.integers(min_value=0, max_value=63)
+    imm = st.integers(min_value=-(2**31), max_value=2**31 - 1)
+    target = st.integers(min_value=0, max_value=2**31 - 1).map(lambda v: v & ~0x3)
+
+    def build(op, rd, rs1, rs2, value):
+        if op in _CONTROL:
+            return Instruction(op, rd=rd, rs1=rs1, rs2=rs2, target=value & 0x7FFFFFFF)
+        return Instruction(op, rd=rd, rs1=rs1, rs2=rs2, imm=value)
+
+    return st.builds(build, st.sampled_from(list(Opcode)), regs, regs, regs, imm)
+
+
+class TestRoundTrip:
+    @given(instruction_strategy())
+    def test_encode_decode_roundtrip(self, instr):
+        assert decode(encode(instr)) == instr
+
+    def test_fits_in_declared_width(self):
+        instr = Instruction(Opcode.SW, rs1=63, rs2=63, imm=-1)
+        assert encode(instr) < (1 << ENCODING_BITS)
+
+    def test_invalid_opcode_field_raises(self):
+        with pytest.raises(ValueError, match="invalid opcode"):
+            decode(0xFF << 56)
+
+
+class TestFaultSubstrate:
+    def test_bit_flip_changes_instruction(self):
+        instr = Instruction(Opcode.ADD, rd=1, rs1=2, rs2=3)
+        word = encode(instr)
+        flipped = word ^ (1 << 50)  # lowest rd bit
+        assert decode(flipped).rd == 0
+
+    def test_imm_bit_flip(self):
+        instr = Instruction(Opcode.ADDI, rd=1, rs1=1, imm=4)
+        flipped = encode(instr) ^ 0b1
+        assert decode(flipped).imm == 5

@@ -1,0 +1,79 @@
+"""Unit tests for instruction definitions."""
+
+import pytest
+
+from repro.isa.instructions import (
+    BRANCH_OPS,
+    Instruction,
+    InstrClass,
+    MNEMONICS,
+    Opcode,
+    REG_COUNT,
+    RRI_OPS,
+    RRR_OPS,
+)
+
+
+class TestOpcodeTables:
+    def test_every_opcode_has_unique_mnemonic(self):
+        assert len(MNEMONICS) == len(Opcode)
+
+    def test_mnemonic_lookup_roundtrip(self):
+        for op in Opcode:
+            assert MNEMONICS[op.mnemonic] is op
+
+    def test_class_partitions(self):
+        assert Opcode.ADD.klass is InstrClass.ALU
+        assert Opcode.MUL.klass is InstrClass.MUL
+        assert Opcode.DIV.klass is InstrClass.DIV
+        assert Opcode.LW.klass is InstrClass.LOAD
+        assert Opcode.SW.klass is InstrClass.STORE
+        assert Opcode.BEQ.klass is InstrClass.BRANCH
+        assert Opcode.J.klass is InstrClass.JUMP
+        assert Opcode.JALR.klass is InstrClass.JUMP_INDIRECT
+
+
+class TestInstruction:
+    def test_register_bounds_checked(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.ADD, rd=REG_COUNT)
+        with pytest.raises(ValueError):
+            Instruction(Opcode.ADD, rs1=-1)
+
+    def test_dest_reg_none_for_r0(self):
+        assert Instruction(Opcode.ADD, rd=0, rs1=1, rs2=2).dest_reg() is None
+        assert Instruction(Opcode.ADD, rd=5, rs1=1, rs2=2).dest_reg() == 5
+
+    def test_store_has_no_dest_reg(self):
+        assert Instruction(Opcode.SW, rs1=1, rs2=2).dest_reg() is None
+
+    def test_branch_has_no_dest_reg(self):
+        assert Instruction(Opcode.BEQ, rs1=1, rs2=2).dest_reg() is None
+
+    def test_jal_dest_is_link_register(self):
+        assert Instruction(Opcode.JAL, rd=31).dest_reg() == 31
+
+    def test_src_regs_rrr(self):
+        assert Instruction(Opcode.XOR, rd=3, rs1=1, rs2=2).src_regs() == (1, 2)
+
+    def test_src_regs_store_reads_base_and_value(self):
+        assert Instruction(Opcode.SW, rs1=4, rs2=7).src_regs() == (4, 7)
+
+    def test_src_regs_lui_reads_nothing(self):
+        assert Instruction(Opcode.LUI, rd=1, imm=5).src_regs() == ()
+
+    def test_is_branch_only_for_conditionals(self):
+        assert Instruction(Opcode.BNE, rs1=1, rs2=2).is_branch
+        assert not Instruction(Opcode.J).is_branch
+        assert Instruction(Opcode.J).is_control
+        assert Instruction(Opcode.JALR, rd=0, rs1=31).is_control
+
+    def test_frozen(self):
+        instr = Instruction(Opcode.ADD, rd=1, rs1=2, rs2=3)
+        with pytest.raises(Exception):
+            instr.rd = 5
+
+    def test_format_roundtrips_mnemonic(self):
+        for op in RRR_OPS | RRI_OPS | BRANCH_OPS:
+            instr = Instruction(op, rd=1, rs1=2, rs2=3, imm=4, target=0x1000)
+            assert instr.format().split()[0] == op.mnemonic

@@ -1,0 +1,255 @@
+"""Edge-case and stress tests for the slipstream co-simulation."""
+
+import pytest
+
+from repro.arch.functional import FunctionalSimulator
+from repro.core.slipstream import SlipstreamConfig, SlipstreamProcessor
+from repro.isa.assembler import assemble
+
+
+def check(source, **config_kwargs):
+    program = assemble(source, name="edge")
+    reference = FunctionalSimulator(program).run()
+    config = SlipstreamConfig(**config_kwargs) if config_kwargs else None
+    result = SlipstreamProcessor(assemble(source, name="edge"), config).run()
+    assert result.output == reference.output
+    assert result.retired == reference.instruction_count
+    assert result.recovery_audit_shortfalls == 0
+    return result
+
+
+class TestControlFlowShapes:
+    def test_trivial_program(self):
+        check("out r0\nhalt")
+
+    def test_single_instruction(self):
+        check("halt")
+
+    def test_call_return_through_jalr(self):
+        check(
+            """
+            main:
+                addi r1, r0, 300
+            loop:
+                jal  r31, work
+                addi r1, r1, -1
+                bne  r1, r0, loop
+                out  r4
+                halt
+            work:
+                addi r4, r4, 3
+                jalr r0, r31
+            """
+        )
+
+    def test_nested_calls(self):
+        check(
+            """
+            main:
+                addi r1, r0, 200
+            loop:
+                jal  r31, outer
+                addi r1, r1, -1
+                bne  r1, r0, loop
+                out  r4
+                halt
+            outer:
+                add  r20, r31, r0      # save link
+                jal  r31, inner
+                add  r31, r20, r0      # restore link
+                jalr r0, r31
+            inner:
+                addi r4, r4, 1
+                jalr r0, r31
+            """
+        )
+
+    def test_computed_dispatch_via_jalr(self):
+        # A jump table: jalr targets alternate between two handlers.
+        check(
+            """
+            main:
+                addi r1, r0, 400
+                addi r10, r0, ha
+                addi r11, r0, hb
+            loop:
+                andi r2, r1, 1
+                beq  r2, r0, even
+                add  r12, r10, r0
+                j    dispatch
+            even:
+                add  r12, r11, r0
+            dispatch:
+                jal  r31, trampoline
+                addi r1, r1, -1
+                bne  r1, r0, loop
+                out  r4
+                halt
+            trampoline:
+                jalr r0, r12
+            ha:
+                addi r4, r4, 1
+                jalr r0, r31
+            hb:
+                addi r4, r4, 2
+                jalr r0, r31
+            """
+        )
+
+    def test_deeply_nested_loops(self):
+        check(
+            """
+            main:
+                addi r1, r0, 40
+            outer:
+                addi r2, r0, 40
+            inner:
+                add  r4, r4, r2
+                addi r2, r2, -1
+                bne  r2, r0, inner
+                addi r1, r1, -1
+                bne  r1, r0, outer
+                out  r4
+                halt
+            """
+        )
+
+
+class TestRemovalUnderStress:
+    def test_tiny_trace_length(self):
+        check(
+            """
+            main:
+                addi r1, r0, 600
+            loop:
+                addi r2, r0, 5
+                add  r4, r4, r2
+                addi r1, r1, -1
+                bne  r1, r0, loop
+                out  r4
+                halt
+            """,
+            trace_length=4,
+        )
+
+    def test_scope_of_one_trace(self):
+        check(
+            """
+            main:
+                addi r1, r0, 600
+                addi r10, r0, 0x100000
+            loop:
+                addi r2, r0, 7
+                sw   r2, 0(r10)
+                add  r4, r4, r2
+                addi r1, r1, -1
+                bne  r1, r0, loop
+                out  r4
+                halt
+            """,
+            ir_scope_traces=1,
+        )
+
+    def test_zero_confidence_threshold_is_aggressive_but_correct(self):
+        result = check(
+            """
+            main:
+                addi r1, r0, 1200
+                addi r10, r0, 0x100000
+            loop:
+                addi r2, r0, 7
+                sw   r2, 0(r10)
+                addi r3, r0, 1
+                addi r3, r0, 2
+                add  r4, r4, r3
+                addi r1, r1, -1
+                bne  r1, r0, loop
+                out  r4
+                halt
+            """,
+            confidence_threshold=0,
+        )
+        assert result.a_removed > 0
+
+    def test_phase_change_causes_recovery(self):
+        # A branch stable for thousands of iterations flips near the
+        # end: by then the branch is removed, so the flip is an
+        # IR-misprediction (removed mispredicted branch).
+        result = check(
+            """
+            main:
+                addi r1, r0, 4000
+            loop:
+                slti r5, r1, 200
+                beq  r5, r0, skip
+                addi r6, r6, 1
+            skip:
+                add  r4, r4, r1
+                addi r1, r1, -1
+                bne  r1, r0, loop
+                out  r4
+                out  r6
+                halt
+            """,
+            confidence_threshold=8,
+        )
+        assert result.ir_mispredictions >= 1
+        assert result.avg_ir_penalty >= 21
+
+    def test_memory_aliasing_between_silent_and_live_stores(self):
+        # The same address receives a silent store and, rarely, a live
+        # store through a different static instruction.
+        check(
+            """
+            main:
+                addi r1, r0, 2000
+                addi r10, r0, 0x100000
+            loop:
+                addi r2, r0, 7
+                sw   r2, 0(r10)          # silent most of the time
+                andi r5, r1, 255
+                bne  r5, r0, no_touch
+                sw   r1, 0(r10)          # rare live overwrite
+            no_touch:
+                lw   r3, 0(r10)
+                add  r4, r4, r3
+                addi r1, r1, -1
+                bne  r1, r0, loop
+                out  r4
+                halt
+            """
+        )
+
+
+class TestBufferAndTransfer:
+    @pytest.mark.parametrize("capacity", [32, 64, 1024])
+    def test_capacity_sweep_preserves_correctness(self, capacity):
+        check(
+            """
+            main:
+                addi r1, r0, 800
+            loop:
+                add  r4, r4, r1
+                addi r1, r1, -1
+                bne  r1, r0, loop
+                out  r4
+                halt
+            """,
+            delay_buffer_capacity=capacity,
+        )
+
+    def test_large_transfer_latency(self):
+        result = check(
+            """
+            main:
+                addi r1, r0, 800
+            loop:
+                add  r4, r4, r1
+                addi r1, r1, -1
+                bne  r1, r0, loop
+                out  r4
+                halt
+            """,
+            transfer_latency=20,
+        )
+        assert result.r_cycles >= result.a_cycles

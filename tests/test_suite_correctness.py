@@ -1,0 +1,45 @@
+"""End-to-end oracle validation on real suite workloads.
+
+The paper validates its detailed simulator against an independent
+functional simulator (section 4); this is our equivalent: the full
+slipstream machine must retire exactly the functional stream, with
+bit-identical output, on genuine suite benchmarks (the two fastest, to
+keep the test suite quick — the bench harness covers all eight).
+"""
+
+import pytest
+
+from repro.arch.functional import FunctionalSimulator
+from repro.core.slipstream import SlipstreamProcessor
+from repro.uarch.config import SS_128x8, SS_64x4
+from repro.uarch.core import SuperscalarCore
+from repro.workloads.suite import get_benchmark
+
+FAST_BENCHES = ("jpeg", "go")
+
+
+@pytest.mark.parametrize("name", FAST_BENCHES)
+class TestSuiteOracleValidation:
+    def test_slipstream_matches_functional(self, name):
+        bench = get_benchmark(name)
+        reference = FunctionalSimulator(bench.program()).run()
+        result = SlipstreamProcessor(bench.program()).run()
+        assert result.output == reference.output
+        assert result.retired == reference.instruction_count
+        assert result.recovery_audit_shortfalls == 0
+
+    def test_timing_models_retire_exact_stream(self, name):
+        bench = get_benchmark(name)
+        reference = FunctionalSimulator(bench.program()).run()
+        for config in (SS_64x4, SS_128x8):
+            result = SuperscalarCore(config, bench.program()).run()
+            assert result.retired == reference.instruction_count
+
+    def test_models_agree_on_cache_behaviour(self, name):
+        """Same program, same caches: the two core sizes see identical
+        access streams (timing differs, architectural stream doesn't)."""
+        bench = get_benchmark(name)
+        small = SuperscalarCore(SS_64x4, bench.program()).run()
+        big = SuperscalarCore(SS_128x8, bench.program()).run()
+        assert small.dcache_accesses == big.dcache_accesses
+        assert small.dcache_misses == big.dcache_misses

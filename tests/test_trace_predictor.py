@@ -1,0 +1,92 @@
+"""Unit tests for the hybrid path-based trace predictor."""
+
+from repro.trace.predictor import TracePredictor, TracePredictorConfig
+from repro.trace.trace_id import TraceId
+
+
+def tid(n, outcomes=()):
+    return TraceId(0x1000 + 4 * n, tuple(outcomes))
+
+
+class TestTracePredictorLearning:
+    def test_untrained_predicts_none(self):
+        assert TracePredictor().predict() is None
+
+    def test_learns_repeating_sequence(self):
+        pred = TracePredictor()
+        sequence = [tid(0), tid(1), tid(2)]
+        # Two warmup laps, then predictions must be perfect.
+        for _ in range(2):
+            for t in sequence:
+                pred.predict()
+                pred.update(t)
+        correct = 0
+        for _ in range(3):
+            for t in sequence:
+                if pred.predict() == t:
+                    correct += 1
+                pred.update(t)
+        assert correct == 9
+
+    def test_learns_path_correlated_pattern(self):
+        """A follows B or C depending on deeper history — the correlated
+        table must disambiguate what the simple table cannot."""
+        pred = TracePredictor()
+        # Pattern: X A B | Y A C | repeat.  After trace A, the next trace
+        # depends on what preceded A.
+        pattern = [tid(10), tid(1), tid(2), tid(11), tid(1), tid(3)]
+        for _ in range(8):
+            for t in pattern:
+                pred.predict()
+                pred.update(t)
+        correct = 0
+        for _ in range(2):
+            for t in pattern:
+                if pred.predict() == t:
+                    correct += 1
+                pred.update(t)
+        assert correct == 12
+
+    def test_counter_guards_replacement(self):
+        """An established prediction survives a single contrary outcome."""
+        pred = TracePredictor(TracePredictorConfig(index_bits=8))
+        for _ in range(4):
+            pred.predict()
+            pred.update(tid(1))  # history [.. 1], predict after 1 -> 1
+        assert pred.predict() == tid(1)
+        pred.update(tid(2))  # single contrary update (history was [1 1 ..])
+        # Re-establish the same history context: after a string of 1s the
+        # prediction should still favour 1 (counter absorbed one hit).
+        for _ in range(2):
+            pred.update(tid(1))
+        assert pred.predict() == tid(1)
+
+    def test_statistics_counters(self):
+        pred = TracePredictor()
+        pred.predict()
+        assert pred.lookups == 1
+
+
+class TestRecoverySupport:
+    def test_history_snapshot_restore(self):
+        pred = TracePredictor()
+        for n in range(5):
+            pred.update(tid(n))
+        snap = pred.history_snapshot()
+        pred.update(tid(99))
+        pred.restore_history(snap)
+        assert pred.history_snapshot() == snap
+
+    def test_restored_history_drives_prediction(self):
+        pred = TracePredictor()
+        sequence = [tid(0), tid(1), tid(2), tid(3)]
+        for _ in range(6):
+            for t in sequence:
+                pred.update(t)
+        snap = pred.history_snapshot()
+        prediction_before = pred.predict()
+        # Wander off, then restore: prediction must match.
+        for n in range(20, 24):
+            pred.update(tid(n))
+        pred.restore_history(snap)
+        assert pred.predict() == prediction_before

@@ -1,0 +1,152 @@
+"""Unit tests for trace selection, trace ids, and static trace expansion."""
+
+import pytest
+
+from repro.arch.functional import FunctionalSimulator
+from repro.isa.assembler import assemble
+from repro.trace.selection import (
+    StaticTraceWalker,
+    TraceExpansionError,
+    TraceSelector,
+    TRACE_LENGTH,
+    trace_id_of,
+)
+from repro.trace.trace_id import TraceId
+
+
+LOOP_PROGRAM = """
+main:
+    addi r1, r0, 100
+loop:
+    addi r2, r2, 1
+    addi r1, r1, -1
+    bne  r1, r0, loop
+    halt
+"""
+
+
+def traces_of(source, trace_length=TRACE_LENGTH):
+    program = assemble(source)
+    sim = FunctionalSimulator(program)
+    selector = TraceSelector(trace_length)
+    return program, list(selector.chunk(sim.steps()))
+
+
+class TestTraceSelector:
+    def test_traces_cover_whole_stream(self):
+        program, traces = traces_of(LOOP_PROGRAM)
+        total = sum(len(t) for t in traces)
+        count = FunctionalSimulator(program).run().instruction_count
+        assert total == count
+
+    def test_length_limit_respected(self):
+        _, traces = traces_of(LOOP_PROGRAM, trace_length=8)
+        assert all(len(t) <= 8 for t in traces)
+
+    def test_halt_terminates_trace(self):
+        _, traces = traces_of("nop\nnop\nhalt")
+        assert len(traces) == 1
+        assert traces[-1].instructions[-1].instr.opcode.mnemonic == "halt"
+
+    def test_jalr_terminates_trace(self):
+        source = """
+        main:
+            jal r31, func
+            halt
+        func:
+            nop
+            jalr r0, r31
+        """
+        _, traces = traces_of(source, trace_length=32)
+        # jal..func..jalr is one trace (jalr cuts it), halt is the next.
+        assert len(traces) == 2
+        assert traces[0].instructions[-1].instr.opcode.mnemonic == "jalr"
+
+    def test_trace_id_outcomes_match_branches(self):
+        _, traces = traces_of(LOOP_PROGRAM, trace_length=6)
+        for trace in traces:
+            branch_count = sum(1 for d in trace.instructions if d.is_branch)
+            assert trace.trace_id.branch_count == branch_count
+
+    def test_same_path_same_ids(self):
+        """Determinism: two identical runs chunk identically."""
+        _, t1 = traces_of(LOOP_PROGRAM, trace_length=8)
+        _, t2 = traces_of(LOOP_PROGRAM, trace_length=8)
+        assert [t.trace_id for t in t1] == [t.trace_id for t in t2]
+
+    def test_bad_trace_length_rejected(self):
+        with pytest.raises(ValueError):
+            TraceSelector(0)
+
+    def test_flush_returns_partial(self):
+        selector = TraceSelector(32)
+        program = assemble("nop\nnop\nhalt")
+        stream = list(FunctionalSimulator(program).steps())
+        for dyn in stream[:-1]:
+            assert selector.feed(dyn) is None
+        # Stream ended without a terminator: flush yields the remainder.
+        selector2 = TraceSelector(32)
+        for dyn in stream[:2]:
+            selector2.feed(dyn)
+        tail = selector2.flush()
+        assert tail is not None and len(tail) == 2
+
+
+class TestTraceId:
+    def test_mix_is_deterministic(self):
+        tid = TraceId(0x1000, (True, False, True))
+        assert tid.mix() == TraceId(0x1000, (True, False, True)).mix()
+
+    def test_mix_differs_on_outcomes(self):
+        a = TraceId(0x1000, (True,))
+        b = TraceId(0x1000, (False,))
+        assert a.mix() != b.mix()
+
+    def test_str_encodes_path(self):
+        assert str(TraceId(0x1000, (True, False))) == "0x1000:TN"
+
+
+class TestStaticTraceWalker:
+    def test_expansion_matches_dynamic_trace(self):
+        program, traces = traces_of(LOOP_PROGRAM, trace_length=8)
+        walker = StaticTraceWalker(program, trace_length=8)
+        for trace in traces:
+            steps = walker.expand(trace.trace_id)
+            assert [s.pc for s in steps] == [d.pc for d in trace.instructions]
+            assert [s.instr for s in steps] == [d.instr for d in trace.instructions]
+
+    def test_expansion_follows_direct_jumps(self):
+        source = "main:\n j skip\nnever: nop\nskip: nop\nhalt"
+        program, traces = traces_of(source)
+        walker = StaticTraceWalker(program)
+        steps = walker.expand(traces[0].trace_id)
+        pcs = [s.pc for s in steps]
+        assert program.labels["never"] not in pcs
+        assert program.labels["skip"] in pcs
+
+    def test_indirect_jump_has_unknown_next_pc(self):
+        source = "main: jal r31, f\nhalt\nf: jalr r0, r31"
+        program, traces = traces_of(source)
+        walker = StaticTraceWalker(program)
+        steps = walker.expand(traces[0].trace_id)
+        assert steps[-1].instr.opcode.mnemonic == "jalr"
+        assert steps[-1].next_pc is None
+
+    def test_too_few_outcomes_raises(self):
+        program, traces = traces_of(LOOP_PROGRAM, trace_length=8)
+        tid = traces[0].trace_id
+        if tid.branch_count == 0:
+            pytest.skip("first trace embeds no branch")
+        bad = TraceId(tid.start_pc, tid.outcomes[:-1])
+        with pytest.raises(TraceExpansionError):
+            StaticTraceWalker(program, trace_length=8).expand(bad)
+
+    def test_bad_start_pc_raises(self):
+        program, _ = traces_of(LOOP_PROGRAM)
+        with pytest.raises(TraceExpansionError):
+            StaticTraceWalker(program).expand(TraceId(0xDEAD0, ()))
+
+    def test_trace_id_of_roundtrip(self):
+        _, traces = traces_of(LOOP_PROGRAM, trace_length=8)
+        for trace in traces:
+            assert trace_id_of(trace.instructions) == trace.trace_id

@@ -1,0 +1,96 @@
+"""Unit tests for conventional branch predictors and the BTB."""
+
+from repro.isa.assembler import assemble
+from repro.uarch.branch import (
+    BimodalPredictor,
+    BranchTargetBuffer,
+    GsharePredictor,
+    HybridPredictor,
+)
+from repro.uarch.config import SS_64x4
+from repro.uarch.core import SuperscalarCore
+
+import pytest
+
+
+class TestBimodal:
+    def test_learns_bias(self):
+        pred = BimodalPredictor()
+        for _ in range(10):
+            pred.update(0x1000, True)
+        assert pred.predict(0x1000)
+
+    def test_hysteresis_survives_single_flip(self):
+        pred = BimodalPredictor()
+        for _ in range(4):
+            pred.update(0x1000, True)
+        pred.update(0x1000, False)
+        assert pred.predict(0x1000)
+
+    def test_cannot_learn_alternation(self):
+        pred = BimodalPredictor()
+        outcomes = [bool(i % 2) for i in range(200)]
+        for taken in outcomes:
+            pred.update(0x1000, taken)
+        assert pred.accuracy < 0.75
+
+
+class TestGshare:
+    def test_learns_alternation_via_history(self):
+        pred = GsharePredictor()
+        for i in range(400):
+            pred.update(0x1000, bool(i % 2))
+        assert pred.accuracy > 0.8
+
+    def test_learns_pattern(self):
+        pattern = [True, True, False, True, False, False]
+        pred = GsharePredictor()
+        for i in range(600):
+            pred.update(0x2000, pattern[i % len(pattern)])
+        assert pred.accuracy > 0.8
+
+
+class TestHybrid:
+    def test_chooser_tracks_better_component(self):
+        pred = HybridPredictor()
+        # Heavily biased branch: bimodal suffices; alternating branch:
+        # gshare needed.  The hybrid should do well on both.
+        for i in range(600):
+            pred.update(0x1000, True)
+            pred.update(0x2000, bool(i % 2))
+        assert pred.accuracy > 0.85
+
+
+class TestBTB:
+    def test_last_target(self):
+        btb = BranchTargetBuffer()
+        assert btb.predict(0x1000) is None
+        btb.update(0x1000, 0x2000)
+        assert btb.predict(0x1000) == 0x2000
+        btb.update(0x1000, 0x3000)
+        assert btb.predict(0x1000) == 0x3000
+
+
+class TestConventionalControlCore:
+    SOURCE = """
+    main:
+        addi r1, r0, 3000
+    loop:
+        add  r2, r2, r1
+        addi r1, r1, -1
+        bne  r1, r0, loop
+        out  r2
+        halt
+    """
+
+    def test_hybrid_control_runs_and_predicts_loop(self):
+        program = assemble(self.SOURCE, name="hybrid-control")
+        result = SuperscalarCore(SS_64x4, program, control="hybrid").run()
+        assert result.retired == 3000 * 3 + 3
+        assert result.mispredictions_per_1000 < 2.0
+        assert result.model.endswith("/hybrid")
+
+    def test_unknown_control_rejected(self):
+        program = assemble(self.SOURCE, name="x")
+        with pytest.raises(ValueError, match="control predictor"):
+            SuperscalarCore(SS_64x4, program, control="ttage")

@@ -1,0 +1,98 @@
+"""Unit tests for the cache model and fetch-block formation."""
+
+import pytest
+
+from repro.uarch.cache import Cache
+from repro.uarch.config import CacheConfig
+from repro.uarch.fetch import BlockFormer
+
+
+def tiny_cache(sets=2, assoc=2, line=64):
+    return Cache(CacheConfig(size_bytes=sets * assoc * line, assoc=assoc,
+                             line_bytes=line, miss_penalty=10))
+
+
+class TestCache:
+    def test_cold_miss_then_hit(self):
+        cache = tiny_cache()
+        assert not cache.probe(0)
+        assert cache.probe(0)
+        assert cache.probe(63)  # same line
+
+    def test_different_lines_miss_separately(self):
+        cache = tiny_cache()
+        cache.probe(0)
+        assert not cache.probe(64)
+
+    def test_lru_eviction(self):
+        cache = tiny_cache(sets=1, assoc=2)
+        cache.probe(0)      # line 0
+        cache.probe(64)     # line 1
+        cache.probe(0)      # touch line 0 (line 1 now LRU)
+        cache.probe(128)    # evicts line 1
+        assert cache.probe(0)
+        assert not cache.probe(64)
+
+    def test_set_indexing_isolates_sets(self):
+        cache = tiny_cache(sets=2, assoc=1)
+        cache.probe(0)    # set 0
+        cache.probe(64)   # set 1
+        assert cache.probe(0) and cache.probe(64)
+
+    def test_probe_range_spanning_lines(self):
+        cache = tiny_cache()
+        assert not cache.probe_range(32, 64)  # spans lines 0 and 1
+        assert cache.probe_range(32, 64)
+
+    def test_probe_range_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            tiny_cache().probe_range(0, 0)
+
+    def test_stats(self):
+        cache = tiny_cache()
+        cache.probe(0)
+        cache.probe(0)
+        assert cache.accesses == 2 and cache.misses == 1
+        assert cache.miss_rate == 0.5
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=100, assoc=3, line_bytes=64, miss_penalty=1)
+
+
+class TestBlockFormer:
+    def test_first_instruction_starts_block(self):
+        former = BlockFormer(4)
+        assert former.place(ends_block=False)
+
+    def test_sequential_instructions_share_block(self):
+        former = BlockFormer(4)
+        former.place(False)
+        assert not former.place(False)
+
+    def test_width_limit_breaks_block(self):
+        former = BlockFormer(2)
+        assert former.place(False)
+        assert not former.place(False)
+        assert former.place(False)  # third instruction: new block
+
+    def test_taken_control_breaks_block(self):
+        former = BlockFormer(8)
+        former.place(ends_block=True)
+        assert former.place(False)
+
+    def test_force_break(self):
+        former = BlockFormer(8)
+        former.place(False)
+        former.force_break()
+        assert former.place(False)
+
+    def test_block_count(self):
+        former = BlockFormer(2)
+        for _ in range(5):
+            former.place(False)
+        assert former.blocks == 3
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ValueError):
+            BlockFormer(0)

@@ -1,0 +1,130 @@
+"""Integration tests for the conventional superscalar model."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.trace.compare import Divergence, first_divergence
+from repro.trace.selection import CompletedTrace, TraceSelector
+from repro.trace.trace_id import TraceId
+from repro.arch.functional import FunctionalSimulator
+from repro.uarch.config import SS_128x8, SS_64x4
+from repro.uarch.core import SuperscalarCore
+
+
+PREDICTABLE_LOOP = """
+main:
+    addi r1, r0, 2000
+loop:
+    add  r2, r2, r1
+    xor  r3, r3, r2
+    addi r4, r4, 1
+    addi r1, r1, -1
+    bne  r1, r0, loop
+    out  r2
+    halt
+"""
+
+# A data-dependent branch pattern driven by an in-program LCG: hard to
+# predict even with a large trace predictor.
+NOISY_BRANCHES = """
+main:
+    addi r1, r0, 3000
+    addi r5, r0, 12345
+loop:
+    # LCG: r5 = r5 * 1103515245 + 12345 (mod 2^32)
+    lui  r6, 0x41c6
+    ori  r6, r6, 0x4e6d
+    mul  r5, r5, r6
+    addi r5, r5, 12345
+    srli r7, r5, 28
+    andi r7, r7, 1
+    beq  r7, r0, skip
+    addi r2, r2, 1
+skip:
+    addi r1, r1, -1
+    bne  r1, r0, loop
+    out  r2
+    halt
+"""
+
+
+def run_model(source, config, name="test"):
+    program = assemble(source, name=name)
+    return SuperscalarCore(config, program).run()
+
+
+class TestFirstDivergence:
+    def _trace(self, source):
+        program = assemble(source)
+        selector = TraceSelector(8)
+        return list(selector.chunk(FunctionalSimulator(program).steps()))
+
+    def test_correct_prediction_no_divergence(self):
+        traces = self._trace("addi r1, r0, 1\nbeq r1, r0, main\nmain: halt")
+        trace = traces[0]
+        assert first_divergence(trace.trace_id, trace) is None
+
+    def test_cold_prediction_flags_taken_branch(self):
+        traces = self._trace("beq r0, r0, t\nnop\nt: halt")
+        div = first_divergence(None, traces[0])
+        assert div == Divergence("outcome", 0)
+
+    def test_cold_prediction_ok_for_straightline(self):
+        traces = self._trace("addi r1, r0, 1\nnop\nhalt")
+        assert first_divergence(None, traces[0]) is None
+
+    def test_wrong_outcome_flagged(self):
+        traces = self._trace("addi r1, r0, 1\nbeq r1, r0, t\nnop\nt: halt")
+        trace = traces[0]
+        tid = trace.trace_id
+        flipped = TraceId(tid.start_pc, tuple(not o for o in tid.outcomes))
+        div = first_divergence(flipped, trace)
+        assert div is not None and div.kind == "outcome"
+
+    def test_wrong_start_pc_is_boundary(self):
+        traces = self._trace("nop\nhalt")
+        div = first_divergence(TraceId(0xDEAD0, ()), traces[0])
+        assert div == Divergence("boundary", -1)
+
+
+class TestSuperscalarCore:
+    def test_retires_full_program(self):
+        program = assemble(PREDICTABLE_LOOP, name="loop")
+        expected = FunctionalSimulator(program).run().instruction_count
+        result = SuperscalarCore(SS_64x4, program).run()
+        assert result.retired == expected
+
+    def test_predictable_loop_has_low_misprediction_rate(self):
+        result = run_model(PREDICTABLE_LOOP, SS_64x4)
+        assert result.mispredictions_per_1000 < 2.0
+
+    def test_noisy_branches_mispredict_often(self):
+        result = run_model(NOISY_BRANCHES, SS_64x4)
+        assert result.mispredictions_per_1000 > 20.0
+
+    def test_ipc_within_machine_bounds(self):
+        for source in (PREDICTABLE_LOOP, NOISY_BRANCHES):
+            result = run_model(source, SS_64x4)
+            assert 0.1 < result.ipc <= 4.0
+
+    def test_wider_machine_is_not_slower(self):
+        small = run_model(PREDICTABLE_LOOP, SS_64x4)
+        big = run_model(PREDICTABLE_LOOP, SS_128x8)
+        assert big.cycles <= small.cycles
+
+    def test_wider_machine_speeds_up_ilp_code(self):
+        # Independent work per iteration: the 8-wide machine should win
+        # noticeably on the predictable loop.
+        small = run_model(PREDICTABLE_LOOP, SS_64x4)
+        big = run_model(PREDICTABLE_LOOP, SS_128x8)
+        assert big.ipc > small.ipc * 1.05
+
+    def test_mispredictions_hurt_ipc(self):
+        good = run_model(PREDICTABLE_LOOP, SS_64x4)
+        bad = run_model(NOISY_BRANCHES, SS_64x4)
+        assert bad.ipc < good.ipc
+
+    def test_results_deterministic(self):
+        a = run_model(NOISY_BRANCHES, SS_64x4)
+        b = run_model(NOISY_BRANCHES, SS_64x4)
+        assert (a.cycles, a.branch_mispredictions) == (b.cycles, b.branch_mispredictions)

@@ -1,0 +1,48 @@
+"""Tests for the pipeline-timeline rendering tool."""
+
+from repro.isa.assembler import assemble
+from repro.uarch.config import SS_64x4
+from repro.uarch.core import SuperscalarCore
+from repro.uarch.scheduler import Timestamps
+from repro.uarch.timeline import PipelineTimeline, trace_core_timeline
+
+
+class TestRendering:
+    def test_empty(self):
+        assert "(empty" in PipelineTimeline().render()
+
+    def test_stage_letters_present_and_ordered(self):
+        timeline = PipelineTimeline()
+        timeline.record("add", Timestamps(0, 4, 5, 6, 7))
+        text = timeline.render()
+        row = text.splitlines()[1]
+        assert row.index("F") < row.index("D") < row.index("I")
+        assert row.index("I") < row.index("C") < row.index("R")
+
+    def test_window_selects_rows(self):
+        timeline = PipelineTimeline()
+        for i in range(10):
+            timeline.record(f"i{i}", Timestamps(i, i + 4, i + 5, i + 6, i + 7))
+        text = timeline.render(start=5, count=2)
+        assert "i5" in text and "i6" in text and "i4" not in text
+
+    def test_long_labels_truncated(self):
+        timeline = PipelineTimeline()
+        timeline.record("x" * 100, Timestamps(0, 4, 5, 6, 7))
+        line = timeline.render(label_width=10).splitlines()[1]
+        assert line.startswith("x" * 8)
+
+
+class TestCoreIntegration:
+    def test_trace_core_timeline_records_run(self):
+        program = assemble(
+            "main:\n addi r1, r0, 50\nloop:\n addi r1, r1, -1\n"
+            " bne r1, r0, loop\n halt",
+            name="tl",
+        )
+        core = SuperscalarCore(SS_64x4, program)
+        timeline = trace_core_timeline(core, limit=32)
+        core.run()
+        assert len(timeline.entries) == 32
+        text = timeline.render(count=8)
+        assert "F" in text and "R" in text

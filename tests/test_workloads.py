@@ -1,0 +1,93 @@
+"""Tests for the benchmark-suite workloads.
+
+Every workload must halt, produce deterministic output, scale, and
+exhibit the characteristic the paper's results depend on (branch
+predictability ordering, removal opportunities).
+"""
+
+import pytest
+
+from repro.arch.functional import FunctionalSimulator
+from repro.workloads.suite import Benchmark, benchmark_suite, get_benchmark
+
+ALL_NAMES = [b.name for b in benchmark_suite()]
+
+
+@pytest.fixture(scope="module")
+def runs():
+    """One functional run of each benchmark at scale 1."""
+    results = {}
+    for bench in benchmark_suite():
+        results[bench.name] = FunctionalSimulator(bench.program()).run()
+    return results
+
+
+class TestSuiteRegistry:
+    def test_eight_benchmarks_in_paper_order(self):
+        assert ALL_NAMES == [
+            "compress", "gcc", "go", "jpeg", "li", "m88ksim", "perl", "vortex"
+        ]
+
+    def test_lookup_by_name(self):
+        bench = get_benchmark("m88ksim")
+        assert isinstance(bench, Benchmark)
+        assert bench.paper_input
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            get_benchmark("specfp")
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+class TestEveryWorkload:
+    def test_halts_and_produces_output(self, name, runs):
+        result = runs[name]
+        assert result.halted
+        assert result.output, f"{name} produced no output"
+
+    def test_deterministic(self, name, runs):
+        again = FunctionalSimulator(get_benchmark(name).program()).run()
+        assert again.output == runs[name].output
+        assert again.instruction_count == runs[name].instruction_count
+
+    def test_instruction_count_in_range(self, name, runs):
+        # Table 1 analog scale: roughly 40k-500k dynamic instructions.
+        assert 30_000 <= runs[name].instruction_count <= 600_000
+
+    def test_scale_parameter_grows_run(self, name):
+        small = FunctionalSimulator(get_benchmark(name).program(1),
+                                    max_instructions=10**7).run()
+        big = FunctionalSimulator(get_benchmark(name).program(2),
+                                  max_instructions=10**7).run()
+        assert big.instruction_count > small.instruction_count * 1.5
+
+
+class TestCharacteristics:
+    """Cheap characteristic probes on the functional stream (full
+    microarchitectural characteristics are covered by the benches)."""
+
+    @staticmethod
+    def _silent_store_fraction(name):
+        program = get_benchmark(name).program()
+        sim = FunctionalSimulator(program)
+        state = sim.fresh_state()
+        silent = stores = 0
+        shadow = {}
+        for dyn in sim.steps(state):
+            if dyn.is_store:
+                stores += 1
+                if shadow.get(dyn.mem_addr) == dyn.value:
+                    silent += 1
+                shadow[dyn.mem_addr] = dyn.value
+        return silent / stores if stores else 0.0
+
+    def test_m88ksim_is_silent_store_heavy(self):
+        assert self._silent_store_fraction("m88ksim") > 0.5
+
+    def test_compress_is_not(self):
+        assert self._silent_store_fraction("compress") < \
+            self._silent_store_fraction("m88ksim")
+
+    def test_vortex_and_perl_have_silent_stores(self):
+        assert self._silent_store_fraction("vortex") > 0.2
+        assert self._silent_store_fraction("perl") > 0.2

@@ -1,0 +1,64 @@
+"""Unit tests for the workload-builder DSL and the eval model cache."""
+
+from repro.arch.functional import FunctionalSimulator
+from repro.eval.models import clear_cache, run_baseline
+from repro.workloads.dsl import LCG_INCREMENT, LCG_MULTIPLIER, Asm
+
+
+class TestAsm:
+    def test_labels_are_unique(self):
+        asm = Asm("t")
+        labels = {asm.label("L") for _ in range(100)}
+        assert len(labels) == 100
+
+    def test_emit_strips_indentation(self):
+        asm = Asm("t")
+        asm.emit("""
+            addi r1, r0, 1
+            halt
+        """)
+        program = asm.build()
+        assert len(program) == 2
+        assert program.name == "t"
+
+    def test_lcg_matches_reference(self):
+        asm = Asm("t")
+        asm.lcg_seed(12345)
+        asm.lcg_step()
+        asm.emit("out r29\nhalt")
+        result = FunctionalSimulator(asm.build()).run()
+        expected = (12345 * LCG_MULTIPLIER + LCG_INCREMENT) & 0xFFFFFFFF
+        assert result.output[0] & 0xFFFFFFFF == expected
+
+    def test_random_bit_is_zero_or_one(self):
+        asm = Asm("t")
+        asm.lcg_seed(99)
+        asm.emit("addi r1, r0, 50")
+        asm.emit("loop:")
+        asm.random_bit("r3")
+        asm.emit("out r3\naddi r1, r1, -1\nbne r1, r0, loop\nhalt")
+        result = FunctionalSimulator(asm.build()).run()
+        assert set(result.output) == {0, 1}
+
+    def test_random_bits_are_balanced(self):
+        asm = Asm("t")
+        asm.lcg_seed(7)
+        asm.emit("addi r1, r0, 400")
+        asm.emit("loop:")
+        asm.random_bit("r3")
+        asm.emit("add r4, r4, r3\naddi r1, r1, -1\nbne r1, r0, loop")
+        asm.emit("out r4\nhalt")
+        ones = FunctionalSimulator(asm.build()).run().output[0]
+        assert 120 <= ones <= 280  # roughly balanced
+
+
+class TestModelCache:
+    def test_baseline_cached_per_key(self):
+        clear_cache()
+        first = run_baseline("jpeg")
+        second = run_baseline("jpeg")
+        assert first is second  # same object: cache hit
+        clear_cache()
+        third = run_baseline("jpeg")
+        assert third is not first
+        assert third.cycles == first.cycles  # deterministic rerun
