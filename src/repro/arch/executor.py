@@ -29,9 +29,12 @@ def _unsigned(value: int) -> int:
     return value & _U32
 
 
-@dataclass
+@dataclass(slots=True)
 class DynInstr:
     """One retired dynamic instruction.
+
+    Slotted: tens of millions are created per evaluation sweep, so the
+    per-instance ``__dict__`` is worth eliminating.
 
     Attributes:
         seq: retirement sequence number within its stream.
@@ -133,7 +136,8 @@ def execute_one(program: Program, state: ArchState, pc: int, seq: int = 0) -> Dy
     instr = program.at(pc)
     op = instr.opcode
     regs = state.regs
-    srcs = tuple(regs.read(r) for r in instr.src_regs())
+    regfile = regs.regs  # r0 is kept zero by every write path
+    srcs = tuple(regfile[r] for r in instr.srcs)
     next_pc = pc + WORD
     taken = False
     dest_reg: Optional[int] = None
@@ -141,12 +145,25 @@ def execute_one(program: Program, state: ArchState, pc: int, seq: int = 0) -> Dy
     mem_addr: Optional[int] = None
     output: Optional[int] = None
 
-    if op in _ALU_RRR:
-        value = wrap32(_ALU_RRR[op](srcs[0], srcs[1]))
-        dest_reg = instr.dest_reg()
-    elif op in _ALU_RRI:
-        value = wrap32(_ALU_RRI[op](srcs[0], instr.imm))
-        dest_reg = instr.dest_reg()
+    alu = _ALU_RRR.get(op)
+    if alu is not None:
+        value = wrap32(alu(srcs[0], srcs[1]))
+        dest_reg = instr.dest
+    elif (alu := _ALU_RRI.get(op)) is not None:
+        value = wrap32(alu(srcs[0], instr.imm))
+        dest_reg = instr.dest
+    elif (cond := _BRANCH_COND.get(op)) is not None:
+        taken = cond(srcs[0], srcs[1])
+        if taken:
+            next_pc = instr.target
+    elif op is Opcode.LW:
+        mem_addr = wrap32(srcs[0] + instr.imm) & _U32
+        value = state.mem.read(mem_addr)
+        dest_reg = instr.dest
+    elif op is Opcode.SW:
+        mem_addr = wrap32(srcs[0] + instr.imm) & _U32
+        value = srcs[1]
+        state.mem.write(mem_addr, value)
     elif op in (Opcode.DIV, Opcode.REM):
         if srcs[1] == 0:
             raise ExecutionError(f"division by zero at pc {pc:#x}")
@@ -155,34 +172,22 @@ def execute_one(program: Program, state: ArchState, pc: int, seq: int = 0) -> Dy
             quotient = -quotient
         remainder = srcs[0] - quotient * srcs[1]
         value = wrap32(quotient if op is Opcode.DIV else remainder)
-        dest_reg = instr.dest_reg()
+        dest_reg = instr.dest
     elif op is Opcode.LUI:
         value = wrap32(instr.imm << 16)
-        dest_reg = instr.dest_reg()
-    elif op is Opcode.LW:
-        mem_addr = wrap32(srcs[0] + instr.imm) & _U32
-        value = state.mem.read(mem_addr)
-        dest_reg = instr.dest_reg()
-    elif op is Opcode.SW:
-        mem_addr = wrap32(srcs[0] + instr.imm) & _U32
-        value = srcs[1]
-        state.mem.write(mem_addr, value)
-    elif op in _BRANCH_COND:
-        taken = _BRANCH_COND[op](srcs[0], srcs[1])
-        if taken:
-            next_pc = instr.target
+        dest_reg = instr.dest
     elif op is Opcode.J:
         taken = True
         next_pc = instr.target
     elif op is Opcode.JAL:
         taken = True
         value = pc + WORD
-        dest_reg = instr.dest_reg()
+        dest_reg = instr.dest
         next_pc = instr.target
     elif op is Opcode.JALR:
         taken = True
         value = pc + WORD
-        dest_reg = instr.dest_reg()
+        dest_reg = instr.dest
         next_pc = srcs[0] & _U32
     elif op is Opcode.OUT:
         output = srcs[0]
@@ -196,7 +201,7 @@ def execute_one(program: Program, state: ArchState, pc: int, seq: int = 0) -> Dy
         raise ExecutionError(f"unimplemented opcode {op}")
 
     if dest_reg is not None and value is not None:
-        regs.write(dest_reg, value)
+        regfile[dest_reg] = value
     return DynInstr(
         seq=seq,
         pc=pc,

@@ -19,11 +19,22 @@ interleaves trace-by-trace (push trace *i*, pop trace *i*, push trace
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque
+from typing import Deque, Optional
 
 
 class DelayBufferError(Exception):
     """Protocol misuse (pop without push, oversized trace, ...)."""
+
+
+class _Group:
+    """One pushed outcome group: entry count plus its pop timestamp."""
+
+    __slots__ = ("count", "pop_cycle")
+
+    def __init__(self, count: int):
+        self.count = count
+        #: None until the R-stream consumes the group.
+        self.pop_cycle: Optional[int] = None
 
 
 class DelayBuffer:
@@ -34,9 +45,7 @@ class DelayBuffer:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
         self.transfer_latency = transfer_latency
-        #: (entry_count, pop_cycle) for pushed groups; pop_cycle is None
-        #: until the R-stream consumes the group.
-        self._groups: Deque[list] = deque()
+        self._groups: Deque[_Group] = deque()
         self._occupancy = 0
         self.pushes = 0
         self.backpressure_events = 0
@@ -63,20 +72,20 @@ class DelayBuffer:
         cycle = produce_cycle
         stalled = False
         while self._occupancy + entry_count > self.capacity:
-            count, pop_cycle = self._groups[0]
-            if pop_cycle is None:
+            group = self._groups[0]
+            if group.pop_cycle is None:
                 raise DelayBufferError(
                     "backpressure on a group the R-stream has not consumed; "
                     "the driver must interleave pushes and pops"
                 )
             self._groups.popleft()
-            self._occupancy -= count
-            if pop_cycle > cycle:
-                cycle = pop_cycle
+            self._occupancy -= group.count
+            if group.pop_cycle > cycle:
+                cycle = group.pop_cycle
                 stalled = True
         if stalled:
             self.backpressure_events += 1
-        self._groups.append([entry_count, None])
+        self._groups.append(_Group(entry_count))
         self._occupancy += entry_count
         self.pushes += 1
         return cycle
@@ -84,8 +93,8 @@ class DelayBuffer:
     def mark_popped(self, pop_cycle: int) -> None:
         """Record the R-stream's consumption of the oldest unpopped group."""
         for group in self._groups:
-            if group[1] is None:
-                group[1] = pop_cycle
+            if group.pop_cycle is None:
+                group.pop_cycle = pop_cycle
                 return
         raise DelayBufferError("no unpopped group to mark")
 

@@ -96,6 +96,10 @@ class IRDetector:
         self._table = OperandRenameTable()
         self._scope: Deque[_ScopedTrace] = deque()
         self._next_seq = 0
+        # Trigger membership hoisted out of the per-instruction path.
+        self._br_trigger = "BR" in self.triggers
+        self._ww_trigger = "WW" in self.triggers
+        self._sv_trigger = "SV" in self.triggers
 
     # ------------------------------------------------------------------
 
@@ -131,31 +135,33 @@ class IRDetector:
 
     def _merge(self, dyn: DynInstr, node: RDFGNode, scoped: _ScopedTrace) -> None:
         table = self._table
+        instr = dyn.instr
+        mem_addr = dyn.mem_addr
         # Source operands: establish producer connections and ref bits.
-        for reg in dyn.instr.src_regs():
+        for reg in instr.srcs:
             if reg == 0:
                 continue
             producer = table.read(("r", reg))
             if producer is not None:
                 connect(producer, node)
-        if dyn.is_load and dyn.mem_addr is not None:
-            producer = table.read(("m", dyn.mem_addr))
+        if instr.is_load and mem_addr is not None:
+            producer = table.read(("m", mem_addr))
             if producer is not None:
                 connect(producer, node)
 
         # Trigger: branch instructions are always selected at merge.
-        if dyn.is_branch and "BR" in self.triggers:
+        if instr.is_branch and self._br_trigger:
             select(node, RemovalKind.BR)
 
         # Destination operand: SV/WW detection and value kills.
-        if dyn.is_store and dyn.mem_addr is not None:
-            self._write(("m", dyn.mem_addr), dyn.value, node, scoped)
+        if instr.is_store and mem_addr is not None:
+            self._write(("m", mem_addr), dyn.value, node, scoped)
         elif dyn.dest_reg is not None and dyn.value is not None:
             self._write(("r", dyn.dest_reg), dyn.value, node, scoped)
 
     def _write(self, operand: Operand, value: int, node: RDFGNode, scoped: _ScopedTrace) -> None:
         outcome = self._table.write(
-            operand, value, node, detect_silent="SV" in self.triggers
+            operand, value, node, detect_silent=self._sv_trigger
         )
         if outcome.silent:
             # Non-modifying write: select; the old producer remains the
@@ -167,7 +173,7 @@ class IRDetector:
         if outcome.killed is not None:
             kill(
                 outcome.killed,
-                unreferenced=outcome.killed_unreferenced and "WW" in self.triggers,
+                unreferenced=outcome.killed_unreferenced and self._ww_trigger,
             )
         scoped.touched.append(operand)
 

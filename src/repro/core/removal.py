@@ -50,15 +50,7 @@ CATEGORIES = (
 )
 
 
-def removal_category(kind: RemovalKind) -> str:
-    """Map a kind bitmask onto its Figure 8 category label.
-
-    Direct triggers report a single label with SV given priority over
-    WW (paper, section 5); propagated selections report the full flag
-    combination.
-    """
-    if kind == RemovalKind.NONE:
-        raise ValueError("no removal flags set")
+def _category_of(kind: RemovalKind) -> str:
     flags = []
     if kind & RemovalKind.SV:
         flags.append("SV")
@@ -74,3 +66,25 @@ def removal_category(kind: RemovalKind) -> str:
     if "WW" in flags:
         return "WW"
     return "BR"
+
+
+#: Precomputed category label for every flag combination (the mapping is
+#: consulted once per removed dynamic instruction — a hot path).
+_CATEGORY_LUT = {
+    kind: _category_of(RemovalKind(kind))
+    for kind in range(1, int(RemovalKind.BR | RemovalKind.WW
+                             | RemovalKind.SV | RemovalKind.PROPAGATED) + 1)
+}
+
+
+def removal_category(kind: RemovalKind) -> str:
+    """Map a kind bitmask onto its Figure 8 category label.
+
+    Direct triggers report a single label with SV given priority over
+    WW (paper, section 5); propagated selections report the full flag
+    combination.
+    """
+    try:
+        return _CATEGORY_LUT[int(kind)]
+    except KeyError:
+        raise ValueError("no removal flags set") from None

@@ -53,6 +53,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.arch.executor import DynInstr, ExecutionError, execute_one
 from repro.arch.state import ArchState
+from repro.fingerprint import fingerprint as _config_fingerprint
 from repro.core.delay_buffer import DelayBuffer
 from repro.core.ir_detector import IRDetector, TraceAnalysis
 from repro.core.ir_predictor import IRPredictor, IRPredictorConfig, RemovalPrediction
@@ -125,6 +126,14 @@ class SlipstreamConfig:
     delay_merge_width: int = 3
     predictor: TracePredictorConfig = field(default_factory=TracePredictorConfig)
     max_instructions: int = 50_000_000
+
+    def fingerprint(self) -> str:
+        """Stable content hash, used in experiment-cache keys.
+
+        Two configurations fingerprint equal iff they compare equal, so
+        runs under a caller-supplied config are cacheable
+        (:mod:`repro.eval.models`)."""
+        return _config_fingerprint(self)
 
 
 @dataclass
@@ -519,33 +528,41 @@ class SlipstreamProcessor:
         slots (the stored intermediate PCs let the front end skip the
         removed chunks entirely, Figure 2)."""
         cfg = self.a_core
+        icache_probe = self.a_icache.probe
+        dcache_probe = self.a_dcache.probe
+        sched_add = self.a_sched.add
+        icache_miss = cfg.icache.miss_penalty
+        dcache_miss = cfg.dcache.miss_penalty
+        fetch_width = cfg.fetch_width
+        block_pending = self._a_block_pending
+        block_count = self._a_block_count
         for step in steps:
             if step.executed:
                 dyn = step.dyn
+                instr = dyn.instr
                 icache_penalty = 0
-                if not self.a_icache.probe(dyn.pc):
-                    icache_penalty = cfg.icache.miss_penalty
-                    self._a_block_pending = True
-                new_block = (
-                    self._a_block_pending or self._a_block_count >= cfg.fetch_width
-                )
+                if not icache_probe(dyn.pc):
+                    icache_penalty = icache_miss
+                    block_pending = True
+                new_block = block_pending or block_count >= fetch_width
                 if new_block:
-                    self._a_block_count = 0
-                    self._a_block_pending = False
-                self._a_block_count += 1
+                    block_count = 0
+                    block_pending = False
+                block_count += 1
+                mem_addr = dyn.mem_addr
                 dcache_penalty = 0
-                if dyn.mem_addr is not None and not self.a_dcache.probe(dyn.mem_addr):
-                    dcache_penalty = cfg.dcache.miss_penalty
-                ts = self.a_sched.add(
+                if mem_addr is not None and not dcache_probe(mem_addr):
+                    dcache_penalty = dcache_miss
+                ts = sched_add(
                     InstrTiming(
                         new_block=new_block,
                         icache_penalty=icache_penalty,
-                        srcs=dyn.instr.src_regs(),
+                        srcs=instr.srcs,
                         dest=dyn.dest_reg,
-                        latency=latency_of(dyn.instr),
-                        is_load=dyn.is_load,
-                        is_store=dyn.is_store,
-                        mem_addr=dyn.mem_addr,
+                        latency=latency_of(instr),
+                        is_load=instr.is_load,
+                        is_store=instr.is_store,
+                        mem_addr=mem_addr,
                         dcache_penalty=dcache_penalty,
                     )
                 )
@@ -554,12 +571,14 @@ class SlipstreamProcessor:
                 step.a_retire = ts.retire
                 if step.mispredicted:
                     self.a_sched.redirect(ts.complete)
-                    self._a_block_pending = True
+                    block_pending = True
                 taken = dyn.taken
             else:
                 taken = step.pred_taken and step.instr.is_control
             if taken:
-                self._a_block_pending = True
+                block_pending = True
+        self._a_block_pending = block_pending
+        self._a_block_count = block_count
 
     # ==================================================================
     # R-phase: consume one delay-buffer group in the R-stream.
@@ -642,6 +661,7 @@ class SlipstreamProcessor:
 
     def _schedule_r_instr(self, dyn: DynInstr, step: _FollowedStep, available: int) -> int:
         cfg = self.r_core
+        instr = dyn.instr
         icache_penalty = 0
         if not self.r_icache.probe(dyn.pc):
             icache_penalty = cfg.icache.miss_penalty
@@ -651,21 +671,22 @@ class SlipstreamProcessor:
             self._r_block_count = 0
             self._r_block_break = False
         self._r_block_count += 1
-        if dyn.is_control and dyn.taken:
+        if instr.is_control and dyn.taken:
             self._r_block_break = True
+        mem_addr = dyn.mem_addr
         dcache_penalty = 0
-        if dyn.mem_addr is not None and not self.r_dcache.probe(dyn.mem_addr):
+        if mem_addr is not None and not self.r_dcache.probe(mem_addr):
             dcache_penalty = cfg.dcache.miss_penalty
         ts = self.r_sched.add(
             InstrTiming(
                 new_block=new_block,
                 icache_penalty=icache_penalty,
-                srcs=dyn.instr.src_regs(),
+                srcs=instr.srcs,
                 dest=dyn.dest_reg,
-                latency=latency_of(dyn.instr),
-                is_load=dyn.is_load,
-                is_store=dyn.is_store,
-                mem_addr=dyn.mem_addr,
+                latency=latency_of(instr),
+                is_load=instr.is_load,
+                is_store=instr.is_store,
+                mem_addr=mem_addr,
                 dcache_penalty=dcache_penalty,
                 ready_override=(
                     max(step.a_retire + self.config.transfer_latency, available)

@@ -13,19 +13,20 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.arch.functional import FunctionalSimulator
 from repro.core.removal import CATEGORIES
 from repro.core.slipstream import SlipstreamConfig
 from repro.eval.models import (
     run_all_models,
     run_baseline,
     run_big_core,
+    run_fault_study,
+    run_instruction_count,
     run_slipstream_model,
 )
-from repro.fault.coverage import CampaignResult, run_campaign
+from repro.fault.coverage import CampaignResult
 from repro.fault.injector import FaultSite
 from repro.uarch.config import SS_128x8, SS_64x4
-from repro.workloads.suite import benchmark_suite, get_benchmark
+from repro.workloads.suite import benchmark_suite
 
 BENCHMARKS = [b.name for b in benchmark_suite()]
 
@@ -67,7 +68,7 @@ def table1(scale: int = 1) -> List[Dict]:
     """Benchmark, input dataset (paper's), analog, instruction count."""
     rows = []
     for bench in benchmark_suite():
-        count = FunctionalSimulator(bench.program(scale)).run().instruction_count
+        count = run_instruction_count(bench.name, scale)
         rows.append(
             {
                 "benchmark": bench.name,
@@ -234,13 +235,7 @@ def fault_coverage_study(
     sites: Sequence[FaultSite] = (FaultSite.A_RESULT, FaultSite.R_TRANSIENT),
 ) -> CampaignResult:
     """A deterministic fault-injection campaign over one workload."""
-    program = get_benchmark(benchmark).program(scale)
-    total = FunctionalSimulator(program).run().instruction_count
-    # Strike points spread over the steady-state region of the run.
-    start = total // 4
-    stride = max((total - start) // (points + 1), 1)
-    targets = [start + i * stride for i in range(points)]
-    return run_campaign(program, sites=list(sites), target_seqs=targets)
+    return run_fault_study(benchmark, scale, points, tuple(sites))
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,367 @@
+"""Simulation jobs: hashable keys, the persistent result cache, and the
+raw compute behind every cached experiment run.
+
+The paper's artifact suite (Tables 1-3, Figures 6-8, the fault campaign
+and the ablations) decomposes into independent simulation **jobs**, each
+identified by a :class:`JobKey` — benchmark, model, workload scale,
+removal-trigger set and a configuration fingerprint.  Several artifacts
+share jobs (Figure 6, Figure 8 and Table 3 all consume the same default
+CMP runs), so keys are hashable and deduplicatable.
+
+Results are memoised at two levels:
+
+* in-process, by :mod:`repro.eval.models` (a plain dict keyed by
+  :class:`JobKey`);
+* on disk, by :class:`DiskCache` — pickled results under
+  ``.cache/repro-eval/`` keyed by the JobKey **plus a code-version
+  fingerprint** (a hash of every ``repro`` source file), so editing the
+  simulator automatically invalidates stale entries.  Corrupt or
+  unreadable cache files are discarded, never fatal.
+
+:func:`simulate` performs the actual simulation for a job and is a
+module-level function, so :mod:`repro.eval.runner` can ship jobs to
+``ProcessPoolExecutor`` workers.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from dataclasses import dataclass
+from hashlib import sha256
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+import repro
+from repro.arch.functional import FunctionalSimulator
+from repro.core.slipstream import SlipstreamConfig, SlipstreamProcessor
+from repro.fault.coverage import run_campaign
+from repro.fault.injector import FaultSite
+from repro.fingerprint import canonical, fingerprint
+from repro.uarch.config import SS_128x8, SS_64x4
+from repro.uarch.core import SuperscalarCore
+from repro.workloads.suite import benchmark_suite, get_benchmark
+
+#: Default disk-cache location, overridable with $REPRO_EVAL_CACHE_DIR.
+DEFAULT_CACHE_DIR = ".cache/repro-eval"
+
+#: Sentinel distinguishing "cache miss" from a legitimately-None result.
+MISS = object()
+
+#: Count of actual simulations performed in this process (cache misses
+#: that reached :func:`simulate`).  Tests hook this to assert that a
+#: warm cache performs zero simulations.
+_simulation_count = 0
+
+
+def simulation_count() -> int:
+    return _simulation_count
+
+
+def reset_simulation_count() -> None:
+    global _simulation_count
+    _simulation_count = 0
+
+
+# ----------------------------------------------------------------------
+# Job identity.
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class JobKey:
+    """Identity of one simulation job (the unit of caching/dedup).
+
+    ``config_fingerprint`` covers everything the other fields do not:
+    the full :class:`SlipstreamConfig` for CMP jobs, the fault-campaign
+    parameters for fault jobs, the empty string where defaults apply.
+    """
+
+    model: str  # "count" | "ss64" | "ss128" | "cmp" | "fault"
+    benchmark: str
+    scale: int = 1
+    removal_triggers: Tuple[str, ...] = ()
+    config_fingerprint: str = ""
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """A runnable job: its key plus the parameters needed to compute it.
+
+    The key alone identifies the result; the payload fields carry the
+    non-default configuration objects the simulation needs.  Specs are
+    picklable (process-pool friendly).
+    """
+
+    key: JobKey
+    config: Optional[SlipstreamConfig] = None
+    points: int = 0
+    sites: Tuple[FaultSite, ...] = ()
+
+
+def count_spec(benchmark: str, scale: int = 1) -> JobSpec:
+    return JobSpec(JobKey("count", benchmark, scale))
+
+
+def baseline_spec(benchmark: str, scale: int = 1) -> JobSpec:
+    return JobSpec(JobKey("ss64", benchmark, scale))
+
+
+def big_core_spec(benchmark: str, scale: int = 1) -> JobSpec:
+    return JobSpec(JobKey("ss128", benchmark, scale))
+
+
+def slipstream_spec(
+    benchmark: str,
+    scale: int = 1,
+    removal_triggers: Tuple[str, ...] = ("BR", "WW", "SV"),
+    config: Optional[SlipstreamConfig] = None,
+) -> JobSpec:
+    """The CMP(2x64x4) job.  A caller-supplied config is cacheable too:
+    its stable fingerprint becomes part of the key."""
+    cfg = config if config is not None else SlipstreamConfig(
+        removal_triggers=removal_triggers
+    )
+    key = JobKey(
+        "cmp", benchmark, scale,
+        removal_triggers=cfg.removal_triggers,
+        config_fingerprint=cfg.fingerprint(),
+    )
+    return JobSpec(key, config=cfg)
+
+
+def fault_spec(
+    benchmark: str,
+    scale: int = 1,
+    points: int = 6,
+    sites: Sequence[FaultSite] = (FaultSite.A_RESULT, FaultSite.R_TRANSIENT),
+) -> JobSpec:
+    sites = tuple(sites)
+    key = JobKey(
+        "fault", benchmark, scale,
+        config_fingerprint=fingerprint([points, list(sites)]),
+    )
+    return JobSpec(key, points=points, sites=sites)
+
+
+# ----------------------------------------------------------------------
+# The raw compute.
+# ----------------------------------------------------------------------
+
+def simulate(spec: JobSpec):
+    """Run one job's simulation (no caching) and return its result."""
+    global _simulation_count
+    _simulation_count += 1
+    key = spec.key
+    model = key.model
+    if model == "count":
+        program = get_benchmark(key.benchmark).program(key.scale)
+        return FunctionalSimulator(program).run().instruction_count
+    if model == "ss64":
+        program = get_benchmark(key.benchmark).program(key.scale)
+        return SuperscalarCore(SS_64x4, program).run()
+    if model == "ss128":
+        program = get_benchmark(key.benchmark).program(key.scale)
+        return SuperscalarCore(SS_128x8, program).run()
+    if model == "cmp":
+        program = get_benchmark(key.benchmark).program(key.scale)
+        return SlipstreamProcessor(program, spec.config).run()
+    if model == "fault":
+        return _simulate_fault_study(key.benchmark, key.scale, spec.points,
+                                     spec.sites)
+    raise ValueError(f"unknown job model {model!r}")
+
+
+def _simulate_fault_study(benchmark: str, scale: int, points: int,
+                          sites: Tuple[FaultSite, ...]):
+    """A deterministic fault-injection campaign over one workload, with
+    strike points spread over the steady-state region of the run."""
+    program = get_benchmark(benchmark).program(scale)
+    total = FunctionalSimulator(program).run().instruction_count
+    start = total // 4
+    stride = max((total - start) // (points + 1), 1)
+    targets = [start + i * stride for i in range(points)]
+    return run_campaign(program, sites=list(sites), target_seqs=targets)
+
+
+def timed_simulate(spec: JobSpec):
+    """Worker entry point: returns ``(result, wall_seconds, cpu_seconds)``.
+
+    CPU seconds are the contention-independent cost of the job: on an
+    oversubscribed machine the wall clock inside a worker is inflated by
+    scheduling, but process CPU time is not, so it is what sequential
+    cost estimates must sum.
+    """
+    w0 = time.perf_counter()
+    c0 = time.process_time()
+    result = simulate(spec)
+    return result, time.perf_counter() - w0, time.process_time() - c0
+
+
+# ----------------------------------------------------------------------
+# Artifact enumeration.
+# ----------------------------------------------------------------------
+
+#: The exact ablation parameter grids ``python -m repro.eval`` renders;
+#: the experiment functions must construct identical configs so the
+#: enumerated jobs and the report's lookups share cache entries.
+ABLATION_BENCHMARK = "li"
+ABLATION_CONFIDENCE_THRESHOLDS = (4, 32, 128)
+ABLATION_DELAY_CAPACITIES = (32, 256, 1024)
+ABLATION_IR_SCOPES = (1, 8, 16)
+FAULT_STUDY_BENCHMARK = "jpeg"
+FAULT_STUDY_POINTS = 4
+
+
+def enumerate_artifact_jobs(
+    scale: int = 1,
+    benchmarks: Optional[Sequence[str]] = None,
+) -> List[JobSpec]:
+    """Every job the full artifact suite needs, deduplicated.
+
+    Figure 6 / Figure 8 (top) / Table 3 share the default CMP runs;
+    Figures 6/7 and Tables 1/3 share the SS runs.  The returned list has
+    one spec per distinct :class:`JobKey`.
+    """
+    names = list(benchmarks) if benchmarks is not None else [
+        b.name for b in benchmark_suite()
+    ]
+    specs: List[JobSpec] = []
+    seen = set()
+
+    def add(spec: JobSpec) -> None:
+        if spec.key not in seen:
+            seen.add(spec.key)
+            specs.append(spec)
+
+    for name in names:
+        add(count_spec(name, scale))            # Table 1
+        add(baseline_spec(name, scale))         # Figures 6/7, Table 3
+        add(big_core_spec(name, scale))         # Figure 7
+        add(slipstream_spec(name, scale))       # Figures 6/8, Table 3
+        add(slipstream_spec(name, scale, removal_triggers=("BR",)))  # Fig 8 bottom
+    add(fault_spec(FAULT_STUDY_BENCHMARK, points=FAULT_STUDY_POINTS))
+    for threshold in ABLATION_CONFIDENCE_THRESHOLDS:
+        add(slipstream_spec(
+            ABLATION_BENCHMARK, scale,
+            config=SlipstreamConfig(confidence_threshold=threshold)))
+    for capacity in ABLATION_DELAY_CAPACITIES:
+        add(slipstream_spec(
+            ABLATION_BENCHMARK, scale,
+            config=SlipstreamConfig(delay_buffer_capacity=capacity)))
+    for scope in ABLATION_IR_SCOPES:
+        add(slipstream_spec(
+            ABLATION_BENCHMARK, scale,
+            config=SlipstreamConfig(ir_scope_traces=scope)))
+    return specs
+
+
+# ----------------------------------------------------------------------
+# Code-version fingerprint and the persistent cache.
+# ----------------------------------------------------------------------
+
+_code_fingerprint: Optional[str] = None
+
+
+def code_fingerprint() -> str:
+    """Hash of every ``repro`` source file; cache entries embed it so
+    any code change invalidates previously cached results."""
+    global _code_fingerprint
+    if _code_fingerprint is None:
+        root = Path(repro.__file__).resolve().parent
+        digest = sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(path.relative_to(root).as_posix().encode("utf-8"))
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+        _code_fingerprint = digest.hexdigest()[:16]
+    return _code_fingerprint
+
+
+class DiskCache:
+    """Pickle-per-job persistent result cache.
+
+    File names embed a digest of (JobKey, code fingerprint): a changed
+    key or changed code simply misses — stale files are never *read*,
+    and :meth:`prune_stale` deletes them.  Loads are defensive: any
+    unpicklable, truncated or mismatched file is discarded and treated
+    as a miss.
+    """
+
+    def __init__(self, root: Optional[os.PathLike] = None,
+                 code_version: Optional[str] = None):
+        if root is None:
+            root = os.environ.get("REPRO_EVAL_CACHE_DIR", DEFAULT_CACHE_DIR)
+        self.root = Path(root)
+        self.code_version = code_version or code_fingerprint()
+
+    def path_for(self, key: JobKey) -> Path:
+        digest = sha256(
+            repr((canonical(key), self.code_version)).encode("utf-8")
+        ).hexdigest()[:24]
+        name = f"{key.model}-{key.benchmark}-s{key.scale}-{digest}.pkl"
+        return self.root / name
+
+    def load(self, key: JobKey):
+        """The cached result for ``key``, or :data:`MISS`."""
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+        except FileNotFoundError:
+            return MISS
+        except Exception:
+            # Corrupt/truncated/unreadable: discard, never fatal.
+            self._discard(path)
+            return MISS
+        if not isinstance(payload, dict) or payload.get("key") != key:
+            self._discard(path)
+            return MISS
+        return payload.get("result")
+
+    def store(self, key: JobKey, result) -> None:
+        path = self.path_for(key)
+        payload = {"key": key, "code": self.code_version, "result": result}
+        tmp = path.with_suffix(f".tmp{os.getpid()}")
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with open(tmp, "wb") as handle:
+                pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except OSError:
+            # An unwritable or full cache directory degrades to no-op.
+            self._discard(tmp)
+
+    def clear(self) -> int:
+        """Delete every cache file; returns the number removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*.pkl"):
+                self._discard(path)
+                removed += 1
+        return removed
+
+    def prune_stale(self) -> int:
+        """Delete entries written under a different code version."""
+        removed = 0
+        if not self.root.is_dir():
+            return 0
+        for path in self.root.glob("*.pkl"):
+            try:
+                with open(path, "rb") as handle:
+                    payload = pickle.load(handle)
+                stale = (not isinstance(payload, dict)
+                         or payload.get("code") != self.code_version)
+            except Exception:
+                stale = True
+            if stale:
+                self._discard(path)
+                removed += 1
+        return removed
+
+    @staticmethod
+    def _discard(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass

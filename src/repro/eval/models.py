@@ -5,44 +5,105 @@
 * ``CMP(2x64x4)`` — the slipstream processor: two SS(64x4) cores.
 
 All three use the same trace predictor for control-flow prediction, so
-comparisons are direct.  Runs are cached per (benchmark, model, scale,
-variant) within the process: Figure 6, Figure 8 and Table 3 share the
-same underlying simulations.
+comparisons are direct.  Runs are cached at two levels, keyed by
+:class:`repro.eval.jobs.JobKey`:
+
+* an in-process dict (Figure 6, Figure 8 and Table 3 share the same
+  underlying simulations within one report);
+* the persistent :class:`repro.eval.jobs.DiskCache`, so re-running the
+  artifact suite performs zero simulations until the code or the
+  requested configuration changes.  Set ``REPRO_EVAL_DISK_CACHE=0`` (or
+  call :func:`configure_disk_cache`) to opt out.
+
+Caller-supplied :class:`SlipstreamConfig` objects are cached like any
+other run: their stable :meth:`~SlipstreamConfig.fingerprint` is part of
+the job key.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
-from repro.core.slipstream import SlipstreamConfig, SlipstreamProcessor, SlipstreamResult
-from repro.uarch.config import SS_128x8, SS_64x4
-from repro.uarch.core import CoreRunResult, SuperscalarCore
-from repro.workloads.suite import get_benchmark
+from repro.core.slipstream import SlipstreamConfig, SlipstreamResult
+from repro.eval.jobs import (
+    MISS,
+    DiskCache,
+    JobKey,
+    JobSpec,
+    baseline_spec,
+    big_core_spec,
+    count_spec,
+    fault_spec,
+    simulate,
+    slipstream_spec,
+)
+from repro.fault.coverage import CampaignResult
+from repro.fault.injector import FaultSite
+from repro.uarch.core import CoreRunResult
 
-_CACHE: Dict[Tuple, object] = {}
+_CACHE: Dict[JobKey, object] = {}
+
+#: Lazily-created default disk cache; ``False`` means "disabled".
+_DISK: Optional[DiskCache] = None
+_DISK_ENABLED: Optional[bool] = None
 
 
 def clear_cache() -> None:
+    """Drop the in-process cache (the disk cache is left alone)."""
     _CACHE.clear()
+
+
+def configure_disk_cache(enabled: bool = True,
+                         cache_dir: Optional[str] = None) -> None:
+    """Enable/disable or repoint the persistent cache for this process."""
+    global _DISK, _DISK_ENABLED
+    _DISK_ENABLED = enabled
+    _DISK = DiskCache(cache_dir) if enabled else None
+
+
+def disk_cache() -> Optional[DiskCache]:
+    """The active persistent cache, or None when disabled."""
+    global _DISK, _DISK_ENABLED
+    if _DISK_ENABLED is None:
+        _DISK_ENABLED = os.environ.get("REPRO_EVAL_DISK_CACHE", "1") != "0"
+        _DISK = DiskCache() if _DISK_ENABLED else None
+    return _DISK
+
+
+def run_cached(spec: JobSpec):
+    """Memory cache → disk cache → simulate, storing at both levels."""
+    key = spec.key
+    cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
+    disk = disk_cache()
+    if disk is not None:
+        hit = disk.load(key)
+        if hit is not MISS:
+            _CACHE[key] = hit
+            return hit
+    result = simulate(spec)
+    _CACHE[key] = result
+    if disk is not None:
+        disk.store(key, result)
+    return result
+
+
+def run_instruction_count(benchmark: str, scale: int = 1) -> int:
+    """Dynamic instruction count of one benchmark (Table 1)."""
+    return run_cached(count_spec(benchmark, scale))  # type: ignore[return-value]
 
 
 def run_baseline(benchmark: str, scale: int = 1) -> CoreRunResult:
     """SS(64x4): the base model."""
-    key = ("ss64", benchmark, scale)
-    if key not in _CACHE:
-        program = get_benchmark(benchmark).program(scale)
-        _CACHE[key] = SuperscalarCore(SS_64x4, program).run()
-    return _CACHE[key]  # type: ignore[return-value]
+    return run_cached(baseline_spec(benchmark, scale))  # type: ignore[return-value]
 
 
 def run_big_core(benchmark: str, scale: int = 1) -> CoreRunResult:
     """SS(128x8): double the window and width."""
-    key = ("ss128", benchmark, scale)
-    if key not in _CACHE:
-        program = get_benchmark(benchmark).program(scale)
-        _CACHE[key] = SuperscalarCore(SS_128x8, program).run()
-    return _CACHE[key]  # type: ignore[return-value]
+    return run_cached(big_core_spec(benchmark, scale))  # type: ignore[return-value]
 
 
 def run_slipstream_model(
@@ -54,17 +115,22 @@ def run_slipstream_model(
     """CMP(2x64x4): the slipstream processor.
 
     ``removal_triggers=("BR",)`` reproduces the branch-only removal
-    variant of Figure 8 (bottom).
+    variant of Figure 8 (bottom).  A caller-supplied ``config`` takes
+    precedence over ``removal_triggers`` and is cached by its
+    fingerprint.
     """
-    key = ("cmp", benchmark, scale, removal_triggers, config is None)
-    if key not in _CACHE or config is not None:
-        program = get_benchmark(benchmark).program(scale)
-        cfg = config or SlipstreamConfig(removal_triggers=removal_triggers)
-        result = SlipstreamProcessor(program, cfg).run()
-        if config is not None:
-            return result
-        _CACHE[key] = result
-    return _CACHE[key]  # type: ignore[return-value]
+    spec = slipstream_spec(benchmark, scale, removal_triggers, config)
+    return run_cached(spec)  # type: ignore[return-value]
+
+
+def run_fault_study(
+    benchmark: str,
+    scale: int = 1,
+    points: int = 6,
+    sites: Sequence[FaultSite] = (FaultSite.A_RESULT, FaultSite.R_TRANSIENT),
+) -> CampaignResult:
+    """A deterministic fault-injection campaign over one workload."""
+    return run_cached(fault_spec(benchmark, scale, points, sites))  # type: ignore[return-value]
 
 
 @dataclass

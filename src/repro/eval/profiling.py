@@ -1,0 +1,98 @@
+"""Runner profiling: machine-readable timing of an artifact sweep.
+
+Turns a :class:`repro.eval.runner.RunnerStats` into ``BENCH_runner.json``:
+cold/warm wall-clock, a per-job breakdown (key, provenance, seconds) and
+the measured speedup versus a one-process cold run of the same jobs.
+
+The file holds a bounded history of passes (oldest first), so a cold
+sweep followed by a warm re-run records both the parallel speedup and
+the zero-simulation warm behaviour.  Read the latest pass with::
+
+    python -c "import json; print(json.load(open('BENCH_runner.json'))['passes'][-1])"
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import asdict
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.eval.jobs import code_fingerprint
+from repro.eval.runner import RunnerStats
+
+DEFAULT_BENCH_PATH = "BENCH_runner.json"
+
+
+def stats_payload(stats: RunnerStats, scale: int,
+                  report_seconds: Optional[float] = None) -> dict:
+    """The JSON document describing one runner pass."""
+    records = sorted(
+        (asdict(r) for r in stats.records),
+        key=lambda r: (-r["seconds"], str(r["key"])),
+    )
+    for record in records:
+        key = record.pop("key")
+        record["job"] = _job_label(key)
+        record["seconds"] = round(record["seconds"], 4)
+        record["cpu_seconds"] = round(record["cpu_seconds"], 4)
+    payload = {
+        "generated_unix": int(time.time()),
+        "python": platform.python_version(),
+        "code_fingerprint": code_fingerprint(),
+        "scale": scale,
+        "jobs": stats.jobs,
+        "requested_jobs": stats.requested,
+        "unique_jobs": stats.deduplicated,
+        "simulated": stats.simulated,
+        "disk_hits": stats.disk_hits,
+        "memory_hits": stats.memory_hits,
+        "warm": stats.simulated == 0,
+        "wall_clock_seconds": round(stats.wall_seconds, 3),
+        "sequential_estimate_seconds": round(
+            stats.sequential_estimate_seconds, 3),
+        "speedup_vs_sequential": round(stats.speedup_vs_sequential, 3),
+        "per_job": records,
+    }
+    if report_seconds is not None:
+        payload["report_render_seconds"] = round(report_seconds, 3)
+    return payload
+
+
+#: Passes retained in the bench file before the oldest are dropped.
+HISTORY_LIMIT = 8
+
+
+def write_bench(stats: RunnerStats, scale: int,
+                path: Union[str, Path] = DEFAULT_BENCH_PATH,
+                report_seconds: Optional[float] = None) -> Path:
+    """Append this pass to ``BENCH_runner.json``; returns the path.
+
+    An unreadable or differently-shaped existing file is replaced.
+    """
+    target = Path(path)
+    doc = {"passes": []}
+    try:
+        existing = json.loads(target.read_text(encoding="utf-8"))
+        if isinstance(existing, dict) and isinstance(existing.get("passes"), list):
+            doc = existing
+    except (OSError, ValueError):
+        pass
+    doc["passes"].append(stats_payload(stats, scale, report_seconds))
+    doc["passes"] = doc["passes"][-HISTORY_LIMIT:]
+    target.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+    return target
+
+
+def _job_label(key: dict) -> str:
+    """Human-readable per-job label, e.g. ``cmp/li@1[BR]``."""
+    triggers = ",".join(key.get("removal_triggers") or ())
+    label = f"{key['model']}/{key['benchmark']}@{key['scale']}"
+    if triggers:
+        label += f"[{triggers}]"
+    fp = key.get("config_fingerprint")
+    if fp:
+        label += f"#{fp[:8]}"
+    return label

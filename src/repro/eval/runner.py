@@ -1,0 +1,173 @@
+"""Parallel experiment runner: fan simulation jobs out over processes.
+
+The artifact suite's jobs (:func:`repro.eval.jobs.enumerate_artifact_jobs`)
+are embarrassingly parallel, so the runner:
+
+1. deduplicates the requested specs by :class:`~repro.eval.jobs.JobKey`;
+2. satisfies what it can from the in-process and persistent caches;
+3. fans the remaining cold jobs out over a
+   ``concurrent.futures.ProcessPoolExecutor`` (``--jobs N``), largest
+   expected jobs first so the pool drains evenly;
+4. stores every fresh result in both caches, making the subsequent
+   report rendering (and the next cold start) pure cache hits.
+
+``jobs=1`` runs inline — no pool, no pickling — and is the reference
+the parallel path is tested against: results must be bit-identical.
+
+Per-job wall-clock and cache provenance are recorded in a
+:class:`RunnerStats`, which :mod:`repro.eval.profiling` turns into
+``BENCH_runner.json``.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.eval import models
+from repro.eval.jobs import MISS, JobKey, JobSpec, timed_simulate
+
+#: Rough relative cost of each job kind, used only to order submissions
+#: (longest first) so a nearly-drained pool is not left waiting on one
+#: big straggler.
+_MODEL_WEIGHT = {"cmp": 4, "fault": 3, "ss128": 2, "ss64": 2, "count": 1}
+
+
+@dataclass
+class JobRecord:
+    """Provenance and timing of one job within a runner pass.
+
+    ``seconds`` is the wall clock inside the worker (inflated when
+    workers outnumber cores); ``cpu_seconds`` is the job's process CPU
+    time, the contention-independent cost.
+    """
+
+    key: JobKey
+    source: str  # "simulated" | "disk" | "memory"
+    seconds: float
+    cpu_seconds: float = 0.0
+
+
+@dataclass
+class RunnerStats:
+    """What one :meth:`ExperimentRunner.run` pass did."""
+
+    jobs: int = 1
+    requested: int = 0
+    deduplicated: int = 0
+    simulated: int = 0
+    disk_hits: int = 0
+    memory_hits: int = 0
+    wall_seconds: float = 0.0
+    records: List[JobRecord] = field(default_factory=list)
+
+    @property
+    def sequential_estimate_seconds(self) -> float:
+        """Sum of per-job CPU time: what a one-process cold run of the
+        same work would cost (cache lookups excluded).  CPU time, not
+        worker wall clock, so oversubscribing a small machine does not
+        inflate the estimate."""
+        return sum(
+            r.cpu_seconds for r in self.records if r.source == "simulated"
+        )
+
+    @property
+    def speedup_vs_sequential(self) -> float:
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.sequential_estimate_seconds / self.wall_seconds
+
+
+class ExperimentRunner:
+    """Run a batch of simulation jobs, in parallel, through the caches."""
+
+    def __init__(self, jobs: int = 1, use_disk_cache: bool = True):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        self.use_disk_cache = use_disk_cache
+
+    def run(self, specs: Sequence[JobSpec]) -> RunnerStats:
+        """Execute ``specs`` (deduplicated), warming both cache levels.
+
+        Returns the pass's :class:`RunnerStats`; the results themselves
+        are read back through :mod:`repro.eval.models` accessors.
+        """
+        stats = RunnerStats(jobs=self.jobs, requested=len(specs))
+        t0 = time.perf_counter()
+
+        unique: Dict[JobKey, JobSpec] = {}
+        for spec in specs:
+            unique.setdefault(spec.key, spec)
+        stats.deduplicated = len(unique)
+
+        disk = models.disk_cache() if self.use_disk_cache else None
+        cold: List[JobSpec] = []
+        for key, spec in unique.items():
+            if key in models._CACHE:
+                stats.memory_hits += 1
+                stats.records.append(JobRecord(key, "memory", 0.0))
+                continue
+            if disk is not None:
+                hit = disk.load(key)
+                if hit is not MISS:
+                    models._CACHE[key] = hit
+                    stats.disk_hits += 1
+                    stats.records.append(JobRecord(key, "disk", 0.0))
+                    continue
+            cold.append(spec)
+
+        if cold:
+            cold.sort(
+                key=lambda s: _MODEL_WEIGHT.get(s.key.model, 1), reverse=True
+            )
+            if self.jobs == 1:
+                for spec in cold:
+                    result, seconds, cpu = timed_simulate(spec)
+                    self._absorb(spec.key, result, seconds, cpu, disk, stats)
+            else:
+                self._run_pool(cold, disk, stats)
+
+        stats.wall_seconds = time.perf_counter() - t0
+        return stats
+
+    def _run_pool(self, cold: List[JobSpec], disk, stats: RunnerStats) -> None:
+        workers = min(self.jobs, len(cold))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            pending = {
+                pool.submit(timed_simulate, spec): spec for spec in cold
+            }
+            while pending:
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    spec = pending.pop(future)
+                    result, seconds, cpu = future.result()
+                    self._absorb(spec.key, result, seconds, cpu, disk, stats)
+
+    @staticmethod
+    def _absorb(key: JobKey, result, seconds: float, cpu_seconds: float,
+                disk, stats: RunnerStats) -> None:
+        models._CACHE[key] = result
+        if disk is not None:
+            disk.store(key, result)
+        stats.simulated += 1
+        stats.records.append(JobRecord(key, "simulated", seconds, cpu_seconds))
+
+
+def run_artifact_jobs(
+    specs: Sequence[JobSpec],
+    jobs: int = 1,
+    use_disk_cache: bool = True,
+) -> RunnerStats:
+    """Convenience wrapper: one runner pass over ``specs``."""
+    return ExperimentRunner(jobs=jobs, use_disk_cache=use_disk_cache).run(specs)
+
+
+__all__ = [
+    "ExperimentRunner",
+    "JobRecord",
+    "RunnerStats",
+    "run_artifact_jobs",
+]

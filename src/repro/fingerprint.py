@@ -1,0 +1,46 @@
+"""Stable content fingerprints for configuration value objects.
+
+Experiment results are cached on disk keyed by *what was simulated*
+(:mod:`repro.eval.jobs`), so every configuration object needs a stable,
+content-derived identity that survives process restarts — ``hash()`` is
+salted per process and ``repr()`` is not guaranteed canonical.
+
+:func:`fingerprint` walks dataclasses (comparison fields only), enums,
+tuples/lists, dicts and scalars into a canonical JSON form and hashes
+it.  Two configurations fingerprint equal iff they compare equal.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+from typing import Any
+
+
+def canonical(obj: Any) -> Any:
+    """Reduce ``obj`` to a canonical JSON-serialisable structure."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        reduced = {
+            f.name: canonical(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+            if f.compare
+        }
+        reduced["__type__"] = type(obj).__name__
+        return reduced
+    if isinstance(obj, enum.Enum):
+        return [type(obj).__name__, obj.name]
+    if isinstance(obj, (list, tuple)):
+        return [canonical(x) for x in obj]
+    if isinstance(obj, dict):
+        return {str(k): canonical(v) for k, v in sorted(obj.items())}
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    raise TypeError(f"cannot fingerprint object of type {type(obj).__name__}")
+
+
+def fingerprint(obj: Any) -> str:
+    """A short stable hex digest of ``obj``'s canonical content."""
+    blob = json.dumps(canonical(obj), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]

@@ -10,6 +10,7 @@ code path.
 
 from __future__ import annotations
 
+import dataclasses
 import enum
 from dataclasses import dataclass
 from typing import Optional, Tuple
@@ -149,6 +150,14 @@ class Instruction:
     Fields not meaningful for an opcode are left at their defaults.  The
     ``target`` of control transfers is an absolute byte PC (labels are
     resolved by the assembler).
+
+    Derived classification (``klass``, ``is_branch``, ``is_control``,
+    ``is_load``, ``is_store``) and the register-usage tuples are
+    precomputed once at construction and stored as plain attributes:
+    static instructions are few, dynamic accesses are millions, and the
+    property/frozenset-membership chains they replace dominated the
+    simulator's hot-path profile.  The cached attributes do not
+    participate in equality, hashing or ``repr``.
     """
 
     opcode: Opcode
@@ -158,43 +167,36 @@ class Instruction:
     imm: int = 0
     target: int = 0
 
+    # Cached classification, set in __post_init__ (not dataclass fields).
+    klass: InstrClass = dataclasses.field(init=False, repr=False, compare=False)
+    is_branch: bool = dataclasses.field(init=False, repr=False, compare=False)
+    is_control: bool = dataclasses.field(init=False, repr=False, compare=False)
+    is_load: bool = dataclasses.field(init=False, repr=False, compare=False)
+    is_store: bool = dataclasses.field(init=False, repr=False, compare=False)
+    srcs: Tuple[int, ...] = dataclasses.field(init=False, repr=False, compare=False)
+    dest: Optional[int] = dataclasses.field(init=False, repr=False, compare=False)
+
     def __post_init__(self) -> None:
         for name in ("rd", "rs1", "rs2"):
             reg = getattr(self, name)
             if not 0 <= reg < REG_COUNT:
                 raise ValueError(f"{name}={reg} out of range 0..{REG_COUNT - 1}")
-
-    @property
-    def klass(self) -> InstrClass:
-        return self.opcode.klass
-
-    @property
-    def is_branch(self) -> bool:
-        """True for conditional branches only."""
-        return self.opcode in BRANCH_OPS
-
-    @property
-    def is_control(self) -> bool:
-        """True for any control transfer (branch, jump, indirect jump)."""
-        return self.klass in (
-            InstrClass.BRANCH,
-            InstrClass.JUMP,
-            InstrClass.JUMP_INDIRECT,
+        setattr_ = object.__setattr__
+        op = self.opcode
+        klass = op.value[1]
+        setattr_(self, "klass", klass)
+        setattr_(self, "is_branch", op in BRANCH_OPS)
+        setattr_(
+            self,
+            "is_control",
+            klass in (InstrClass.BRANCH, InstrClass.JUMP, InstrClass.JUMP_INDIRECT),
         )
+        setattr_(self, "is_load", klass is InstrClass.LOAD)
+        setattr_(self, "is_store", klass is InstrClass.STORE)
+        setattr_(self, "srcs", self._compute_srcs())
+        setattr_(self, "dest", self._compute_dest())
 
-    @property
-    def is_load(self) -> bool:
-        return self.klass is InstrClass.LOAD
-
-    @property
-    def is_store(self) -> bool:
-        return self.klass is InstrClass.STORE
-
-    def dest_reg(self) -> Optional[int]:
-        """The destination register, or None if the instruction writes none.
-
-        Writes to ``r0`` are architecturally discarded and reported as None.
-        """
+    def _compute_dest(self) -> Optional[int]:
         op = self.opcode
         if op in RRR_OPS or op in RRI_OPS or op in (Opcode.LUI, Opcode.LW):
             return self.rd if self.rd != ZERO_REG else None
@@ -202,8 +204,7 @@ class Instruction:
             return self.rd if self.rd != ZERO_REG else None
         return None
 
-    def src_regs(self) -> Tuple[int, ...]:
-        """Source registers read by this instruction (r0 included)."""
+    def _compute_srcs(self) -> Tuple[int, ...]:
         op = self.opcode
         if op in RRR_OPS:
             return (self.rs1, self.rs2)
@@ -222,6 +223,17 @@ class Instruction:
         if op is Opcode.OUT:
             return (self.rs1,)
         return ()
+
+    def dest_reg(self) -> Optional[int]:
+        """The destination register, or None if the instruction writes none.
+
+        Writes to ``r0`` are architecturally discarded and reported as None.
+        """
+        return self.dest
+
+    def src_regs(self) -> Tuple[int, ...]:
+        """Source registers read by this instruction (r0 included)."""
+        return self.srcs
 
     def format(self) -> str:
         """Render back to assembly text."""

@@ -37,9 +37,13 @@ from typing import Deque, List, NamedTuple, Optional, Tuple
 from repro.trace.trace_id import TraceId
 
 
-@dataclass
+@dataclass(frozen=True)
 class TracePredictorConfig:
-    """Sizing knobs; defaults follow the paper's Table 2."""
+    """Sizing knobs; defaults follow the paper's Table 2.
+
+    Frozen (hashable): configurations are part of experiment-cache keys
+    (:mod:`repro.eval.jobs`), so they must be immutable value objects.
+    """
 
     index_bits: int = 16
     path_depth: int = 8

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from repro.fingerprint import fingerprint as _fingerprint
+
 
 @dataclass(frozen=True)
 class CacheConfig:
@@ -54,6 +56,10 @@ class CoreConfig:
     redirect_penalty: int = 1
     icache: CacheConfig = ICACHE_DEFAULT
     dcache: CacheConfig = DCACHE_DEFAULT
+
+    def fingerprint(self) -> str:
+        """Stable content hash, used in experiment-cache keys."""
+        return _fingerprint(self)
 
     def scaled(self, name: str, rob_size: int, width: int) -> "CoreConfig":
         """Derive a core with a different window/width (e.g. SS(128x8))."""

@@ -153,35 +153,40 @@ class SuperscalarCore:
                 # previous trace's last instruction.
                 self.scheduler.redirect(self._last_complete)
                 self._former.force_break()
+        outcome_index = (
+            divergence.index
+            if divergence is not None and divergence.kind == "outcome"
+            else -1
+        )
+        sched_add = self.scheduler.add
+        timing_of = self._timing_of
         for index, dyn in enumerate(trace.instructions):
-            ts = self.scheduler.add(self._timing_of(dyn))
+            ts = sched_add(timing_of(dyn))
             self._last_complete = ts.complete
-            if (
-                divergence is not None
-                and divergence.kind == "outcome"
-                and index == divergence.index
-            ):
+            if index == outcome_index:
                 self.scheduler.redirect(ts.complete)
                 self._former.force_break()
 
     def _timing_of(self, dyn: DynInstr) -> InstrTiming:
+        instr = dyn.instr
         icache_penalty = 0
         if not self.icache.probe(dyn.pc):
             self._former.force_break()
             icache_penalty = self.config.icache.miss_penalty
-        new_block = self._former.place(ends_block=dyn.is_control and dyn.taken)
+        new_block = self._former.place(ends_block=instr.is_control and dyn.taken)
+        mem_addr = dyn.mem_addr
         dcache_penalty = 0
-        if dyn.mem_addr is not None:
-            if not self.dcache.probe(dyn.mem_addr):
+        if mem_addr is not None:
+            if not self.dcache.probe(mem_addr):
                 dcache_penalty = self.config.dcache.miss_penalty
         return InstrTiming(
             new_block=new_block,
             icache_penalty=icache_penalty,
-            srcs=dyn.instr.src_regs(),
+            srcs=instr.srcs,
             dest=dyn.dest_reg,
-            latency=latency_of(dyn.instr),
-            is_load=dyn.is_load,
-            is_store=dyn.is_store,
-            mem_addr=dyn.mem_addr,
+            latency=latency_of(instr),
+            is_load=instr.is_load,
+            is_store=instr.is_store,
+            mem_addr=mem_addr,
             dcache_penalty=dcache_penalty,
         )

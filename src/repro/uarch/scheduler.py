@@ -88,6 +88,12 @@ class OoOScheduler:
         self.config = config
         self._overhead_num, self._overhead_den = block_overhead
         self._overhead_acc = 0
+        # Config fields hoisted out of the per-instruction path.
+        self._dispatch_width = config.dispatch_width
+        self._issue_width = config.issue_width
+        self._retire_width = config.retire_width
+        self._rob_size = config.rob_size
+        self._frontend_depth = config.frontend_depth
         #: Delay-buffer data-flow read ports: at most this many merged
         #: (value-predicted) instructions dispatch per cycle.
         self._merge_width = merge_width if merge_width is not None else config.dispatch_width
@@ -127,8 +133,6 @@ class OoOScheduler:
 
     def add(self, timing: InstrTiming) -> Timestamps:
         """Schedule one instruction; returns its pipeline timestamps."""
-        cfg = self.config
-
         # Fetch.
         if timing.new_block:
             block = self._next_block_cycle
@@ -155,76 +159,80 @@ class OoOScheduler:
             t = reg_ready[src]
             if t > ready:
                 ready = t
-        if timing.is_load and timing.mem_addr is not None:
-            t = self._store_ready.get(timing.mem_addr, 0)
+        mem_addr = timing.mem_addr
+        is_load = timing.is_load
+        if is_load and mem_addr is not None:
+            t = self._store_ready.get(mem_addr, 0)
             if t > ready:
                 ready = t
-        accelerated = (
-            timing.ready_override is not None and timing.ready_override < ready
-        )
+        override = timing.ready_override
+        accelerated = override is not None and override < ready
         if accelerated:
             # Value-predicted operands (delay buffer): predictions only
             # ever *accelerate* readiness — the local bypass network
             # still supplies values at producer completion.
             local_ready = ready
-            ready = timing.ready_override
+            ready = override
 
         # Dispatch: in order, width-limited, ROB-limited.
-        dispatch = fetch + cfg.frontend_depth
+        dispatch = fetch + self._frontend_depth
         if dispatch < self._last_dispatch:
             dispatch = self._last_dispatch
-        if len(self._rob_retire) >= cfg.rob_size:
-            rob_free = self._rob_retire.popleft()
+        rob_retire = self._rob_retire
+        if len(rob_retire) >= self._rob_size:
+            rob_free = rob_retire.popleft()
             if dispatch < rob_free:
                 dispatch = rob_free
+        dispatch_width = self._dispatch_width
         counts = self._dispatch_count
-        while counts.get(dispatch, 0) >= cfg.dispatch_width:
+        counts_get = counts.get
+        while counts_get(dispatch, 0) >= dispatch_width:
             dispatch += 1
         # Delay-buffer merge ports (slipstream R-stream): consumed only
         # when the prediction actually matters — the operand would not
         # have been locally available by dispatch time.
-        needs_merge = (
-            timing.merged and accelerated and local_ready > dispatch
-        )
-        if needs_merge:
+        if timing.merged and accelerated and local_ready > dispatch:
             merged_counts = self._merged_count
-            while counts.get(dispatch, 0) >= cfg.dispatch_width or (
-                merged_counts.get(dispatch, 0) >= self._merge_width
+            merge_width = self._merge_width
+            while counts_get(dispatch, 0) >= dispatch_width or (
+                merged_counts.get(dispatch, 0) >= merge_width
             ):
                 dispatch += 1
             merged_counts[dispatch] = merged_counts.get(dispatch, 0) + 1
-        counts[dispatch] = counts.get(dispatch, 0) + 1
+        counts[dispatch] = counts_get(dispatch, 0) + 1
         self._last_dispatch = dispatch
 
         # Issue: width-limited slot search.
         issue = dispatch if dispatch > ready else ready
+        issue_width = self._issue_width
         counts = self._issue_count
-        while counts.get(issue, 0) >= cfg.issue_width:
+        counts_get = counts.get
+        while counts_get(issue, 0) >= issue_width:
             issue += 1
-        counts[issue] = counts.get(issue, 0) + 1
+        counts[issue] = counts_get(issue, 0) + 1
 
         # Complete.
         complete = issue + timing.latency
-        if timing.is_load:
+        if is_load:
             complete += timing.dcache_penalty
         if timing.dest is not None:
-            self._reg_ready[timing.dest] = complete
-        if timing.is_store and timing.mem_addr is not None:
-            self._store_ready[timing.mem_addr] = complete
+            reg_ready[timing.dest] = complete
+        if timing.is_store and mem_addr is not None:
+            self._store_ready[mem_addr] = complete
 
         # Retire: in order, width-limited.
         earliest = complete + 1
         if earliest > self._retire_cycle:
             self._retire_cycle = earliest
             self._retire_count = 1
-        elif self._retire_count >= cfg.retire_width:
+        elif self._retire_count >= self._retire_width:
             self._retire_cycle += 1
             self._retire_count = 1
         else:
             self._retire_count += 1
         retire = self._retire_cycle
 
-        self._rob_retire.append(retire)
+        rob_retire.append(retire)
         self.retired += 1
         return Timestamps(fetch, dispatch, issue, complete, retire)
 

@@ -1,0 +1,194 @@
+"""The persistent result cache: key/fingerprint invalidation, corruption
+tolerance, and the config-fingerprint fix for caller-supplied configs."""
+
+import pickle
+
+import pytest
+
+from repro.core.slipstream import SlipstreamConfig
+from repro.eval import jobs, models
+from repro.eval.jobs import (
+    MISS,
+    DiskCache,
+    JobKey,
+    baseline_spec,
+    code_fingerprint,
+    slipstream_spec,
+)
+from repro.fingerprint import fingerprint
+from repro.uarch.config import SS_64x4, SS_128x8
+
+BENCH = "jpeg"
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return DiskCache(tmp_path / "cache", code_version="v1")
+
+
+@pytest.fixture
+def fresh_caches(tmp_path):
+    saved = (models._DISK, models._DISK_ENABLED)
+    models.clear_cache()
+    jobs.reset_simulation_count()
+    models.configure_disk_cache(enabled=True, cache_dir=str(tmp_path / "cache"))
+    yield tmp_path / "cache"
+    models.clear_cache()
+    models._DISK, models._DISK_ENABLED = saved
+
+
+class TestConfigFingerprint:
+    def test_stable_across_equal_configs(self):
+        assert SlipstreamConfig().fingerprint() == SlipstreamConfig().fingerprint()
+
+    def test_any_field_change_changes_fingerprint(self):
+        base = SlipstreamConfig().fingerprint()
+        assert SlipstreamConfig(confidence_threshold=4).fingerprint() != base
+        assert SlipstreamConfig(delay_buffer_capacity=64).fingerprint() != base
+        assert SlipstreamConfig(removal_triggers=("BR",)).fingerprint() != base
+
+    def test_core_config_fingerprint(self):
+        assert SS_64x4.fingerprint() == SS_64x4.fingerprint()
+        assert SS_64x4.fingerprint() != SS_128x8.fingerprint()
+
+    def test_fingerprint_handles_nested_structures(self):
+        assert fingerprint([1, (2, 3), {"b": 2, "a": 1}]) == fingerprint(
+            [1, [2, 3], {"a": 1, "b": 2}]
+        )
+
+
+class TestJobKeys:
+    def test_custom_config_gets_distinct_key(self):
+        default = slipstream_spec(BENCH).key
+        tuned = slipstream_spec(
+            BENCH, config=SlipstreamConfig(confidence_threshold=4)
+        ).key
+        assert default != tuned
+        assert default.config_fingerprint != tuned.config_fingerprint
+
+    def test_equivalent_config_shares_key(self):
+        # A caller passing an explicitly-constructed default config must
+        # hit the same cache entry as the no-config path.
+        explicit = slipstream_spec(BENCH, config=SlipstreamConfig()).key
+        implicit = slipstream_spec(BENCH).key
+        assert explicit == implicit
+
+    def test_keys_are_hashable_and_picklable(self):
+        key = slipstream_spec(BENCH).key
+        assert pickle.loads(pickle.dumps(key)) == key
+        assert len({key, slipstream_spec(BENCH).key}) == 1
+
+
+class TestDiskCacheInvalidation:
+    def test_round_trip(self, cache):
+        key = JobKey("ss64", BENCH)
+        cache.store(key, {"cycles": 123})
+        assert cache.load(key) == {"cycles": 123}
+
+    def test_different_code_version_misses(self, cache, tmp_path):
+        key = JobKey("ss64", BENCH)
+        cache.store(key, "result-v1")
+        newer = DiskCache(tmp_path / "cache", code_version="v2")
+        assert newer.load(key) is MISS
+        # The v1 entry is untouched (only unreadable files are discarded).
+        assert cache.load(key) == "result-v1"
+
+    def test_different_key_fields_miss(self, cache):
+        cache.store(JobKey("ss64", BENCH), "r")
+        assert cache.load(JobKey("ss64", BENCH, scale=2)) is MISS
+        assert cache.load(JobKey("ss128", BENCH)) is MISS
+        assert cache.load(JobKey("ss64", "li")) is MISS
+        assert cache.load(JobKey("ss64", BENCH, config_fingerprint="x")) is MISS
+
+    def test_code_fingerprint_tracks_sources(self):
+        # Two calls agree (it is cached), and it looks like a short hash.
+        assert code_fingerprint() == code_fingerprint()
+        assert len(code_fingerprint()) == 16
+        int(code_fingerprint(), 16)
+
+    def test_prune_stale_removes_old_code_entries(self, cache, tmp_path):
+        cache.store(JobKey("ss64", BENCH), "old")
+        newer = DiskCache(tmp_path / "cache", code_version="v2")
+        newer.store(JobKey("ss64", "li"), "new")
+        assert newer.prune_stale() == 1
+        assert newer.load(JobKey("ss64", "li")) == "new"
+        assert cache.load(JobKey("ss64", BENCH)) is MISS
+
+
+class TestDiskCacheCorruption:
+    def test_garbage_file_is_discarded_not_fatal(self, cache):
+        key = JobKey("ss64", BENCH)
+        cache.store(key, "ok")
+        path = cache.path_for(key)
+        path.write_bytes(b"this is not a pickle")
+        assert cache.load(key) is MISS
+        assert not path.exists()  # discarded
+
+    def test_truncated_pickle_is_discarded(self, cache):
+        key = JobKey("ss64", BENCH)
+        cache.store(key, {"big": list(range(1000))})
+        path = cache.path_for(key)
+        path.write_bytes(path.read_bytes()[:20])
+        assert cache.load(key) is MISS
+        assert not path.exists()
+
+    def test_wrong_payload_shape_is_discarded(self, cache):
+        key = JobKey("ss64", BENCH)
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(pickle.dumps(["not", "a", "payload", "dict"]))
+        assert cache.load(key) is MISS
+        assert not path.exists()
+
+    def test_key_collision_payload_mismatch_is_discarded(self, cache):
+        key = JobKey("ss64", BENCH)
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"key": JobKey("ss64", "li"), "code": "v1", "result": 1}
+        path.write_bytes(pickle.dumps(payload))
+        assert cache.load(key) is MISS
+
+    def test_unwritable_cache_dir_degrades_to_noop(self, tmp_path):
+        # A plain file where the cache directory should be: mkdir and
+        # every open fail, and the cache must shrug, not raise.
+        blocker = tmp_path / "blocker"
+        blocker.write_text("in the way")
+        cache = DiskCache(blocker, code_version="v1")
+        cache.store(JobKey("ss64", BENCH), "r")  # must not raise
+        assert cache.load(JobKey("ss64", BENCH)) is MISS
+
+    def test_clear_removes_everything(self, cache):
+        cache.store(JobKey("ss64", BENCH), 1)
+        cache.store(JobKey("ss128", BENCH), 2)
+        assert cache.clear() == 2
+        assert cache.load(JobKey("ss64", BENCH)) is MISS
+
+
+class TestCallerConfigCaching:
+    def test_custom_config_run_is_cached(self, fresh_caches):
+        config = SlipstreamConfig(confidence_threshold=4)
+        first = models.run_slipstream_model(BENCH, config=config)
+        assert jobs.simulation_count() == 1
+        second = models.run_slipstream_model(
+            BENCH, config=SlipstreamConfig(confidence_threshold=4)
+        )
+        assert second is first  # memory hit, no second simulation
+        assert jobs.simulation_count() == 1
+
+    def test_custom_config_survives_disk_round_trip(self, fresh_caches):
+        config = SlipstreamConfig(confidence_threshold=4)
+        first = models.run_slipstream_model(BENCH, config=config)
+        models.clear_cache()
+        jobs.reset_simulation_count()
+        again = models.run_slipstream_model(BENCH, config=config)
+        assert jobs.simulation_count() == 0  # pure disk hit
+        assert again.ipc == first.ipc
+        assert again.removed_by_category == first.removed_by_category
+
+    def test_distinct_configs_do_not_collide(self, fresh_caches):
+        loose = models.run_slipstream_model(
+            BENCH, config=SlipstreamConfig(confidence_threshold=4))
+        tight = models.run_slipstream_model(
+            BENCH, config=SlipstreamConfig(confidence_threshold=128))
+        assert jobs.simulation_count() == 2
+        assert loose is not tight

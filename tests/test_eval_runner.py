@@ -1,0 +1,157 @@
+"""The parallel experiment runner: dedup, parallel==sequential identity,
+and warm-cache runs performing zero simulations."""
+
+import pytest
+
+from repro.eval import jobs, models
+from repro.eval.jobs import (
+    baseline_spec,
+    count_spec,
+    enumerate_artifact_jobs,
+    slipstream_spec,
+)
+from repro.eval.profiling import stats_payload
+from repro.eval.runner import ExperimentRunner, run_artifact_jobs
+
+BENCH = "jpeg"  # the cheapest workload in the suite
+
+
+@pytest.fixture
+def fresh_caches(tmp_path):
+    """Point the disk cache at a temp dir; leave no global state behind."""
+    saved = (models._DISK, models._DISK_ENABLED)
+    models.clear_cache()
+    jobs.reset_simulation_count()
+    models.configure_disk_cache(enabled=True, cache_dir=str(tmp_path / "cache"))
+    yield tmp_path / "cache"
+    models.clear_cache()
+    models._DISK, models._DISK_ENABLED = saved
+
+
+def small_specs():
+    return [count_spec(BENCH), baseline_spec(BENCH), slipstream_spec(BENCH)]
+
+
+class TestDedup:
+    def test_duplicate_specs_run_once(self, fresh_caches):
+        specs = small_specs() * 3
+        stats = ExperimentRunner(jobs=1).run(specs)
+        assert stats.requested == 9
+        assert stats.deduplicated == 3
+        assert stats.simulated == 3
+
+    def test_artifact_enumeration_is_deduplicated(self):
+        from repro.core.slipstream import SlipstreamConfig
+
+        specs = enumerate_artifact_jobs(1)
+        keys = [s.key for s in specs]
+        assert len(keys) == len(set(keys))
+        # Figure 6/8/Table 3 share one default CMP job per benchmark.
+        default_fp = SlipstreamConfig().fingerprint()
+        default_cmp = [k for k in keys
+                       if k.model == "cmp"
+                       and k.config_fingerprint == default_fp
+                       and k.benchmark == "li"]
+        assert len(default_cmp) == 1
+
+    def test_rejects_bad_job_count(self):
+        with pytest.raises(ValueError):
+            ExperimentRunner(jobs=0)
+
+
+class TestParallelIdentity:
+    def test_parallel_matches_sequential(self, fresh_caches, tmp_path):
+        specs = small_specs()
+
+        stats_seq = ExperimentRunner(jobs=1).run(specs)
+        assert stats_seq.simulated == len(specs)
+        seq_count = models.run_instruction_count(BENCH)
+        seq_base = models.run_baseline(BENCH)
+        seq_slip = models.run_slipstream_model(BENCH)
+
+        # Fresh memory + a separate disk dir: force the pool to simulate.
+        models.clear_cache()
+        models.configure_disk_cache(enabled=True,
+                                    cache_dir=str(tmp_path / "cache-par"))
+        stats_par = ExperimentRunner(jobs=4).run(specs)
+        assert stats_par.simulated == len(specs)
+        par_count = models.run_instruction_count(BENCH)
+        par_base = models.run_baseline(BENCH)
+        par_slip = models.run_slipstream_model(BENCH)
+
+        assert par_count == seq_count
+        assert par_base.ipc == seq_base.ipc
+        assert par_base.cycles == seq_base.cycles
+        assert par_base.branch_mispredictions == seq_base.branch_mispredictions
+        assert par_slip.ipc == seq_slip.ipc
+        assert par_slip.removal_fraction == seq_slip.removal_fraction
+        assert par_slip.removed_by_category == seq_slip.removed_by_category
+        assert (par_slip.ir_mispredictions_per_1000
+                == seq_slip.ir_mispredictions_per_1000)
+
+    def test_pool_workers_do_not_inflate_parent_counter(self, fresh_caches):
+        jobs.reset_simulation_count()
+        ExperimentRunner(jobs=2).run(small_specs())
+        # Simulations happened in worker processes, not this one.
+        assert jobs.simulation_count() == 0
+
+
+class TestWarmCache:
+    def test_warm_memory_cache_performs_zero_simulations(self, fresh_caches):
+        specs = small_specs()
+        ExperimentRunner(jobs=1).run(specs)
+        jobs.reset_simulation_count()
+
+        stats = ExperimentRunner(jobs=4).run(specs)
+        assert stats.simulated == 0
+        assert stats.memory_hits == len(specs)
+        assert jobs.simulation_count() == 0
+
+    def test_warm_disk_cache_performs_zero_simulations(self, fresh_caches):
+        specs = small_specs()
+        ExperimentRunner(jobs=1).run(specs)
+
+        models.clear_cache()  # drop memory; disk survives
+        jobs.reset_simulation_count()
+        stats = ExperimentRunner(jobs=1).run(specs)
+        assert stats.simulated == 0
+        assert stats.disk_hits == len(specs)
+        assert jobs.simulation_count() == 0
+
+        # Disk-loaded results are the same values the report reads.
+        warm = models.run_baseline(BENCH)
+        assert warm.retired > 0
+        assert jobs.simulation_count() == 0
+
+    def test_disk_cache_disabled_resimulates(self, fresh_caches):
+        specs = small_specs()
+        run_artifact_jobs(specs, jobs=1, use_disk_cache=False)
+        models.clear_cache()
+        jobs.reset_simulation_count()
+        stats = run_artifact_jobs(specs, jobs=1, use_disk_cache=False)
+        assert stats.simulated == len(specs)
+        assert jobs.simulation_count() == len(specs)
+
+
+class TestStats:
+    def test_bench_payload_shape(self, fresh_caches):
+        stats = ExperimentRunner(jobs=1).run(small_specs())
+        payload = stats_payload(stats, scale=1, report_seconds=0.5)
+        assert payload["unique_jobs"] == 3
+        assert payload["simulated"] == 3
+        assert payload["warm"] is False
+        assert payload["wall_clock_seconds"] > 0
+        assert payload["report_render_seconds"] == 0.5
+        labels = {r["job"] for r in payload["per_job"]}
+        assert f"count/{BENCH}@1" in labels
+        assert any(label.startswith(f"cmp/{BENCH}@1[BR,WW,SV]#")
+                   for label in labels)
+        for record in payload["per_job"]:
+            assert record["source"] == "simulated"
+
+    def test_warm_payload_flags_warm(self, fresh_caches):
+        ExperimentRunner(jobs=1).run(small_specs())
+        stats = ExperimentRunner(jobs=1).run(small_specs())
+        payload = stats_payload(stats, scale=1)
+        assert payload["warm"] is True
+        assert payload["simulated"] == 0
