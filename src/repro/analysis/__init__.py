@@ -1,0 +1,44 @@
+"""Static program analysis over the mini-RISC ISA.
+
+Layers (each building on the previous):
+
+* :mod:`repro.analysis.cfg` — basic blocks, successors, reachability,
+  dominators;
+* :mod:`repro.analysis.dataflow` — constant propagation, liveness,
+  reaching definitions / def-use chains, static write classification
+  (dead / must-live / partial);
+* :mod:`repro.analysis.lint` — the workload linter (13 rules, source
+  suppressions);
+* :mod:`repro.analysis.ineffectual` — the static ineffectuality oracle
+  and its cross-check against the dynamic IR-detector.
+
+CLI: ``python -m repro.analysis <workload|file.s> [--cross-check]``.
+"""
+
+from repro.analysis.cfg import CFG, BasicBlock, build_cfg
+from repro.analysis.dataflow import Dataflow, WriteClass, analyze
+from repro.analysis.ineffectual import (
+    CrossCheckResult,
+    StaticSummary,
+    analyze_static,
+    cross_check,
+)
+from repro.analysis.lint import Diagnostic, LintError, active, errors, lint_program
+
+__all__ = [
+    "BasicBlock",
+    "CFG",
+    "CrossCheckResult",
+    "Dataflow",
+    "Diagnostic",
+    "LintError",
+    "StaticSummary",
+    "WriteClass",
+    "active",
+    "analyze",
+    "analyze_static",
+    "build_cfg",
+    "cross_check",
+    "errors",
+    "lint_program",
+]

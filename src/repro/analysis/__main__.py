@@ -1,0 +1,213 @@
+"""Command-line front end for the static-analysis subsystem.
+
+Usage::
+
+    python -m repro.analysis compress gcc          # lint named workloads
+    python -m repro.analysis --all-workloads       # lint the whole suite
+    python -m repro.analysis path/to/prog.s        # lint an assembly file
+    python -m repro.analysis --all-workloads --cross-check --format json
+
+Exit status is 0 when every target is clean — no unsuppressed lint
+diagnostics and (with ``--cross-check``) no soundness violations — and
+1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import os
+import sys
+from typing import List, Optional, Tuple
+
+from repro.analysis.cfg import build_cfg
+from repro.analysis.dataflow import analyze
+from repro.analysis.ineffectual import (
+    CrossCheckResult,
+    StaticSummary,
+    analyze_static,
+    cross_check,
+)
+from repro.analysis.lint import Diagnostic, active, lint_program
+from repro.isa.assembler import AssemblerError, assemble
+from repro.isa.program import Program
+
+
+def _load_targets(args: argparse.Namespace) -> List[Program]:
+    # Workload builders lint at assembly time by default; disable that
+    # here so this CLI is the one reporting diagnostics (with exit
+    # status) instead of dying inside the builder.
+    os.environ["REPRO_WORKLOAD_LINT"] = "0"
+    try:
+        from repro.workloads.suite import benchmark_suite, get_benchmark
+
+        programs: List[Program] = []
+        names = list(args.targets)
+        if args.all_workloads:
+            names = [b.name for b in benchmark_suite()]
+        for name in names:
+            if os.path.exists(name):
+                with open(name, "r", encoding="utf-8") as fh:
+                    source = fh.read()
+                programs.append(assemble(source, name=os.path.basename(name)))
+            else:
+                programs.append(get_benchmark(name).program(scale=args.scale))
+        return programs
+    finally:
+        os.environ.pop("REPRO_WORKLOAD_LINT", None)
+
+
+def _analyze_one(
+    program: Program, args: argparse.Namespace
+) -> Tuple[List[Diagnostic], StaticSummary, Optional[CrossCheckResult]]:
+    df = analyze(build_cfg(program))
+    diagnostics = lint_program(program, allow=args.allow, dataflow=df)
+    static = analyze_static(program, dataflow=df)
+    xcheck = None
+    if args.cross_check:
+        xcheck = cross_check(
+            program, max_instructions=args.max_instructions, dataflow=df
+        )
+    return diagnostics, static, xcheck
+
+
+def _diag_json(diag: Diagnostic) -> dict:
+    return {
+        "rule": diag.rule,
+        "severity": diag.severity,
+        "message": diag.message,
+        "index": diag.index,
+        "pc": diag.pc,
+        "line_no": diag.line_no,
+        "suppressed": diag.suppressed,
+    }
+
+
+def _xcheck_json(result: CrossCheckResult) -> dict:
+    out = dataclasses.asdict(result)
+    out["instance_agreement"] = result.instance_agreement
+    out["pc_coverage"] = result.pc_coverage
+    out["sound"] = result.sound
+    return out
+
+
+def _render_text(program, diagnostics, static, xcheck) -> List[str]:
+    lines = [f"== {program.name} ({len(program)} instructions) =="]
+    shown = active(diagnostics)
+    n_suppressed = len(diagnostics) - len(shown)
+    for diag in shown:
+        lines.append("  " + diag.render())
+    verdict = "clean" if not shown else f"{len(shown)} diagnostic(s)"
+    sup = f" ({n_suppressed} suppressed)" if n_suppressed else ""
+    lines.append(f"  lint: {verdict}{sup}")
+    lines.append(
+        "  static writes: "
+        f"{len(static.dead_pcs)} dead, {len(static.must_live_pcs)} must-live, "
+        f"{len(static.partial_pcs)} partial; "
+        f"{len(static.dead_store_pcs)} dead store(s); "
+        f"cfg {'exact' if static.indirect_exact else 'over-approximated'}"
+    )
+    if xcheck is not None:
+        lines.append(
+            "  cross-check: "
+            f"retired {xcheck.retired}, "
+            f"dead instances {xcheck.dead_instances_selected}/"
+            f"{xcheck.dead_instances_executed} classified ineffectual "
+            f"({xcheck.instance_agreement:.1%}), "
+            f"pc coverage {xcheck.pc_coverage:.1%}, "
+            f"{'SOUND' if xcheck.sound else 'UNSOUND'}"
+        )
+        if xcheck.static_unsound_pcs:
+            lines.append(
+                "  !! statically-dead writes observed referenced at: "
+                + ", ".join(hex(pc) for pc in xcheck.static_unsound_pcs)
+            )
+        if xcheck.detector_contradiction_pcs:
+            lines.append(
+                "  !! detector WW verdicts on must-live writes at: "
+                + ", ".join(hex(pc) for pc in xcheck.detector_contradiction_pcs)
+            )
+    return lines
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Lint and statically analyze mini-RISC programs.",
+    )
+    parser.add_argument(
+        "targets",
+        nargs="*",
+        help="benchmark names (see repro.workloads.suite) or .s file paths",
+    )
+    parser.add_argument(
+        "--all-workloads", action="store_true", help="analyze every bundled workload"
+    )
+    parser.add_argument(
+        "--scale", type=int, default=1, help="workload scale factor (default 1)"
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="fmt"
+    )
+    parser.add_argument(
+        "--cross-check",
+        action="store_true",
+        help="also run the dynamic IR-detector cross-check",
+    )
+    parser.add_argument(
+        "--max-instructions",
+        type=int,
+        default=5_000_000,
+        help="dynamic instruction budget for --cross-check",
+    )
+    parser.add_argument(
+        "--allow",
+        action="append",
+        default=[],
+        metavar="RULE",
+        help="globally disable a lint rule (repeatable)",
+    )
+    args = parser.parse_args(argv)
+    if not args.targets and not args.all_workloads:
+        parser.error("no targets given (names, files, or --all-workloads)")
+
+    try:
+        programs = _load_targets(args)
+    except (AssemblerError, KeyError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    ok = True
+    report = []
+    text_lines: List[str] = []
+    for program in programs:
+        diagnostics, static, xcheck = _analyze_one(program, args)
+        unsuppressed = active(diagnostics)
+        if unsuppressed or (xcheck is not None and not xcheck.sound):
+            ok = False
+        if args.fmt == "json":
+            entry = {
+                "name": program.name,
+                "instructions": len(program),
+                "diagnostics": [_diag_json(d) for d in diagnostics],
+                "clean": not unsuppressed,
+                "static": dataclasses.asdict(static),
+            }
+            if xcheck is not None:
+                entry["cross_check"] = _xcheck_json(xcheck)
+            report.append(entry)
+        else:
+            text_lines.extend(_render_text(program, diagnostics, static, xcheck))
+
+    if args.fmt == "json":
+        json.dump({"ok": ok, "programs": report}, sys.stdout, indent=2)
+        print()
+    else:
+        text_lines.append("OK" if ok else "FAILED")
+        print("\n".join(text_lines))
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,311 @@
+"""Control-flow graph construction over assembled :class:`Program`\\ s.
+
+The CFG is the substrate of every static analysis in this package: the
+linter, the dataflow passes and the static ineffectuality oracle that
+cross-checks the dynamic IR-detector.
+
+Granularity: the graph is built over *basic blocks* (maximal
+straight-line runs), but an instruction-level successor relation is kept
+alongside because the dataflow passes refine block facts down to single
+instructions (traces, removal and the IR-detector all reason per
+instruction).
+
+Indirect jumps (``jalr``) are the one statically-unresolvable edge.
+Their successor set is over-approximated by
+
+* every *return site* (the instruction after each ``jal``/``jalr`` —
+  the only addresses a link register legitimately holds), plus
+* every *address-taken* text label (labels materialised as plain
+  immediates, recorded by the assembler in ``Program.source``).
+
+For assembler-produced programs that do not forge code pointers with
+arithmetic this covers all realisable targets.  ``CFG.indirect_exact``
+is True when the program contains no ``jalr`` at all — only then do the
+must-style analyses (``must-live`` write classification) make claims,
+so the over-approximation can never produce an unsound *must* fact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.isa.instructions import InstrClass, Opcode, WORD
+from repro.isa.program import Program, TEXT_BASE
+
+
+@dataclass
+class BasicBlock:
+    """A maximal single-entry straight-line run of instructions.
+
+    ``start``/``end`` are instruction *indices* (``end`` exclusive).
+    """
+
+    id: int
+    start: int
+    end: int
+    succs: Tuple[int, ...] = ()
+    preds: Tuple[int, ...] = ()
+
+    def __len__(self) -> int:
+        return self.end - self.start
+
+    def indices(self) -> range:
+        return range(self.start, self.end)
+
+
+@dataclass
+class CFG:
+    """The control-flow graph of one program.
+
+    Attributes:
+        program: the analysed program.
+        blocks: basic blocks in text order.
+        block_of: instruction index -> owning block id.
+        instr_succs: instruction index -> successor instruction indices
+            (the per-instruction refinement of the block graph).
+        falls_off: instruction indices whose fall-through leaves the
+            text segment (no successor exists there).
+        entry_index: index of the entry instruction (``main`` or text
+            base); None for an empty program.
+        indirect_exact: True when no ``jalr`` exists, i.e. the successor
+            relation is exact rather than over-approximated.
+        indirect_targets: the over-approximated ``jalr`` target set
+            (instruction indices), empty when no ``jalr`` exists.
+    """
+
+    program: Program
+    blocks: List[BasicBlock] = field(default_factory=list)
+    block_of: List[int] = field(default_factory=list)
+    instr_succs: List[Tuple[int, ...]] = field(default_factory=list)
+    falls_off: FrozenSet[int] = frozenset()
+    entry_index: Optional[int] = None
+    indirect_exact: bool = True
+    indirect_targets: Tuple[int, ...] = ()
+
+    # -- reachability -------------------------------------------------
+
+    def reachable_instrs(self) -> FrozenSet[int]:
+        """Instruction indices reachable from the entry."""
+        if self.entry_index is None:
+            return frozenset()
+        seen: Set[int] = set()
+        stack = [self.entry_index]
+        while stack:
+            i = stack.pop()
+            if i in seen:
+                continue
+            seen.add(i)
+            stack.extend(s for s in self.instr_succs[i] if s not in seen)
+        return frozenset(seen)
+
+    def reachable_blocks(self) -> FrozenSet[int]:
+        reach = self.reachable_instrs()
+        return frozenset(b.id for b in self.blocks if b.start in reach)
+
+    def can_reach(self, targets: Set[int]) -> FrozenSet[int]:
+        """Instruction indices from which any index in ``targets`` is
+        reachable (backwards closure over the successor relation)."""
+        preds: Dict[int, List[int]] = {i: [] for i in range(len(self.instr_succs))}
+        for i, succs in enumerate(self.instr_succs):
+            for s in succs:
+                preds[s].append(i)
+        seen: Set[int] = set()
+        stack = [t for t in targets if 0 <= t < len(self.instr_succs)]
+        while stack:
+            i = stack.pop()
+            if i in seen:
+                continue
+            seen.add(i)
+            stack.extend(p for p in preds[i] if p not in seen)
+        return frozenset(seen)
+
+    # -- dominators ---------------------------------------------------
+
+    def dominators(self) -> Dict[int, Optional[int]]:
+        """Immediate dominator of every reachable block (by block id).
+
+        The entry block's idom is itself.  Unreachable blocks are absent.
+        Uses the Cooper-Harvey-Kennedy iterative algorithm over a
+        reverse-postorder numbering.
+        """
+        if self.entry_index is None:
+            return {}
+        entry = self.block_of[self.entry_index]
+        # Reverse postorder over reachable blocks.
+        order: List[int] = []
+        seen: Set[int] = set()
+
+        def dfs(b: int) -> None:
+            stack = [(b, iter(self.blocks[b].succs))]
+            seen.add(b)
+            while stack:
+                node, it = stack[-1]
+                advanced = False
+                for s in it:
+                    if s not in seen:
+                        seen.add(s)
+                        stack.append((s, iter(self.blocks[s].succs)))
+                        advanced = True
+                        break
+                if not advanced:
+                    order.append(node)
+                    stack.pop()
+
+        dfs(entry)
+        rpo = list(reversed(order))
+        rpo_num = {b: n for n, b in enumerate(rpo)}
+        idom: Dict[int, Optional[int]] = {entry: entry}
+
+        def intersect(a: int, b: int) -> int:
+            while a != b:
+                while rpo_num[a] > rpo_num[b]:
+                    a = idom[a]  # type: ignore[assignment]
+                while rpo_num[b] > rpo_num[a]:
+                    b = idom[b]  # type: ignore[assignment]
+            return a
+
+        changed = True
+        while changed:
+            changed = False
+            for b in rpo:
+                if b == entry:
+                    continue
+                preds = [p for p in self.blocks[b].preds if p in idom]
+                if not preds:
+                    continue
+                new = preds[0]
+                for p in preds[1:]:
+                    new = intersect(new, p)
+                if idom.get(b) != new:
+                    idom[b] = new
+                    changed = True
+        return idom
+
+    def dominates(self, a: int, b: int) -> bool:
+        """Does block ``a`` dominate block ``b``?"""
+        idom = self.dominators()
+        if a not in idom or b not in idom:
+            return False
+        node = b
+        while True:
+            if node == a:
+                return True
+            parent = idom[node]
+            if parent is None or parent == node:
+                return a == node
+            node = parent
+
+
+def _return_sites(program: Program) -> Set[int]:
+    sites: Set[int] = set()
+    for i, instr in enumerate(program.instructions):
+        if instr.opcode in (Opcode.JAL, Opcode.JALR) and i + 1 < len(program):
+            sites.add(i + 1)
+    return sites
+
+
+def indirect_target_indices(program: Program) -> Tuple[int, ...]:
+    """Over-approximated ``jalr`` target set, as instruction indices."""
+    targets: Set[int] = _return_sites(program)
+    if program.source is not None:
+        for addr in program.source.address_taken:
+            if program.contains_pc(addr):
+                targets.add(program.index_of(addr))
+    else:
+        # No provenance: fall back to every labelled text address.
+        for addr in program.labels.values():
+            if program.contains_pc(addr):
+                targets.add(program.index_of(addr))
+    return tuple(sorted(targets))
+
+
+def build_cfg(program: Program) -> CFG:
+    """Construct the CFG (blocks, edges, per-instruction successors)."""
+    n = len(program.instructions)
+    if n == 0:
+        return CFG(program)
+
+    has_jalr = any(
+        instr.klass is InstrClass.JUMP_INDIRECT for instr in program.instructions
+    )
+    indirect = indirect_target_indices(program) if has_jalr else ()
+
+    # Per-instruction successors and fall-off detection.
+    succs: List[Tuple[int, ...]] = []
+    falls_off: Set[int] = set()
+    for i, instr in enumerate(program.instructions):
+        klass = instr.klass
+        out: List[int] = []
+        if klass is InstrClass.HALT:
+            pass
+        elif klass is InstrClass.JUMP:
+            out.append(program.index_of(instr.target))
+        elif klass is InstrClass.JUMP_INDIRECT:
+            out.extend(indirect)
+        elif instr.is_branch:
+            out.append(program.index_of(instr.target))
+            if i + 1 < n:
+                out.append(i + 1)
+            else:
+                falls_off.add(i)
+        else:
+            if i + 1 < n:
+                out.append(i + 1)
+            else:
+                falls_off.add(i)
+        succs.append(tuple(dict.fromkeys(out)))
+
+    # Leaders: entry, every control-transfer target, every instruction
+    # after a control transfer or halt, every labelled address, every
+    # indirect target.
+    entry_index = program.index_of(program.entry) if program.contains_pc(
+        program.entry) else 0
+    leaders: Set[int] = {0, entry_index}
+    for i, instr in enumerate(program.instructions):
+        if instr.is_control or instr.klass is InstrClass.HALT:
+            if i + 1 < n:
+                leaders.add(i + 1)
+        if instr.is_control and instr.opcode is not Opcode.JALR:
+            if program.contains_pc(instr.target):
+                leaders.add(program.index_of(instr.target))
+    for addr in program.labels.values():
+        if program.contains_pc(addr):
+            leaders.add(program.index_of(addr))
+    leaders.update(indirect)
+
+    starts = sorted(leaders)
+    blocks: List[BasicBlock] = []
+    block_of = [0] * n
+    for bid, start in enumerate(starts):
+        end = starts[bid + 1] if bid + 1 < len(starts) else n
+        blocks.append(BasicBlock(bid, start, end))
+        for i in range(start, end):
+            block_of[i] = bid
+
+    # Block edges from the last instruction's successors.
+    preds: List[Set[int]] = [set() for _ in blocks]
+    for block in blocks:
+        last = block.end - 1
+        out_blocks = tuple(dict.fromkeys(block_of[s] for s in succs[last]))
+        block.succs = out_blocks
+        for s in out_blocks:
+            preds[s].add(block.id)
+    for block in blocks:
+        block.preds = tuple(sorted(preds[block.id]))
+
+    return CFG(
+        program=program,
+        blocks=blocks,
+        block_of=block_of,
+        instr_succs=succs,
+        falls_off=frozenset(falls_off),
+        entry_index=entry_index,
+        indirect_exact=not has_jalr,
+        indirect_targets=indirect,
+    )
+
+
+def pc_of(program: Program, index: int) -> int:
+    """Byte PC of an instruction index (convenience re-export)."""
+    return TEXT_BASE + index * WORD

@@ -1,0 +1,418 @@
+"""Classic dataflow analyses over the instruction-level CFG.
+
+All analyses operate on the per-instruction successor relation of a
+:class:`repro.analysis.cfg.CFG` (programs are a few hundred to a few
+thousand instructions, so instruction granularity is both simpler and
+plenty fast).  Sets are represented as Python-int bitsets.
+
+Analyses:
+
+* **constant propagation** (forward, may) — registers start
+  architecturally at zero, so the entry state is all-zeros; this
+  resolves most workload memory references to absolute addresses and
+  exposes statically-certain division by zero.
+* **liveness** (backward, may) — over *locations*: registers ``r1..r63``
+  plus every memory word whose address constant propagation resolved.
+  A load with an unresolved address conservatively reads every tracked
+  memory location; a store with an unresolved address kills nothing.
+  Memory is dead at ``halt`` (program output escapes only via ``out``).
+* **reaching definitions** (forward, may) — register definitions only;
+  yields def-use / use-def chains.
+* **must-use** (backward, all-paths least fixpoint) — "from this point,
+  every maximal path uses register r before any redefinition"; the
+  basis of the ``must-live`` write class that the dynamic IR-detector
+  is cross-checked against.  A statically-possible infinite loop that
+  never uses r correctly fails the must-use property (least fixpoint),
+  so *must* claims stay sound.
+
+Write classification (per register-writing instruction):
+
+* ``DEAD`` — the destination is not live-out: no path references the
+  value before it is overwritten or the program ends.  Sound w.r.t. any
+  execution because liveness over-approximates uses and the CFG
+  over-approximates paths.
+* ``MUST_LIVE`` — every path from the write uses the value before any
+  redefinition.  Claimed only when the CFG is exact (no ``jalr``).
+* ``PARTIAL`` — everything else (live on some paths).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.cfg import CFG
+from repro.arch.executor import _ALU_RRI, _ALU_RRR, wrap32
+from repro.isa.instructions import Opcode, REG_COUNT
+
+_U32 = 0xFFFFFFFF
+
+#: Location ids: registers r1..r63 occupy ids 0..62; memory words are
+#: appended per-program.
+_NUM_REG_LOCS = REG_COUNT - 1
+
+
+def _reg_loc(reg: int) -> int:
+    """Location id of a register (reg must be 1..63)."""
+    return reg - 1
+
+
+class WriteClass(enum.Enum):
+    """Static classification of one register-writing instruction."""
+
+    DEAD = "dead"
+    MUST_LIVE = "must-live"
+    PARTIAL = "partial"
+
+
+@dataclass
+class ConstProp:
+    """Constant-propagation results.
+
+    ``env_in[i]`` is the register environment before instruction ``i``:
+    a 64-entry list, ``None`` meaning unknown, or the whole entry is
+    ``None`` when ``i`` is unreachable.  ``mem_addr[i]`` is the resolved
+    effective address of a load/store (None when unknown or not a
+    memory instruction).  ``div_zero`` lists reachable ``div``/``rem``
+    indices whose divisor is statically the constant zero.
+    """
+
+    env_in: List[Optional[List[Optional[int]]]]
+    mem_addr: List[Optional[int]]
+    div_zero: Tuple[int, ...]
+
+
+def constant_propagation(cfg: CFG) -> ConstProp:
+    """Forward constant propagation from the all-zero entry state."""
+    program = cfg.program
+    n = len(program.instructions)
+    env_in: List[Optional[List[Optional[int]]]] = [None] * n
+    if cfg.entry_index is None:
+        return ConstProp(env_in, [None] * n, ())
+
+    def transfer(i: int, env: List[Optional[int]]) -> List[Optional[int]]:
+        instr = program.instructions[i]
+        dest = instr.dest
+        if dest is None:
+            return env
+        op = instr.opcode
+        out = list(env)
+        value: Optional[int] = None
+        alu = _ALU_RRR.get(op)
+        if alu is not None:
+            a, b = env[instr.rs1], env[instr.rs2]
+            if a is not None and b is not None:
+                value = wrap32(alu(a, b))
+        elif (alui := _ALU_RRI.get(op)) is not None:
+            a = env[instr.rs1]
+            if a is not None:
+                value = wrap32(alui(a, instr.imm))
+        elif op is Opcode.LUI:
+            value = wrap32(instr.imm << 16)
+        elif op in (Opcode.JAL, Opcode.JALR):
+            value = program.pc_of(i) + 4
+        elif op in (Opcode.DIV, Opcode.REM):
+            a, b = env[instr.rs1], env[instr.rs2]
+            if a is not None and b not in (None, 0):
+                quotient = abs(a) // abs(b)
+                if (a < 0) != (b < 0):
+                    quotient = -quotient
+                value = wrap32(quotient if op is Opcode.DIV else a - quotient * b)
+        # Loads: value unknown (memory contents are dynamic).
+        out[dest] = value
+        out[0] = 0
+        return out
+
+    entry = cfg.entry_index
+    env_in[entry] = [0] * REG_COUNT
+    worklist = [entry]
+    while worklist:
+        i = worklist.pop()
+        env = env_in[i]
+        assert env is not None
+        out = transfer(i, env)
+        for s in cfg.instr_succs[i]:
+            current = env_in[s]
+            if current is None:
+                env_in[s] = list(out)
+                worklist.append(s)
+            else:
+                changed = False
+                for r in range(REG_COUNT):
+                    if current[r] is not None and current[r] != out[r]:
+                        current[r] = None
+                        changed = True
+                if changed:
+                    worklist.append(s)
+
+    mem_addr: List[Optional[int]] = [None] * n
+    div_zero: List[int] = []
+    for i, instr in enumerate(program.instructions):
+        env = env_in[i]
+        if env is None:
+            continue
+        if instr.opcode in (Opcode.LW, Opcode.SW):
+            base = env[instr.rs1]
+            if base is not None:
+                mem_addr[i] = wrap32(base + instr.imm) & _U32
+        elif instr.opcode in (Opcode.DIV, Opcode.REM) and env[instr.rs2] == 0:
+            div_zero.append(i)
+    return ConstProp(env_in, mem_addr, tuple(div_zero))
+
+
+@dataclass
+class Liveness:
+    """Backward liveness over registers and resolved memory words.
+
+    ``live_in``/``live_out`` are bitsets over location ids;
+    ``mem_locs`` maps tracked memory addresses to their location ids.
+    """
+
+    live_in: List[int]
+    live_out: List[int]
+    mem_locs: Dict[int, int]
+
+    def reg_live_out(self, index: int, reg: int) -> bool:
+        if reg == 0:
+            return False
+        return bool(self.live_out[index] >> _reg_loc(reg) & 1)
+
+    def mem_live_out(self, index: int, addr: int) -> bool:
+        loc = self.mem_locs.get(addr)
+        if loc is None:
+            return True  # untracked: no claim, treat as live
+        return bool(self.live_out[index] >> loc & 1)
+
+
+def liveness(cfg: CFG, consts: Optional[ConstProp] = None) -> Liveness:
+    """Backward may-liveness; see the module docstring for the memory
+    model (unknown loads read everything, unknown stores kill nothing)."""
+    program = cfg.program
+    n = len(program.instructions)
+    if consts is None:
+        consts = constant_propagation(cfg)
+
+    mem_locs: Dict[int, int] = {}
+    for i, instr in enumerate(program.instructions):
+        addr = consts.mem_addr[i]
+        if addr is not None and addr not in mem_locs:
+            mem_locs[addr] = _NUM_REG_LOCS + len(mem_locs)
+    all_mem_mask = 0
+    for loc in mem_locs.values():
+        all_mem_mask |= 1 << loc
+
+    gen = [0] * n
+    kill = [0] * n
+    for i, instr in enumerate(program.instructions):
+        g = 0
+        for reg in instr.srcs:
+            if reg:
+                g |= 1 << _reg_loc(reg)
+        if instr.is_load:
+            addr = consts.mem_addr[i]
+            g |= (1 << mem_locs[addr]) if addr is not None else all_mem_mask
+        k = 0
+        if instr.dest is not None:
+            k = 1 << _reg_loc(instr.dest)
+        elif instr.is_store:
+            addr = consts.mem_addr[i]
+            if addr is not None:
+                k = 1 << mem_locs[addr]
+        gen[i] = g
+        kill[i] = k
+
+    live_in = [0] * n
+    live_out = [0] * n
+    # Backward worklist; iterate in reverse text order for fast
+    # convergence on reducible graphs.
+    preds: List[List[int]] = [[] for _ in range(n)]
+    for i, succs in enumerate(cfg.instr_succs):
+        for s in succs:
+            preds[s].append(i)
+    worklist = list(range(n))
+    in_worklist = [True] * n
+    while worklist:
+        i = worklist.pop()
+        in_worklist[i] = False
+        out = 0
+        for s in cfg.instr_succs[i]:
+            out |= live_in[s]
+        live_out[i] = out
+        new_in = gen[i] | (out & ~kill[i])
+        if new_in != live_in[i]:
+            live_in[i] = new_in
+            for p in preds[i]:
+                if not in_worklist[p]:
+                    in_worklist[p] = True
+                    worklist.append(p)
+    return Liveness(live_in, live_out, mem_locs)
+
+
+@dataclass
+class ReachingDefs:
+    """Reaching definitions (register defs only) and the derived
+    def-use / use-def chains.
+
+    ``defs`` lists definition sites as ``(index, reg)``;
+    ``use_defs[(index, reg)]`` gives the def ids reaching that use;
+    ``def_use[def_id]`` gives the use sites ``(index, reg)`` the def
+    reaches.  A use with an empty def set reads the architectural zero
+    initial value (never explicitly written on any path).
+    """
+
+    defs: List[Tuple[int, int]]
+    use_defs: Dict[Tuple[int, int], Tuple[int, ...]]
+    def_use: Dict[int, Tuple[Tuple[int, int], ...]]
+
+
+def reaching_definitions(cfg: CFG) -> ReachingDefs:
+    program = cfg.program
+    n = len(program.instructions)
+    defs: List[Tuple[int, int]] = []
+    def_id_of: Dict[int, int] = {}  # instruction index -> def id
+    defs_of_reg_mask: Dict[int, int] = {}
+    for i, instr in enumerate(program.instructions):
+        if instr.dest is not None:
+            def_id = len(defs)
+            def_id_of[i] = def_id
+            defs.append((i, instr.dest))
+            defs_of_reg_mask[instr.dest] = (
+                defs_of_reg_mask.get(instr.dest, 0) | 1 << def_id
+            )
+
+    rd_in = [0] * n
+    preds: List[List[int]] = [[] for _ in range(n)]
+    for i, succs in enumerate(cfg.instr_succs):
+        for s in succs:
+            preds[s].append(i)
+
+    def out_of(i: int) -> int:
+        instr = program.instructions[i]
+        out = rd_in[i]
+        if instr.dest is not None:
+            out &= ~defs_of_reg_mask[instr.dest]
+            out |= 1 << def_id_of[i]
+        return out
+
+    worklist = list(range(n))
+    in_worklist = [True] * n
+    while worklist:
+        i = worklist.pop(0)
+        in_worklist[i] = False
+        new_in = 0
+        for p in preds[i]:
+            new_in |= out_of(p)
+        if new_in != rd_in[i] or i == cfg.entry_index:
+            if new_in != rd_in[i]:
+                rd_in[i] = new_in
+                for s in cfg.instr_succs[i]:
+                    if not in_worklist[s]:
+                        in_worklist[s] = True
+                        worklist.append(s)
+
+    use_defs: Dict[Tuple[int, int], Tuple[int, ...]] = {}
+    def_use: Dict[int, List[Tuple[int, int]]] = {d: [] for d in range(len(defs))}
+    for i, instr in enumerate(program.instructions):
+        for reg in set(instr.srcs):
+            if not reg:
+                continue
+            mask = rd_in[i] & defs_of_reg_mask.get(reg, 0)
+            ids = []
+            while mask:
+                low = mask & -mask
+                ids.append(low.bit_length() - 1)
+                mask ^= low
+            use_defs[(i, reg)] = tuple(ids)
+            for d in ids:
+                def_use[d].append((i, reg))
+    return ReachingDefs(
+        defs, use_defs, {d: tuple(u) for d, u in def_use.items()}
+    )
+
+
+def must_use_before_kill(cfg: CFG, reg: int) -> List[bool]:
+    """``result[i]``: starting *at* instruction ``i``, every maximal
+    path uses register ``reg`` before any instruction redefines it (or
+    the program halts / falls off).  Least fixpoint — statically
+    possible non-terminating paths that never use ``reg`` yield False.
+    """
+    program = cfg.program
+    n = len(program.instructions)
+    uses = [reg in instr.srcs for instr in program.instructions]
+    kills = [instr.dest == reg for instr in program.instructions]
+    val = [False] * n
+    changed = True
+    while changed:
+        changed = False
+        for i in range(n - 1, -1, -1):
+            if val[i]:
+                continue
+            if uses[i]:
+                new = True
+            elif kills[i]:
+                new = False
+            else:
+                succs = cfg.instr_succs[i]
+                new = bool(succs) and all(val[s] for s in succs)
+            if new and not val[i]:
+                val[i] = True
+                changed = True
+    return val
+
+
+@dataclass
+class Dataflow:
+    """Bundled dataflow facts for one program."""
+
+    cfg: CFG
+    consts: ConstProp
+    live: Liveness
+    reaching: ReachingDefs
+    #: Register-writing instruction index -> static write class.
+    write_classes: Dict[int, WriteClass] = field(default_factory=dict)
+    #: Reachable constant-address stores whose location is dead-out.
+    dead_stores: Tuple[int, ...] = ()
+
+
+def classify_writes(cfg: CFG, live: Liveness) -> Dict[int, WriteClass]:
+    program = cfg.program
+    reachable = cfg.reachable_instrs()
+    must_cache: Dict[int, List[bool]] = {}
+    classes: Dict[int, WriteClass] = {}
+    for i, instr in enumerate(program.instructions):
+        dest = instr.dest
+        if dest is None or i not in reachable:
+            continue
+        if not live.reg_live_out(i, dest):
+            classes[i] = WriteClass.DEAD
+        elif cfg.indirect_exact:
+            if dest not in must_cache:
+                must_cache[dest] = must_use_before_kill(cfg, dest)
+            must = must_cache[dest]
+            succs = cfg.instr_succs[i]
+            if succs and all(must[s] for s in succs):
+                classes[i] = WriteClass.MUST_LIVE
+            else:
+                classes[i] = WriteClass.PARTIAL
+        else:
+            classes[i] = WriteClass.PARTIAL
+    return classes
+
+
+def analyze(cfg: CFG) -> Dataflow:
+    """Run every pass and bundle the results."""
+    consts = constant_propagation(cfg)
+    live = liveness(cfg, consts)
+    reaching = reaching_definitions(cfg)
+    classes = classify_writes(cfg, live)
+    reachable = cfg.reachable_instrs()
+    dead_stores = tuple(
+        i
+        for i, instr in enumerate(cfg.program.instructions)
+        if instr.is_store
+        and i in reachable
+        and consts.mem_addr[i] is not None
+        and not live.mem_live_out(i, consts.mem_addr[i])
+    )
+    return Dataflow(cfg, consts, live, reaching, classes, dead_stores)

@@ -1,0 +1,230 @@
+"""Static ineffectuality oracle and the static/dynamic cross-check.
+
+The IR-detector (:mod:`repro.core.ir_detector`) discovers ineffectual
+instructions *dynamically*: an unreferenced write (WW) is one whose
+value is overwritten, within the detector's trace scope, with its
+reference bit still clear.  The static write classification
+(:mod:`repro.analysis.dataflow`) provides an independent ground truth,
+and the two must relate:
+
+* A statically **dead** write (``WriteClass.DEAD``) is never referenced
+  on *any* static path, hence never referenced in *any* execution.  The
+  run-time shadow tracker here verifies that directly — a referenced
+  instance of a statically-dead write (``static_unsound_pcs``) would be
+  a bug in the static analysis.  Every executed instance *should* also
+  eventually be classified ineffectual by the detector; the detector's
+  finite scope makes this a rate (``instance_agreement``), not an
+  invariant — a dead value overwritten only after its trace leaves the
+  8-trace scope is legitimately missed.
+* A statically **must-live** write (``WriteClass.MUST_LIVE``; claimed
+  only when the CFG is exact) is referenced before being overwritten on
+  *every* path, so a *direct* WW verdict (not back-propagation) from
+  the detector contradicts it: the rename-table entry's reference bit
+  is set by the intervening read, and scope eviction only ever
+  suppresses WW claims, never forges them.  Any such contradiction
+  (``detector_contradiction_pcs``) is a detector soundness bug.
+
+Statically-dead *stores* (resolved address never re-read) participate
+too, via a memory shadow keyed on effective address.
+
+This module deliberately does not import :mod:`repro.workloads`
+(workload builders lint through :mod:`repro.analysis`, so an import
+here would be circular); callers hand in an assembled ``Program``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.analysis.cfg import build_cfg
+from repro.analysis.dataflow import Dataflow, WriteClass, analyze
+from repro.arch.functional import FunctionalSimulator, InstructionLimitExceeded
+from repro.core.ir_detector import ALL_TRIGGERS, DEFAULT_SCOPE_TRACES, IRDetector
+from repro.core.removal import RemovalKind
+from repro.isa.program import Program
+from repro.trace.selection import TRACE_LENGTH, TraceSelector
+
+
+@dataclass(frozen=True)
+class StaticSummary:
+    """Static write classification of one program, keyed by byte PC."""
+
+    name: str
+    indirect_exact: bool
+    dead_pcs: Tuple[int, ...]
+    must_live_pcs: Tuple[int, ...]
+    partial_pcs: Tuple[int, ...]
+    dead_store_pcs: Tuple[int, ...]
+
+    @property
+    def classified_writes(self) -> int:
+        return len(self.dead_pcs) + len(self.must_live_pcs) + len(self.partial_pcs)
+
+
+def analyze_static(program: Program, dataflow: Optional[Dataflow] = None) -> StaticSummary:
+    """Classify every reachable register write (and constant-address
+    store) of a program; see :class:`StaticSummary`."""
+    if dataflow is None:
+        dataflow = analyze(build_cfg(program))
+    by_class: Dict[WriteClass, List[int]] = {c: [] for c in WriteClass}
+    for index, cls in dataflow.write_classes.items():
+        by_class[cls].append(program.pc_of(index))
+    return StaticSummary(
+        name=program.name,
+        indirect_exact=dataflow.cfg.indirect_exact,
+        dead_pcs=tuple(sorted(by_class[WriteClass.DEAD])),
+        must_live_pcs=tuple(sorted(by_class[WriteClass.MUST_LIVE])),
+        partial_pcs=tuple(sorted(by_class[WriteClass.PARTIAL])),
+        dead_store_pcs=tuple(sorted(program.pc_of(i) for i in dataflow.dead_stores)),
+    )
+
+
+@dataclass(frozen=True)
+class DeadPCStat:
+    """Per-PC dynamic observations for one statically-dead write."""
+
+    pc: int
+    executed: int
+    selected: int
+    referenced: int
+
+
+@dataclass(frozen=True)
+class CrossCheckResult:
+    """Outcome of one static/dynamic cross-check run.
+
+    Soundness invariants (must both be empty for a green run):
+
+    * ``static_unsound_pcs`` — statically-dead writes whose value was
+      observed referenced at run time (static analysis bug);
+    * ``detector_contradiction_pcs`` — direct WW verdicts on
+      statically must-live writes (IR-detector soundness bug).
+    """
+
+    name: str
+    retired: int
+    truncated: bool
+    static: StaticSummary
+    dead_instances_executed: int
+    dead_instances_selected: int
+    dead_pc_stats: Tuple[DeadPCStat, ...]
+    static_unsound_pcs: Tuple[int, ...]
+    detector_contradiction_pcs: Tuple[int, ...]
+
+    @property
+    def sound(self) -> bool:
+        return not self.static_unsound_pcs and not self.detector_contradiction_pcs
+
+    @property
+    def instance_agreement(self) -> float:
+        """Fraction of executed statically-dead instances the detector
+        classified ineffectual (1.0 when none executed)."""
+        if not self.dead_instances_executed:
+            return 1.0
+        return self.dead_instances_selected / self.dead_instances_executed
+
+    @property
+    def pc_coverage(self) -> float:
+        """Fraction of executed statically-dead PCs with at least one
+        detector-selected instance (1.0 when none executed)."""
+        hit = sum(1 for s in self.dead_pc_stats if s.executed and s.selected)
+        total = sum(1 for s in self.dead_pc_stats if s.executed)
+        return hit / total if total else 1.0
+
+
+def cross_check(
+    program: Program,
+    trace_length: int = TRACE_LENGTH,
+    scope_traces: int = DEFAULT_SCOPE_TRACES,
+    triggers: Iterable[str] = ALL_TRIGGERS,
+    max_instructions: int = 5_000_000,
+    dataflow: Optional[Dataflow] = None,
+) -> CrossCheckResult:
+    """Run a program once, feeding the IR-detector, while a shadow
+    tracker records ground-truth reference behaviour; compare both
+    against the static classification."""
+    if dataflow is None:
+        dataflow = analyze(build_cfg(program))
+    static = analyze_static(program, dataflow)
+    dead_pcs = frozenset(static.dead_pcs) | frozenset(static.dead_store_pcs)
+    must_live = frozenset(static.must_live_pcs)
+
+    executed: Counter = Counter()
+    selected: Counter = Counter()
+    referenced: Counter = Counter()
+    contradictions: set = set()
+
+    # Shadow trackers: location -> [writer_pc, instance_referenced].
+    reg_shadow: Dict[int, List] = {}
+    mem_shadow: Dict[int, List] = {}
+
+    def reference(entry: Optional[List]) -> None:
+        if entry is not None and not entry[1]:
+            entry[1] = True
+            referenced[entry[0]] += 1
+
+    def consume(analysis) -> None:
+        for i, pc in enumerate(analysis.pcs):
+            if pc in dead_pcs and analysis.ir_vec[i]:
+                selected[pc] += 1
+            kind = analysis.kinds[i]
+            if (
+                kind & RemovalKind.WW
+                and not kind & RemovalKind.PROPAGATED
+                and pc in must_live
+            ):
+                contradictions.add(pc)
+
+    selector = TraceSelector(trace_length)
+    detector = IRDetector(scope_traces=scope_traces, triggers=triggers)
+    sim = FunctionalSimulator(program, max_instructions=max_instructions)
+    retired = 0
+    truncated = False
+    try:
+        for dyn in sim.steps():
+            retired += 1
+            instr = dyn.instr
+            # Reads happen before the write of the same instruction.
+            for reg in instr.srcs:
+                if reg:
+                    reference(reg_shadow.get(reg))
+            if instr.is_load and dyn.mem_addr is not None:
+                reference(mem_shadow.get(dyn.mem_addr))
+            if instr.is_store and dyn.mem_addr is not None:
+                if dyn.pc in dead_pcs:
+                    executed[dyn.pc] += 1
+                mem_shadow[dyn.mem_addr] = [dyn.pc, False]
+            elif dyn.dest_reg is not None:
+                if dyn.pc in dead_pcs:
+                    executed[dyn.pc] += 1
+                reg_shadow[dyn.dest_reg] = [dyn.pc, False]
+            trace = selector.feed(dyn)
+            if trace is not None:
+                for analysis in detector.feed_trace(trace):
+                    consume(analysis)
+    except InstructionLimitExceeded:
+        truncated = True
+    tail = selector.flush()
+    if tail is not None:
+        for analysis in detector.feed_trace(tail):
+            consume(analysis)
+    for analysis in detector.drain():
+        consume(analysis)
+
+    stats = tuple(
+        DeadPCStat(pc, executed[pc], selected[pc], referenced[pc])
+        for pc in sorted(dead_pcs)
+    )
+    return CrossCheckResult(
+        name=program.name,
+        retired=retired,
+        truncated=truncated,
+        static=static,
+        dead_instances_executed=sum(executed[pc] for pc in dead_pcs),
+        dead_instances_selected=sum(selected[pc] for pc in dead_pcs),
+        dead_pc_stats=stats,
+        static_unsound_pcs=tuple(pc for pc in sorted(dead_pcs) if referenced[pc]),
+        detector_contradiction_pcs=tuple(sorted(contradictions)),
+    )

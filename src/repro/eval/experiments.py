@@ -19,6 +19,7 @@ from repro.eval.models import (
     run_all_models,
     run_baseline,
     run_big_core,
+    run_crosscheck,
     run_fault_study,
     run_instruction_count,
     run_slipstream_model,
@@ -218,6 +219,44 @@ def table3(scale: int = 1, benchmarks: Optional[Sequence[str]] = None) -> List[D
                 "avg_ir_penalty": slip.avg_ir_penalty,
                 "paper_ss_ipc": PAPER["base_ipc"][name],
                 "paper_misp_per_1000": PAPER["base_misp_per_1000"][name],
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Static/dynamic ineffectuality cross-check (repro.analysis vs the
+# IR-detector; no paper analog — an internal validation artifact).
+# ----------------------------------------------------------------------
+
+def ineffectuality_crosscheck(
+    scale: int = 1, benchmarks: Optional[Sequence[str]] = None
+) -> List[Dict]:
+    """Per-benchmark agreement between the static write classification
+    and the dynamic IR-detector (see :mod:`repro.analysis.ineffectual`).
+
+    ``contradictions`` must be 0 everywhere: a non-zero count means
+    either the static analysis claimed a dead write that was observed
+    referenced, or the detector issued a WW verdict on a write the
+    static analysis proved must-live — both are soundness bugs.
+    """
+    rows = []
+    for name in benchmarks or BENCHMARKS:
+        result = run_crosscheck(name, scale)
+        rows.append(
+            {
+                "benchmark": name,
+                "retired": result.retired,
+                "static_dead_pcs": len(result.static.dead_pcs)
+                + len(result.static.dead_store_pcs),
+                "must_live_pcs": len(result.static.must_live_pcs),
+                "dead_executed": result.dead_instances_executed,
+                "dead_selected": result.dead_instances_selected,
+                "instance_agreement": result.instance_agreement,
+                "pc_coverage": result.pc_coverage,
+                "contradictions": len(result.static_unsound_pcs)
+                + len(result.detector_contradiction_pcs),
+                "sound": result.sound,
             }
         )
     return rows

@@ -34,6 +34,7 @@ from pathlib import Path
 from typing import List, Optional, Sequence, Tuple
 
 import repro
+from repro.analysis.ineffectual import cross_check
 from repro.arch.functional import FunctionalSimulator
 from repro.core.slipstream import SlipstreamConfig, SlipstreamProcessor
 from repro.fault.coverage import run_campaign
@@ -77,7 +78,7 @@ class JobKey:
     parameters for fault jobs, the empty string where defaults apply.
     """
 
-    model: str  # "count" | "ss64" | "ss128" | "cmp" | "fault"
+    model: str  # "count" | "ss64" | "ss128" | "cmp" | "fault" | "xcheck"
     benchmark: str
     scale: int = 1
     removal_triggers: Tuple[str, ...] = ()
@@ -130,6 +131,13 @@ def slipstream_spec(
     return JobSpec(key, config=cfg)
 
 
+def crosscheck_spec(benchmark: str, scale: int = 1) -> JobSpec:
+    """The static/dynamic ineffectuality cross-check job: static write
+    classification vs the IR-detector's verdicts, plus a ground-truth
+    reference shadow (see :mod:`repro.analysis.ineffectual`)."""
+    return JobSpec(JobKey("xcheck", benchmark, scale))
+
+
 def fault_spec(
     benchmark: str,
     scale: int = 1,
@@ -169,6 +177,9 @@ def simulate(spec: JobSpec):
     if model == "fault":
         return _simulate_fault_study(key.benchmark, key.scale, spec.points,
                                      spec.sites)
+    if model == "xcheck":
+        program = get_benchmark(key.benchmark).program(key.scale)
+        return cross_check(program)
     raise ValueError(f"unknown job model {model!r}")
 
 
@@ -240,6 +251,7 @@ def enumerate_artifact_jobs(
         add(big_core_spec(name, scale))         # Figure 7
         add(slipstream_spec(name, scale))       # Figures 6/8, Table 3
         add(slipstream_spec(name, scale, removal_triggers=("BR",)))  # Fig 8 bottom
+        add(crosscheck_spec(name, scale))       # static/dynamic cross-check
     add(fault_spec(FAULT_STUDY_BENCHMARK, points=FAULT_STUDY_POINTS))
     for threshold in ABLATION_CONFIDENCE_THRESHOLDS:
         add(slipstream_spec(

@@ -26,6 +26,7 @@ import os
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
+from repro.analysis.ineffectual import CrossCheckResult
 from repro.core.slipstream import SlipstreamConfig, SlipstreamResult
 from repro.eval.jobs import (
     MISS,
@@ -35,6 +36,7 @@ from repro.eval.jobs import (
     baseline_spec,
     big_core_spec,
     count_spec,
+    crosscheck_spec,
     fault_spec,
     simulate,
     slipstream_spec,
@@ -121,6 +123,12 @@ def run_slipstream_model(
     """
     spec = slipstream_spec(benchmark, scale, removal_triggers, config)
     return run_cached(spec)  # type: ignore[return-value]
+
+
+def run_crosscheck(benchmark: str, scale: int = 1) -> CrossCheckResult:
+    """Static/dynamic ineffectuality cross-check of one benchmark:
+    static write classification vs IR-detector verdicts."""
+    return run_cached(crosscheck_spec(benchmark, scale))  # type: ignore[return-value]
 
 
 def run_fault_study(

@@ -28,7 +28,7 @@ immediates, so plain labels usually suffice).
 from __future__ import annotations
 
 import re
-from typing import Dict, List, Tuple
+from typing import Dict, List, Set, Tuple
 
 from repro.isa.instructions import (
     BRANCH_OPS,
@@ -39,16 +39,30 @@ from repro.isa.instructions import (
     RRR_OPS,
     WORD,
 )
-from repro.isa.program import DATA_BASE, Program, TEXT_BASE
+from repro.isa.program import DATA_BASE, Program, SourceInfo, SourceLoc, TEXT_BASE
 
 
 class AssemblerError(Exception):
-    """Raised on any syntax or semantic error, with line context."""
+    """Raised on any syntax or semantic error, with line context.
+
+    Structured fields let tooling (the :mod:`repro.analysis` linter, the
+    CLI) reuse the location rather than re-parsing the message:
+
+    * ``message`` — the bare description, without location decoration;
+    * ``line_no`` — 1-based source line number;
+    * ``line`` — the offending source line, verbatim.
+    """
 
     def __init__(self, message: str, line_no: int, line: str):
         super().__init__(f"line {line_no}: {message}: {line.strip()!r}")
+        self.message = message
         self.line_no = line_no
         self.line = line
+
+    @property
+    def location(self) -> str:
+        """``line N`` rendering, for diagnostics that prefix a file name."""
+        return f"line {self.line_no}"
 
 
 _LABEL_RE = re.compile(r"^[A-Za-z_.$][A-Za-z0-9_.$]*$")
@@ -161,19 +175,33 @@ class _Pass2:
 
     def __init__(self, labels: Dict[str, int]):
         self.labels = labels
+        #: Text-segment addresses whose labels were materialised as plain
+        #: immediates — the address-taken set for indirect-jump analysis.
+        self.address_taken: Set[int] = set()
 
     def imm(self, token: str, line_no: int, raw: str) -> int:
+        """Resolve an immediate operand; label uses are recorded as
+        address-taken when they name a text address."""
         token = token.strip()
         if token.startswith("%hi(") and token.endswith(")"):
-            return (self._label_or_int(token[4:-1], line_no, raw) >> 16) & 0xFFFF
+            return (self._label_or_int(token[4:-1], line_no, raw, taken=True) >> 16) & 0xFFFF
         if token.startswith("%lo(") and token.endswith(")"):
-            return self._label_or_int(token[4:-1], line_no, raw) & 0xFFFF
-        return self._label_or_int(token, line_no, raw)
+            return self._label_or_int(token[4:-1], line_no, raw, taken=True) & 0xFFFF
+        return self._label_or_int(token, line_no, raw, taken=True)
 
-    def _label_or_int(self, token: str, line_no: int, raw: str) -> int:
+    def target(self, token: str, line_no: int, raw: str) -> int:
+        """Resolve a direct branch/jump target (not address-taken: the
+        target is structural, encoded in the instruction)."""
+        return self._label_or_int(token.strip(), line_no, raw, taken=False)
+
+    def _label_or_int(self, token: str, line_no: int, raw: str,
+                      taken: bool = False) -> int:
         token = token.strip()
         if token in self.labels:
-            return self.labels[token]
+            addr = self.labels[token]
+            if taken and addr < DATA_BASE:
+                self.address_taken.add(addr)
+            return addr
         return _parse_int(token, line_no, raw)
 
     def emit(self, line_no: int, raw: str, mnemonic: str, ops: List[str]) -> Instruction:
@@ -202,12 +230,12 @@ class _Pass2:
             return Instruction(opcode, rs2=reg(0), rs1=base, imm=offset)
         if opcode in BRANCH_OPS:
             return Instruction(
-                opcode, rs1=reg(0), rs2=reg(1), target=self.imm(ops[2], line_no, raw)
+                opcode, rs1=reg(0), rs2=reg(1), target=self.target(ops[2], line_no, raw)
             )
         if opcode is Opcode.J:
-            return Instruction(opcode, target=self.imm(ops[0], line_no, raw))
+            return Instruction(opcode, target=self.target(ops[0], line_no, raw))
         if opcode is Opcode.JAL:
-            return Instruction(opcode, rd=reg(0), target=self.imm(ops[1], line_no, raw))
+            return Instruction(opcode, rd=reg(0), target=self.target(ops[1], line_no, raw))
         if opcode is Opcode.JALR:
             return Instruction(opcode, rd=reg(0), rs1=reg(1))
         if opcode is Opcode.OUT:
@@ -242,8 +270,14 @@ def assemble(source: str, name: str = "<anonymous>") -> Program:
         pass2.emit(line_no, raw, mnemonic, ops)
         for line_no, raw, mnemonic, ops in pass1.text
     ]
+    info = SourceInfo(
+        locs=tuple(SourceLoc(line_no, raw) for line_no, raw, _, _ in pass1.text),
+        address_taken=frozenset(pass2.address_taken),
+        data_end=pass1._data_cursor,
+    )
     program = Program(
-        instructions=instructions, data=dict(pass1.data), labels=dict(pass1.labels), name=name
+        instructions=instructions, data=dict(pass1.data), labels=dict(pass1.labels),
+        name=name, source=info,
     )
     program.validate()
     return program

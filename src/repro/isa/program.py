@@ -7,13 +7,52 @@ PCs are byte addresses; instructions occupy 4 bytes each starting at
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.isa.instructions import Instruction, Opcode, WORD
 
 TEXT_BASE = 0x1000
 DATA_BASE = 0x100000
 WORD_SIZE = WORD
+
+
+@dataclass(frozen=True)
+class SourceLoc:
+    """Source location of one assembled instruction."""
+
+    line_no: int
+    text: str
+
+
+@dataclass(frozen=True)
+class SourceInfo:
+    """Assembly-time provenance, attached to :class:`Program` by the
+    assembler.
+
+    The static-analysis subsystem (:mod:`repro.analysis`) consumes this:
+    diagnostics point at source lines, lint suppressions live in source
+    comments, and ``address_taken`` / ``data_end`` bound what indirect
+    jumps and static memory references may legally touch.
+
+    Attributes:
+        locs: per-instruction source locations, aligned with
+            ``Program.instructions``.
+        address_taken: text-segment byte addresses whose labels were used
+            as *plain immediates* (not branch/jump targets) — the only
+            code addresses a program can materialise into a register and
+            later reach via ``jalr``.
+        data_end: first byte address past the laid-out data segment
+            (``.word``/``.space``/``.align`` cursor at end of assembly).
+    """
+
+    locs: Tuple[SourceLoc, ...] = ()
+    address_taken: FrozenSet[int] = frozenset()
+    data_end: int = DATA_BASE
+
+    def loc_of(self, index: int) -> Optional[SourceLoc]:
+        if 0 <= index < len(self.locs):
+            return self.locs[index]
+        return None
 
 
 @dataclass
@@ -31,6 +70,10 @@ class Program:
     data: Dict[int, int] = field(default_factory=dict)
     labels: Dict[str, int] = field(default_factory=dict)
     name: str = "<anonymous>"
+    #: Assembly provenance (source lines, address-taken labels, data
+    #: extent); None for hand-constructed programs.  Not part of program
+    #: identity.
+    source: Optional[SourceInfo] = field(default=None, compare=False, repr=False)
 
     @property
     def entry(self) -> int:
@@ -53,6 +96,19 @@ class Program:
     def contains_pc(self, pc: int) -> bool:
         index, rem = divmod(pc - TEXT_BASE, WORD)
         return rem == 0 and 0 <= index < len(self.instructions)
+
+    def data_end(self) -> int:
+        """First byte address past the data segment.
+
+        Prefers the assembler's layout cursor (which covers ``.space``
+        reservations that leave no entries in ``data``); falls back to
+        the highest initialised word for hand-constructed programs.
+        """
+        if self.source is not None:
+            return self.source.data_end
+        if self.data:
+            return max(self.data) + WORD
+        return DATA_BASE
 
     def __len__(self) -> int:
         return len(self.instructions)

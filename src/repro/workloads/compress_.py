@@ -47,10 +47,10 @@ def build(scale: int = 1) -> Program:
             srai r14, r13, 4
             xor  r14, r14, r13
             sltu r15, r14, r0           # saturation flag: always 0
-            sw   r15, 0(r17)            # SV store
+            sw   r15, 0(r17)            # SV store; lint: ok(dead-store)
             andi r16, r15, 1            # still 0
-            sw   r16, 4(r17)            # SV store
-            sw   r14, 8(r17)            # WW scan scratch (dead)
+            sw   r16, 4(r17)            # SV store; lint: ok(dead-store)
+            sw   r14, 8(r17)            # WW scan scratch (dead); lint: ok(dead-store)
             """
         )
     scan_body = "".join(scan_lines)
@@ -69,7 +69,7 @@ def build(scale: int = 1) -> Program:
     )
     asm.lcg_seed(0x2231)
     asm.emit(
-        f"""
+        """
         symbol:
         """
     )

@@ -13,7 +13,8 @@ Register conventions used by the workloads (not enforced by hardware):
 
 from __future__ import annotations
 
-from typing import List
+import os
+from typing import List, Optional, Set
 
 from repro.isa.assembler import assemble
 from repro.isa.program import Program
@@ -82,6 +83,39 @@ class Asm:
     def source(self) -> str:
         return "\n".join(self._lines) + "\n"
 
-    def build(self) -> Program:
-        """Assemble into a :class:`Program`."""
-        return assemble(self.source(), name=self.name)
+    def build(self, lint: Optional[bool] = None) -> Program:
+        """Assemble into a :class:`Program`.
+
+        By default the result is linted (:mod:`repro.analysis.lint`)
+        and a :class:`repro.analysis.lint.LintError` is raised if any
+        unsuppressed *error*-severity diagnostic remains — warnings are
+        for ``python -m repro.analysis`` and CI to report.  Pass
+        ``lint=False`` or set ``REPRO_WORKLOAD_LINT=0`` to opt out
+        (e.g. when deliberately building broken programs in tests).
+        Lint results are memoised per source text, so rebuilding the
+        same workload repeatedly pays the analysis cost once.
+        """
+        program = assemble(self.source(), name=self.name)
+        if lint is None:
+            lint = os.environ.get("REPRO_WORKLOAD_LINT", "1") != "0"
+        if lint:
+            _lint_once(self.source(), program)
+        return program
+
+
+#: Source texts already lint-checked this process (hash of the text).
+_LINTED: Set[int] = set()
+
+
+def _lint_once(source: str, program: Program) -> None:
+    key = hash(source)
+    if key in _LINTED:
+        return
+    # Imported lazily: repro.analysis must stay importable without the
+    # workloads package (and vice versa).
+    from repro.analysis.lint import LintError, errors, lint_program
+
+    hard = errors(lint_program(program))
+    if hard:
+        raise LintError(program.name, hard)
+    _LINTED.add(key)

@@ -60,7 +60,7 @@ def build(scale: int = 1) -> Program:
     )
     asm.lcg_seed(0x71)
     asm.emit(
-        f"""
+        """
         eval:
             # ---- locate cell and load it (pointer-chase chain) ----
             slli r4, r3, 4

@@ -81,11 +81,11 @@ def build(scale: int = 1) -> Program:
             beq  r14, r0, logic_ops
             beq  r9, r0, op_add
             sub  r13, r13, r12
-            add  r27, r13, r9           # dead padding
+            add  r27, r13, r9           # dead padding; lint: ok(dead-write)
             j    execute_done
         op_add:
             add  r13, r13, r12
-            add  r27, r13, r9           # dead padding
+            add  r27, r13, r9           # dead padding; lint: ok(dead-write)
             j    execute_done
         logic_ops:
             andi r14, r9, 1
@@ -99,14 +99,14 @@ def build(scale: int = 1) -> Program:
             addi r14, r9, -7
             beq  r14, r0, op_loop
             add  r13, r13, r10
-            add  r27, r13, r9           # dead padding
-            add  r27, r27, r9           # dead padding
+            add  r27, r13, r9           # dead padding; lint: ok(dead-write)
+            add  r27, r27, r9           # dead padding; lint: ok(dead-write)
             j    execute_done
         op_loop:
             addi r13, r13, 1
-            add  r27, r13, r9           # dead padding
-            add  r27, r27, r9           # dead padding
-            add  r27, r27, r9           # dead padding
+            add  r27, r13, r9           # dead padding; lint: ok(dead-write)
+            add  r27, r27, r9           # dead padding; lint: ok(dead-write)
+            add  r27, r27, r9           # dead padding; lint: ok(dead-write)
         execute_done:
             # ---- live evaluation chain: serial within the step,
             # independent across steps (inputs are this step's guest
@@ -121,9 +121,9 @@ def build(scale: int = 1) -> Program:
             add  r18, r17, r14
             xor  r24, r18, r12
             srai r22, r12, 2            # side computation (parallel)
-            xor  r22, r22, r8           # side computation (parallel)
+            xor  r22, r22, r8           # side computation (parallel, unread); lint: ok(dead-write)
             slli r19, r12, 1            # side computation (parallel)
-            add  r19, r19, r8
+            add  r19, r19, r8           # side computation (parallel, unread); lint: ok(dead-write)
             add  r13, r13, r24          # fold into live accumulator
             # ---- status-block update: a *chained* block of flag
             # computations feeding silent stores.  The whole chain is

@@ -1,0 +1,160 @@
+"""Unit tests for CFG construction (repro.analysis.cfg)."""
+
+from repro.analysis.cfg import build_cfg
+from repro.isa.assembler import assemble
+from repro.isa.program import TEXT_BASE
+
+
+def _cfg(source, name="t"):
+    return build_cfg(assemble(source, name=name))
+
+
+class TestBlocks:
+    def test_straight_line_single_block(self):
+        cfg = _cfg("addi r1, r0, 1\nadd r2, r1, r1\nhalt")
+        assert len(cfg.blocks) == 1
+        assert cfg.blocks[0].start == 0 and cfg.blocks[0].end == 3
+        assert cfg.block_of == [0, 0, 0]
+
+    def test_branch_splits_blocks(self):
+        cfg = _cfg(
+            """
+            main:
+                addi r1, r0, 3
+            loop:
+                addi r1, r1, -1
+                bne  r1, r0, loop
+                halt
+            """
+        )
+        # Blocks: [addi], [addi; bne], [halt].
+        assert [(b.start, b.end) for b in cfg.blocks] == [(0, 1), (1, 3), (3, 4)]
+        loop = cfg.blocks[1]
+        assert set(loop.succs) == {1, 2}  # back edge + fall-through
+        assert set(cfg.blocks[0].succs) == {1}
+
+    def test_instr_succs_branch(self):
+        cfg = _cfg(
+            """
+            main:
+                beq r1, r2, done
+                addi r3, r0, 1
+            done:
+                halt
+            """
+        )
+        assert set(cfg.instr_succs[0]) == {1, 2}
+        assert cfg.instr_succs[1] == (2,)
+        assert cfg.instr_succs[2] == ()  # halt
+
+    def test_entry_is_main_label(self):
+        cfg = _cfg(
+            """
+            helper:
+                halt
+            main:
+                halt
+            """
+        )
+        assert cfg.entry_index == 1
+
+
+class TestReachability:
+    def test_unreachable_after_jump(self):
+        cfg = _cfg(
+            """
+            main:
+                j end
+                addi r1, r0, 1
+            end:
+                halt
+            """
+        )
+        assert cfg.reachable_instrs() == frozenset({0, 2})
+        assert 1 not in {
+            i for b in cfg.reachable_blocks() for i in cfg.blocks[b].indices()
+        }
+
+    def test_can_reach_backwards_closure(self):
+        cfg = _cfg(
+            """
+            main:
+                beq r1, r0, spin
+                halt
+            spin:
+                j spin
+            """
+        )
+        halts = {1}
+        reaches = cfg.can_reach(halts)
+        assert 0 in reaches and 1 in reaches
+        assert 2 not in reaches  # the self-loop never reaches halt
+
+    def test_falls_off_end(self):
+        cfg = _cfg("addi r1, r0, 1\nadd r2, r1, r1")
+        assert 1 in cfg.falls_off
+
+
+class TestDominators:
+    def test_diamond(self):
+        cfg = _cfg(
+            """
+            main:
+                beq  r1, r0, right
+                addi r2, r0, 1
+                j    join
+            right:
+                addi r2, r0, 2
+            join:
+                halt
+            """
+        )
+        idom = cfg.dominators()
+        entry = cfg.block_of[cfg.entry_index]
+        join = cfg.block_of[4]
+        left = cfg.block_of[1]
+        right = cfg.block_of[3]
+        assert idom[entry] == entry
+        assert idom[left] == entry and idom[right] == entry
+        assert idom[join] == entry  # neither arm dominates the join
+        assert cfg.dominates(entry, join)
+        assert not cfg.dominates(left, join)
+
+
+class TestIndirect:
+    def test_no_jalr_is_exact(self):
+        cfg = _cfg("halt")
+        assert cfg.indirect_exact and cfg.indirect_targets == ()
+
+    def test_jalr_targets_return_sites_and_taken_labels(self):
+        cfg = _cfg(
+            """
+            main:
+                addi r1, r0, fn     # fn's address is taken
+                jalr r31, r1
+                halt
+            fn:
+                jalr r0, r31
+            """
+        )
+        assert not cfg.indirect_exact
+        # Targets: the return site after each jal/jalr, plus fn itself.
+        assert 3 in cfg.indirect_targets          # fn (address-taken)
+        assert 2 in cfg.indirect_targets          # return site of jalr@1
+        assert set(cfg.instr_succs[1]) == set(cfg.indirect_targets)
+
+    def test_branch_target_not_address_taken(self):
+        program = assemble(
+            """
+            main:
+                beq r0, r0, done
+            done:
+                halt
+            """
+        )
+        assert program.source is not None
+        assert program.source.address_taken == frozenset()
+
+    def test_entry_pc(self):
+        cfg = _cfg("main:\nhalt")
+        assert cfg.program.pc_of(cfg.entry_index) == TEXT_BASE

@@ -1,0 +1,267 @@
+"""Unit tests for the dataflow analyses (repro.analysis.dataflow)."""
+
+from repro.analysis.cfg import build_cfg
+from repro.analysis.dataflow import (
+    WriteClass,
+    analyze,
+    constant_propagation,
+    liveness,
+    must_use_before_kill,
+    reaching_definitions,
+)
+from repro.isa.assembler import assemble
+from repro.isa.program import DATA_BASE
+
+
+def _df(source):
+    return analyze(build_cfg(assemble(source, name="t")))
+
+
+class TestConstantPropagation:
+    def test_entry_registers_are_zero(self):
+        cfg = build_cfg(assemble("add r3, r1, r2\nhalt"))
+        consts = constant_propagation(cfg)
+        env = consts.env_in[0]
+        assert env is not None and all(v == 0 for v in env)
+
+    def test_alu_folding(self):
+        cfg = build_cfg(
+            assemble(
+                """
+                addi r1, r0, 6
+                addi r2, r0, 7
+                mul  r3, r1, r2
+                halt
+                """
+            )
+        )
+        consts = constant_propagation(cfg)
+        assert consts.env_in[3][3] == 42
+
+    def test_loop_carried_value_goes_unknown(self):
+        cfg = build_cfg(
+            assemble(
+                """
+                main:
+                    addi r1, r0, 5
+                loop:
+                    addi r1, r1, -1
+                    bne  r1, r0, loop
+                    halt
+                """
+            )
+        )
+        consts = constant_propagation(cfg)
+        # At the loop head r1 is 5 on entry but 4, 3, ... around the
+        # back edge: the meet must lose it.
+        assert consts.env_in[1][1] is None
+
+    def test_memory_addresses_resolved(self):
+        cfg = build_cfg(
+            assemble(
+                """
+                main:
+                    addi r1, r0, arr
+                    lw   r2, 4(r1)
+                    sw   r2, 8(r1)
+                    halt
+                .data
+                arr: .word 1 2 3 4
+                """
+            )
+        )
+        consts = constant_propagation(cfg)
+        assert consts.mem_addr[1] == DATA_BASE + 4
+        assert consts.mem_addr[2] == DATA_BASE + 8
+
+    def test_div_zero_detected(self):
+        cfg = build_cfg(assemble("addi r1, r0, 9\ndiv r2, r1, r0\nhalt"))
+        consts = constant_propagation(cfg)
+        assert consts.div_zero == (1,)
+
+    def test_load_result_unknown(self):
+        cfg = build_cfg(
+            assemble(
+                """
+                main:
+                    lw r1, arr(r0)
+                    halt
+                .data
+                arr: .word 7
+                """
+            )
+        )
+        consts = constant_propagation(cfg)
+        assert consts.env_in[1][1] is None
+
+
+class TestLiveness:
+    def test_dead_write_not_live_out(self):
+        df = _df("addi r1, r0, 1\naddi r1, r0, 2\nout r1\nhalt")
+        assert not df.live.reg_live_out(0, 1)
+        assert df.live.reg_live_out(1, 1)
+
+    def test_branch_keeps_value_live_on_one_path(self):
+        df = _df(
+            """
+            main:
+                addi r1, r0, 1
+                beq  r2, r0, skip
+                out  r1
+            skip:
+                halt
+            """
+        )
+        assert df.live.reg_live_out(0, 1)
+
+    def test_unknown_load_keeps_memory_live(self):
+        # The first store's slot may be re-read through a dynamic
+        # address (r3 is loaded, hence statically unknown): the unknown
+        # load must conservatively keep every tracked word live.  The
+        # final store *is* dead — memory is unobservable after halt.
+        df = _df(
+            """
+            main:
+                sw  r1, arr(r0)
+                lw  r3, arr(r0)     # r3 becomes statically unknown
+                lw  r2, 0(r3)       # unknown address: reads everything
+                sw  r4, arr(r0)
+                halt
+            .data
+            arr: .word 0
+            """
+        )
+        assert df.dead_stores == (3,)
+
+    def test_dead_store_to_known_address(self):
+        df = _df(
+            """
+            main:
+                sw  r1, arr(r0)
+                sw  r2, arr(r0)
+                lw  r3, arr(r0)
+                out r3
+                halt
+            .data
+            arr: .word 0
+            """
+        )
+        assert df.dead_stores == (0,)
+
+
+class TestReachingDefs:
+    def test_use_def_chain(self):
+        cfg = build_cfg(
+            assemble(
+                """
+                main:
+                    addi r1, r0, 1
+                    addi r1, r0, 2
+                    out  r1
+                    halt
+                """
+            )
+        )
+        rd = reaching_definitions(cfg)
+        # The OUT reads only the second definition.
+        assert rd.use_defs[(2, 1)] == (1,)
+        assert rd.def_use[0] == ()
+        assert rd.def_use[1] == ((2, 1),)
+
+    def test_merge_point_sees_both_defs(self):
+        cfg = build_cfg(
+            assemble(
+                """
+                main:
+                    beq  r9, r0, other
+                    addi r1, r0, 1
+                    j    join
+                other:
+                    addi r1, r0, 2
+                join:
+                    out  r1
+                    halt
+                """
+            )
+        )
+        rd = reaching_definitions(cfg)
+        assert set(rd.use_defs[(4, 1)]) == {0, 1}
+
+    def test_undefined_use_has_no_defs(self):
+        cfg = build_cfg(assemble("out r5\nhalt"))
+        rd = reaching_definitions(cfg)
+        assert rd.use_defs[(0, 5)] == ()
+
+
+class TestMustUse:
+    def test_straight_line_must_use(self):
+        cfg = build_cfg(assemble("addi r1, r0, 1\nout r1\nhalt"))
+        must = must_use_before_kill(cfg, 1)
+        assert must[1]  # at the OUT itself
+        assert not must[2]  # at halt, r1 is never used again
+
+    def test_possible_infinite_loop_defeats_must(self):
+        # The loop may statically spin forever without using r1, so no
+        # must-use claim is allowed at the loop head (least fixpoint).
+        cfg = build_cfg(
+            assemble(
+                """
+                main:
+                    addi r1, r0, 1
+                spin:
+                    beq  r2, r0, spin
+                    out  r1
+                    halt
+                """
+            )
+        )
+        must = must_use_before_kill(cfg, 1)
+        assert not must[1]
+
+
+class TestWriteClasses:
+    def test_classification(self):
+        df = _df(
+            """
+            main:
+                addi r1, r0, 1      # dead: overwritten unread
+                addi r1, r0, 2      # must-live: OUT reads it on all paths
+                out  r1
+                addi r2, r0, 3      # partial: read on one path only
+                beq  r9, r0, skip
+                out  r2
+            skip:
+                halt
+            """
+        )
+        assert df.write_classes[0] is WriteClass.DEAD
+        assert df.write_classes[1] is WriteClass.MUST_LIVE
+        assert df.write_classes[3] is WriteClass.PARTIAL
+
+    def test_no_must_claims_with_jalr(self):
+        df = _df(
+            """
+            main:
+                addi r1, r0, fn
+                addi r2, r0, 5
+                jalr r31, r1
+                out  r2
+                halt
+            fn:
+                jalr r0, r31
+            """
+        )
+        assert not df.cfg.indirect_exact
+        assert WriteClass.MUST_LIVE not in df.write_classes.values()
+
+    def test_unreachable_writes_not_classified(self):
+        df = _df(
+            """
+            main:
+                j end
+                addi r1, r0, 1
+            end:
+                halt
+            """
+        )
+        assert 1 not in df.write_classes

@@ -134,6 +134,62 @@ class TestErrors:
         with pytest.raises(AssemblerError, match="line 3"):
             assemble("nop\nnop\nbogus r1")
 
+    def test_error_carries_structured_fields(self):
+        with pytest.raises(AssemblerError) as excinfo:
+            assemble("nop\nnop\nbogus r1, r2")
+        err = excinfo.value
+        assert err.line_no == 3
+        assert err.line == "bogus r1, r2"
+        assert "unknown mnemonic" in err.message
+        assert err.location == "line 3"
+        assert "bogus" in str(err)
+
+    def test_error_without_line_context(self):
+        # Errors raised outside line processing have no location.
+        with pytest.raises(AssemblerError) as excinfo:
+            assemble("j nowhere")
+        assert "nowhere" in str(excinfo.value)
+
+
+class TestSourceInfo:
+    SOURCE = "main:\n    addi r1, r0, 1\n    out r1\n    halt\n"
+
+    def test_locs_align_with_instructions(self):
+        program = assemble(self.SOURCE, name="t")
+        info = program.source
+        assert info is not None
+        assert len(info.locs) == len(program)
+        assert info.locs[0].line_no == 2
+        assert info.locs[0].text.strip() == "addi r1, r0, 1"
+        assert info.loc_of(2).text.strip() == "halt"
+
+    def test_address_taken_records_immediate_labels(self):
+        program = assemble(
+            """
+            main:
+                addi r1, r0, fn     # address taken
+                j    skip           # jump target: NOT taken
+            fn:
+                halt
+            skip:
+                halt
+            """
+        )
+        taken = program.source.address_taken
+        assert program.labels["fn"] in taken
+        assert program.labels["skip"] not in taken
+
+    def test_data_end_spans_data_segment(self):
+        program = assemble(
+            "main:\nhalt\n.data\na: .word 1 2 3\nb: .space 8"
+        )
+        assert program.source.data_end == DATA_BASE + 3 * 4 + 8
+        assert program.data_end() == program.source.data_end
+
+    def test_data_end_without_data(self):
+        program = assemble("halt")
+        assert program.data_end() == DATA_BASE
+
 
 class TestProgramValidation:
     def test_listing_contains_labels_and_pcs(self):
