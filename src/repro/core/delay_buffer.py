@@ -46,9 +46,16 @@ class DelayBuffer:
         self.capacity = capacity
         self.transfer_latency = transfer_latency
         self._groups: Deque[_Group] = deque()
+        #: The not-yet-popped suffix of ``_groups``, oldest first.  Pops
+        #: are marked FIFO and :meth:`push` only ever drops groups that
+        #: are already popped, so the head of this deque is exactly the
+        #: oldest unpopped group — an O(1) :meth:`mark_popped` instead of
+        #: a linear scan over all outstanding groups.
+        self._unpopped: Deque[_Group] = deque()
         self._occupancy = 0
         self.pushes = 0
         self.backpressure_events = 0
+        self.max_occupancy = 0
 
     @property
     def occupancy(self) -> int:
@@ -85,20 +92,31 @@ class DelayBuffer:
                 stalled = True
         if stalled:
             self.backpressure_events += 1
-        self._groups.append(_Group(entry_count))
+        group = _Group(entry_count)
+        self._groups.append(group)
+        self._unpopped.append(group)
         self._occupancy += entry_count
+        if self._occupancy > self.max_occupancy:
+            self.max_occupancy = self._occupancy
         self.pushes += 1
         return cycle
 
     def mark_popped(self, pop_cycle: int) -> None:
         """Record the R-stream's consumption of the oldest unpopped group."""
-        for group in self._groups:
-            if group.pop_cycle is None:
-                group.pop_cycle = pop_cycle
-                return
-        raise DelayBufferError("no unpopped group to mark")
+        if not self._unpopped:
+            raise DelayBufferError("no unpopped group to mark")
+        self._unpopped.popleft().pop_cycle = pop_cycle
 
     def flush(self) -> None:
         """Discard all contents (IR-misprediction recovery)."""
         self._groups.clear()
+        self._unpopped.clear()
         self._occupancy = 0
+
+    def snapshot(self) -> dict:
+        """Observability tallies (:mod:`repro.obs`)."""
+        return {
+            "pushes": self.pushes,
+            "backpressure_events": self.backpressure_events,
+            "max_occupancy": self.max_occupancy,
+        }

@@ -96,6 +96,10 @@ class IRDetector:
         self._table = OperandRenameTable()
         self._scope: Deque[_ScopedTrace] = deque()
         self._next_seq = 0
+        #: Observability tallies (:mod:`repro.obs`): retired analyses
+        #: and total instructions they selected for removal.
+        self.analyses = 0
+        self.selected_total = 0
         # Trigger membership hoisted out of the per-instruction path.
         self._br_trigger = "BR" in self.triggers
         self._ww_trigger = "WW" in self.triggers
@@ -183,5 +187,14 @@ class IRDetector:
             self._table.invalidate_if_stale(operand, scoped.seq)
         ir_vec = tuple(n.selected for n in scoped.nodes)
         kinds = tuple(n.kind for n in scoped.nodes)
+        self.analyses += 1
+        self.selected_total += sum(ir_vec)
         return TraceAnalysis(scoped.seq, scoped.trace_id, ir_vec, kinds,
                              tuple(scoped.pcs))
+
+    def snapshot(self) -> dict:
+        """Observability tallies (:mod:`repro.obs`)."""
+        return {
+            "analyses": self.analyses,
+            "selected_total": self.selected_total,
+        }

@@ -76,6 +76,10 @@ class IRPredictor:
         self._pending: Deque[Tuple[TraceId, Entry, Entry]] = deque()
         self.trainings = 0
         self.confidence_resets = 0
+        #: Observability tallies (:mod:`repro.obs`): predictions issued,
+        #: and how many carried a confident removal decision.
+        self.predictions = 0
+        self.removal_predictions = 0
 
     # ------------------------------------------------------------------
     # Front-end interface (A-stream).
@@ -89,6 +93,7 @@ class IRPredictor:
         entry's stored removal pair matches the predicted trace and has
         reached the confidence threshold.
         """
+        self.predictions += 1
         lookup = self.trace_predictor.lookup()
         if lookup.trace_id is None or lookup.entry is None:
             return Prediction(None, None)
@@ -101,6 +106,7 @@ class IRPredictor:
             and any(entry.ir_vec)
         ):
             removal = RemovalPrediction(entry.ir_vec, entry.kinds)
+            self.removal_predictions += 1
         return Prediction(lookup.trace_id, removal)
 
     def update_path(self, actual: TraceId) -> None:
@@ -149,6 +155,15 @@ class IRPredictor:
 
     def history_snapshot(self):
         return self.trace_predictor.history_snapshot()
+
+    def snapshot(self) -> dict:
+        """Observability tallies (:mod:`repro.obs`)."""
+        return {
+            "predictions": self.predictions,
+            "removal_predictions": self.removal_predictions,
+            "trainings": self.trainings,
+            "confidence_resets": self.confidence_resets,
+        }
 
     def restore_history(self, snapshot) -> None:
         """Back the predictor up to a precise point (recovery)."""

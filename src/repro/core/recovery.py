@@ -120,3 +120,11 @@ class RecoveryController:
         size = self.outstanding
         if size > self.max_outstanding:
             self.max_outstanding = size
+
+    def snapshot(self) -> Dict[str, int]:
+        """Observability tallies (:mod:`repro.obs`)."""
+        return {
+            "recoveries": self.recoveries,
+            "max_outstanding": self.max_outstanding,
+            "outstanding": self.outstanding,
+        }

@@ -62,6 +62,7 @@ from repro.core.recovery import RecoveryController
 from repro.core.removal import RemovalKind, removal_category
 from repro.isa.instructions import InstrClass, WORD
 from repro.isa.program import Program
+from repro.obs.session import Observability
 from repro.trace.predictor import TracePredictorConfig
 from repro.trace.selection import (
     CompletedTrace,
@@ -228,10 +229,16 @@ class SlipstreamProcessor:
         program: Program,
         config: Optional[SlipstreamConfig] = None,
         fault_hook: Optional[FaultHook] = None,
+        obs: Optional[Observability] = None,
     ):
         self.program = program
         self.config = config or SlipstreamConfig()
         self.fault_hook = fault_hook
+        #: Observability handle (:mod:`repro.obs`); None disables all
+        #: instrumentation at the cost of one pointer test per trace.
+        #: Instrumentation is behavior-neutral: results are bit-identical
+        #: with it on or off (tests/test_obs.py).
+        self._obs = obs
 
         cfg = self.config
         if cfg.removal_mechanism not in ("trace", "pc"):
@@ -304,6 +311,8 @@ class SlipstreamProcessor:
         #: detector's analyses; trains the per-instruction mechanism).
         self._pending_branch_ok: List[List[bool]] = []
         self._detector_seq = 0
+        #: Co-simulation iteration index, used only to tag trace events.
+        self._obs_seq = 0
 
     # ==================================================================
     # Top level.
@@ -311,11 +320,23 @@ class SlipstreamProcessor:
 
     def run(self) -> SlipstreamResult:
         """Run the program to completion under slipstream execution."""
+        obs = self._obs
+        if obs is not None:
+            obs.emit(
+                "start",
+                benchmark=self.program.name,
+                model="cmp",
+                trace_length=self.config.trace_length,
+                delay_buffer_capacity=self.config.delay_buffer_capacity,
+                confidence_threshold=self.config.confidence_threshold,
+                removal_triggers=list(self.config.removal_triggers),
+            )
         guard = 0
         limit = self.config.max_instructions
         while not self.r_state.halted:
             record = self._a_phase()
             self._r_phase(record)
+            self._obs_seq += 1
             guard += 1
             if self.retired > limit:
                 raise SimulationError(
@@ -326,7 +347,7 @@ class SlipstreamProcessor:
         # Final detector drain: train with the remaining traces.
         for analysis in self.detector.drain():
             self._handle_analysis(analysis)
-        return SlipstreamResult(
+        result = SlipstreamResult(
             benchmark=self.program.name,
             retired=self.retired,
             a_cycles=self.a_sched.total_cycles,
@@ -343,6 +364,9 @@ class SlipstreamProcessor:
             delay_buffer_backpressure=self.delay_buffer.backpressure_events,
             output=list(self.r_state.output),
         )
+        if obs is not None:
+            self._finalize_obs(obs)
+        return result
 
     # ==================================================================
     # A-phase: fetch/execute one trace in the A-stream.
@@ -384,9 +408,29 @@ class SlipstreamProcessor:
                 self.branch_mispredictions += 1
                 self.a_sched.redirect(self._a_last_complete)
                 charged = True
+                if self._obs is not None:
+                    self._obs.emit("redirect", seq=self._obs_seq,
+                                   stream="A", reason="boundary")
 
         steps, a_halted = self._follow(steps_static, removal, charged)
         applied = removal is not None
+
+        obs = self._obs
+        if obs is not None:
+            obs.emit("predict", seq=self._obs_seq, pc=self.a_pc,
+                     predicted=prediction.trace_id is not None,
+                     removal=applied)
+            if applied:
+                by_kind: Dict[str, int] = {}
+                removed = 0
+                for s in steps:
+                    if not s.executed and s.kind:
+                        removed += 1
+                        category = removal_category(s.kind)
+                        by_kind[category] = by_kind.get(category, 0) + 1
+                if removed:
+                    obs.emit("removal", seq=self._obs_seq,
+                             removed=removed, by_kind=by_kind)
 
         followed_tid = _trace_id_of_steps(steps, self.a_pc)
         self._schedule_a_trace(steps)
@@ -410,6 +454,10 @@ class SlipstreamProcessor:
             (s.a_retire for s in steps if s.executed), self._a_last_retire
         )
         if push_cycle > self._a_last_retire:
+            if obs is not None:
+                obs.emit("backpressure", seq=self._obs_seq,
+                         occupancy=self.delay_buffer.occupancy,
+                         stall_cycles=push_cycle - self._a_last_retire)
             self.a_sched.stall_fetch_until(push_cycle)
             first_retire = push_cycle
         record.available_cycle = first_retire + self.config.transfer_latency
@@ -488,6 +536,9 @@ class SlipstreamProcessor:
                         step.mispredicted = True
                         self.branch_mispredictions += 1
                         charged = True
+                        if self._obs is not None:
+                            self._obs.emit("redirect", seq=self._obs_seq,
+                                           stream="A", reason="outcome")
             else:
                 if not charged and (
                     (dyn.instr.is_branch and dyn.taken)
@@ -496,6 +547,9 @@ class SlipstreamProcessor:
                     step.mispredicted = True
                     self.branch_mispredictions += 1
                     charged = True
+                    if self._obs is not None:
+                        self._obs.emit("redirect", seq=self._obs_seq,
+                                       stream="A", reason="unpredicted")
             if dyn.instr.klass in (InstrClass.JUMP_INDIRECT, InstrClass.HALT):
                 break
             pc = dyn.next_pc
@@ -651,6 +705,16 @@ class SlipstreamProcessor:
         elif record.pushed:
             self.delay_buffer.mark_popped(self.r_sched.total_cycles)
 
+        obs = self._obs
+        if obs is not None:
+            obs.histogram("slip.db_occupancy").observe(self.delay_buffer.occupancy)
+            obs.emit("trace_retired", seq=self._obs_seq,
+                     retired=self.retired,
+                     a_cycle=self.a_sched.total_cycles,
+                     r_cycle=self.r_sched.total_cycles,
+                     occupancy=self.delay_buffer.occupancy,
+                     merge_stalls=self.r_sched.merge_stalls)
+
     def _r_execute(self, step: _FollowedStep) -> DynInstr:
         dyn = execute_one(self.program, self.r_state, self.r_pc, seq=self._r_seq)
         self._r_seq += 1
@@ -752,6 +816,13 @@ class SlipstreamProcessor:
 
         self.ir_penalty_total += cost.latency
         resume = detect_cycle + cost.latency
+        if self._obs is not None:
+            self._obs.emit("recovery", seq=self._obs_seq, kind=kind,
+                           detect_cycle=detect_cycle, latency=cost.latency,
+                           resume_cycle=resume,
+                           mem_restored=cost.memory_locations,
+                           shortfall=len(remaining))
+            self._obs.histogram("slip.recovery_latency").observe(cost.latency)
         self.a_sched.stall_fetch_until(resume)
         if resume > self._a_last_retire:
             self._a_last_retire = resume
@@ -765,6 +836,31 @@ class SlipstreamProcessor:
         self.a_pc = self.r_pc
         self._a_block_pending = True
         self._pending_vec_checks.clear()
+
+    # ==================================================================
+    # Observability (behavior-neutral; see repro.obs).
+    # ==================================================================
+
+    def _finalize_obs(self, obs: Observability) -> None:
+        """Fold every component's tallies into the metrics registry and
+        close out the event trace with cache summaries and the final
+        counter snapshot."""
+        registry = obs.registry
+        registry.set_counters(self.delay_buffer.snapshot(), "delay_buffer.")
+        registry.set_counters(self.recovery.snapshot(), "recovery.")
+        registry.set_counters(self.ir_predictor.snapshot(), "ir_predictor.")
+        registry.set_counters(self.detector.snapshot(), "ir_detector.")
+        registry.set_counters(self.a_sched.snapshot(), "a_sched.")
+        registry.set_counters(self.r_sched.snapshot(), "r_sched.")
+        registry.counter("slip.traces").set(self._obs_seq)
+        for name, cache in (
+            ("a_icache", self.a_icache), ("a_dcache", self.a_dcache),
+            ("r_icache", self.r_icache), ("r_dcache", self.r_dcache),
+        ):
+            registry.set_counters(cache.snapshot(), f"{name}.")
+            obs.emit("cache", cache=name, accesses=cache.accesses,
+                     hits=cache.hits, misses=cache.misses)
+        obs.emit("summary", counters=registry.snapshot())
 
 
 def _mismatch(a_dyn: DynInstr, r_dyn: DynInstr) -> bool:

@@ -40,6 +40,8 @@ from repro.core.slipstream import SlipstreamConfig, SlipstreamProcessor
 from repro.fault.coverage import run_campaign
 from repro.fault.injector import FaultSite
 from repro.fingerprint import canonical, fingerprint
+from repro.obs import RunReport, build_report, job_observability
+from repro.obs.session import Observability
 from repro.uarch.config import SS_128x8, SS_64x4
 from repro.uarch.core import SuperscalarCore
 from repro.workloads.suite import benchmark_suite, get_benchmark
@@ -83,6 +85,20 @@ class JobKey:
     scale: int = 1
     removal_triggers: Tuple[str, ...] = ()
     config_fingerprint: str = ""
+
+
+def job_label(key: JobKey) -> str:
+    """Human-readable job label, e.g. ``cmp/li@1[BR]#deadbeef``.
+
+    Shared by profiling (``BENCH_runner.json`` per-job rows), trace file
+    naming and :class:`~repro.obs.RunReport` identity.
+    """
+    label = f"{key.model}/{key.benchmark}@{key.scale}"
+    if key.removal_triggers:
+        label += f"[{','.join(key.removal_triggers)}]"
+    if key.config_fingerprint:
+        label += f"#{key.config_fingerprint[:8]}"
+    return label
 
 
 @dataclass(frozen=True)
@@ -156,8 +172,13 @@ def fault_spec(
 # The raw compute.
 # ----------------------------------------------------------------------
 
-def simulate(spec: JobSpec):
-    """Run one job's simulation (no caching) and return its result."""
+def simulate(spec: JobSpec, obs: Optional[Observability] = None):
+    """Run one job's simulation (no caching) and return its result.
+
+    ``obs`` is the optional observability handle (:mod:`repro.obs`);
+    instrumentation is behavior-neutral, so the result is bit-identical
+    with or without it.
+    """
     global _simulation_count
     _simulation_count += 1
     key = spec.key
@@ -167,13 +188,13 @@ def simulate(spec: JobSpec):
         return FunctionalSimulator(program).run().instruction_count
     if model == "ss64":
         program = get_benchmark(key.benchmark).program(key.scale)
-        return SuperscalarCore(SS_64x4, program).run()
+        return SuperscalarCore(SS_64x4, program, obs=obs).run()
     if model == "ss128":
         program = get_benchmark(key.benchmark).program(key.scale)
-        return SuperscalarCore(SS_128x8, program).run()
+        return SuperscalarCore(SS_128x8, program, obs=obs).run()
     if model == "cmp":
         program = get_benchmark(key.benchmark).program(key.scale)
-        return SlipstreamProcessor(program, spec.config).run()
+        return SlipstreamProcessor(program, spec.config, obs=obs).run()
     if model == "fault":
         return _simulate_fault_study(key.benchmark, key.scale, spec.points,
                                      spec.sites)
@@ -181,6 +202,28 @@ def simulate(spec: JobSpec):
         program = get_benchmark(key.benchmark).program(key.scale)
         return cross_check(program)
     raise ValueError(f"unknown job model {model!r}")
+
+
+def simulate_with_report(spec: JobSpec):
+    """Run one job under the environment-configured observability.
+
+    Returns ``(result, report)`` where ``report`` is a
+    :class:`~repro.obs.RunReport` (None when observability is disabled).
+    The JSONL trace, if configured, is written and closed here so pool
+    workers leave complete files behind.
+    """
+    label = job_label(spec.key)
+    obs = job_observability(label)
+    if obs is None:
+        return simulate(spec), None
+    try:
+        result = simulate(spec, obs)
+        report: Optional[RunReport] = build_report(
+            label, spec.key.model, spec.key.benchmark, result, obs
+        )
+    finally:
+        obs.close()
+    return result, report
 
 
 def _simulate_fault_study(benchmark: str, scale: int, points: int,
@@ -196,17 +239,19 @@ def _simulate_fault_study(benchmark: str, scale: int, points: int,
 
 
 def timed_simulate(spec: JobSpec):
-    """Worker entry point: returns ``(result, wall_seconds, cpu_seconds)``.
+    """Worker entry point: ``(result, wall_seconds, cpu_seconds, report)``.
 
     CPU seconds are the contention-independent cost of the job: on an
     oversubscribed machine the wall clock inside a worker is inflated by
     scheduling, but process CPU time is not, so it is what sequential
-    cost estimates must sum.
+    cost estimates must sum.  ``report`` is the job's
+    :class:`~repro.obs.RunReport` (None when observability is disabled);
+    the environment configuring it is inherited by pool workers.
     """
     w0 = time.perf_counter()
     c0 = time.process_time()
-    result = simulate(spec)
-    return result, time.perf_counter() - w0, time.process_time() - c0
+    result, report = simulate_with_report(spec)
+    return result, time.perf_counter() - w0, time.process_time() - c0, report
 
 
 # ----------------------------------------------------------------------

@@ -12,12 +12,26 @@ def arithmetic_mean(values: Sequence[float]) -> float:
 
 
 def geometric_mean_speedup(gains_pct: Sequence[float]) -> float:
-    """Geometric mean of speedups expressed as % gains."""
+    """Geometric mean of speedups expressed as % gains.
+
+    Every gain must be greater than −100%: a gain of exactly −100%
+    means a speedup factor of zero (the geometric mean is undefined)
+    and anything below it a negative factor (a fractional power of a
+    negative number — complex, not a speedup).  Such inputs raise a
+    clear :class:`ValueError` instead of surfacing as a confusing
+    ``ValueError: math domain error`` or a complex result downstream.
+    """
     if not gains_pct:
         raise ValueError("empty sequence")
     product = 1.0
     for gain in gains_pct:
-        product *= 1.0 + gain / 100.0
+        factor = 1.0 + gain / 100.0
+        if factor <= 0.0:
+            raise ValueError(
+                f"gain of {gain}% implies a speedup factor of {factor} "
+                "(<= 0); geometric mean requires every gain > -100%"
+            )
+        product *= factor
     return (product ** (1.0 / len(gains_pct)) - 1.0) * 100.0
 
 

@@ -16,11 +16,11 @@ from __future__ import annotations
 import json
 import platform
 import time
-from dataclasses import asdict
 from pathlib import Path
 from typing import Optional, Union
 
-from repro.eval.jobs import code_fingerprint
+from repro.obs.session import obs_enabled, trace_dir
+from repro.eval.jobs import code_fingerprint, job_label
 from repro.eval.runner import RunnerStats
 
 DEFAULT_BENCH_PATH = "BENCH_runner.json"
@@ -28,16 +28,29 @@ DEFAULT_BENCH_PATH = "BENCH_runner.json"
 
 def stats_payload(stats: RunnerStats, scale: int,
                   report_seconds: Optional[float] = None) -> dict:
-    """The JSON document describing one runner pass."""
-    records = sorted(
-        (asdict(r) for r in stats.records),
-        key=lambda r: (-r["seconds"], str(r["key"])),
-    )
-    for record in records:
-        key = record.pop("key")
-        record["job"] = _job_label(key)
-        record["seconds"] = round(record["seconds"], 4)
-        record["cpu_seconds"] = round(record["cpu_seconds"], 4)
+    """The JSON document describing one runner pass.
+
+    When observability is enabled (:mod:`repro.obs`), each fresh
+    simulation's :class:`~repro.obs.RunReport` is folded into its
+    ``per_job`` row, so ``BENCH_runner.json`` carries the run's internal
+    rates (removal fraction, IR-misp, backpressure, ...) next to its
+    timing.  Failed jobs appear with ``source: "failed"`` and the
+    worker's error string.
+    """
+    records = []
+    for r in sorted(stats.records, key=lambda r: (-r.seconds, job_label(r.key))):
+        record = {
+            "job": job_label(r.key),
+            "source": r.source,
+            "seconds": round(r.seconds, 4),
+            "cpu_seconds": round(r.cpu_seconds, 4),
+        }
+        if r.error is not None:
+            record["error"] = r.error
+        if r.report is not None:
+            record["report"] = r.report.to_json()
+        records.append(record)
+    directory = trace_dir()
     payload = {
         "generated_unix": int(time.time()),
         "python": platform.python_version(),
@@ -49,11 +62,16 @@ def stats_payload(stats: RunnerStats, scale: int,
         "simulated": stats.simulated,
         "disk_hits": stats.disk_hits,
         "memory_hits": stats.memory_hits,
+        "failed": stats.failed,
         "warm": stats.simulated == 0,
         "wall_clock_seconds": round(stats.wall_seconds, 3),
         "sequential_estimate_seconds": round(
             stats.sequential_estimate_seconds, 3),
         "speedup_vs_sequential": round(stats.speedup_vs_sequential, 3),
+        "observability": {
+            "enabled": obs_enabled(),
+            "trace_dir": str(directory) if directory is not None else None,
+        },
         "per_job": records,
     }
     if report_seconds is not None:
@@ -84,15 +102,3 @@ def write_bench(stats: RunnerStats, scale: int,
     doc["passes"] = doc["passes"][-HISTORY_LIMIT:]
     target.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
     return target
-
-
-def _job_label(key: dict) -> str:
-    """Human-readable per-job label, e.g. ``cmp/li@1[BR]``."""
-    triggers = ",".join(key.get("removal_triggers") or ())
-    label = f"{key['model']}/{key['benchmark']}@{key['scale']}"
-    if triggers:
-        label += f"[{triggers}]"
-    fp = key.get("config_fingerprint")
-    if fp:
-        label += f"#{fp[:8]}"
-    return label

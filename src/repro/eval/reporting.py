@@ -1,8 +1,13 @@
-"""Paper-style text rendering of experiment results."""
+"""Paper-style text rendering of experiment results.
+
+Also home to the small renderers the observability CLI
+(``python -m repro.obs``) shares: counter tables of
+:class:`~repro.obs.RunReport` snapshots and trace summaries.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 
 def render_table(
@@ -63,6 +68,19 @@ def render_bar_series(
             f"{sign}{bar} {value:.1f}{unit}"
         )
     return "\n".join(lines)
+
+
+def render_counter_table(counters: Dict[str, Union[int, float]],
+                         title: str = "") -> str:
+    """Render a flat metrics snapshot (name → value), sorted by name.
+
+    Used by ``python -m repro.obs summarize`` for a trace's final
+    ``summary`` event and for :class:`~repro.obs.RunReport` counters.
+    """
+    rows = [{"counter": name, "value": counters[name]}
+            for name in sorted(counters)]
+    return render_table(rows, columns=["counter", "value"], title=title,
+                        float_format="{:.4f}")
 
 
 def render_stacked_fractions(

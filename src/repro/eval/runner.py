@@ -24,10 +24,11 @@ from __future__ import annotations
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.eval import models
-from repro.eval.jobs import MISS, JobKey, JobSpec, timed_simulate
+from repro.eval.jobs import MISS, JobKey, JobSpec, job_label, timed_simulate
+from repro.obs import RunReport
 
 #: Rough relative cost of each job kind, used only to order submissions
 #: (longest first) so a nearly-drained pool is not left waiting on one
@@ -41,13 +42,44 @@ class JobRecord:
 
     ``seconds`` is the wall clock inside the worker (inflated when
     workers outnumber cores); ``cpu_seconds`` is the job's process CPU
-    time, the contention-independent cost.
+    time, the contention-independent cost.  ``error`` is set (and the
+    source is ``"failed"``) when the job raised instead of returning.
+    ``report`` is the job's observability aggregation
+    (:class:`repro.obs.RunReport`), present only for fresh simulations
+    run with observability enabled.
     """
 
     key: JobKey
-    source: str  # "simulated" | "disk" | "memory"
+    source: str  # "simulated" | "disk" | "memory" | "failed"
     seconds: float
     cpu_seconds: float = 0.0
+    error: Optional[str] = None
+    report: Optional[RunReport] = None
+
+
+class RunnerError(RuntimeError):
+    """One or more jobs of a runner pass failed.
+
+    Raised *after* the pass completes, so the surviving results are
+    already absorbed into the caches and :attr:`stats` is fully
+    populated (``wall_seconds`` included) with a ``"failed"``
+    :class:`JobRecord` per casualty.  ``failures`` pairs each failed
+    job's key with the exception the worker raised.
+    """
+
+    def __init__(self, failures: List[Tuple[JobKey, BaseException]],
+                 stats: "RunnerStats"):
+        self.failures = failures
+        self.stats = stats
+        shown = "; ".join(
+            f"{job_label(key)}: {type(exc).__name__}: {exc}"
+            for key, exc in failures[:3]
+        )
+        more = f" (+{len(failures) - 3} more)" if len(failures) > 3 else ""
+        super().__init__(
+            f"{len(failures)} of {stats.deduplicated} jobs failed: "
+            f"{shown}{more}"
+        )
 
 
 @dataclass
@@ -60,8 +92,15 @@ class RunnerStats:
     simulated: int = 0
     disk_hits: int = 0
     memory_hits: int = 0
+    failed: int = 0
     wall_seconds: float = 0.0
     records: List[JobRecord] = field(default_factory=list)
+
+    @property
+    def reports(self) -> List[RunReport]:
+        """Every job's :class:`~repro.obs.RunReport`, when observability
+        was enabled for the pass (fresh simulations only)."""
+        return [r.report for r in self.records if r.report is not None]
 
     @property
     def sequential_estimate_seconds(self) -> float:
@@ -94,8 +133,15 @@ class ExperimentRunner:
 
         Returns the pass's :class:`RunnerStats`; the results themselves
         are read back through :mod:`repro.eval.models` accessors.
+
+        A job that raises does not abort the pass: every other job still
+        runs and is absorbed, the casualty is recorded as a ``"failed"``
+        :class:`JobRecord`, and one aggregated :class:`RunnerError`
+        (carrying the fully-populated stats) is raised once the pass
+        completes.  The ``jobs=1`` inline path behaves identically.
         """
         stats = RunnerStats(jobs=self.jobs, requested=len(specs))
+        failures: List[Tuple[JobKey, BaseException]] = []
         t0 = time.perf_counter()
 
         unique: Dict[JobKey, JobSpec] = {}
@@ -125,15 +171,23 @@ class ExperimentRunner:
             )
             if self.jobs == 1:
                 for spec in cold:
-                    result, seconds, cpu = timed_simulate(spec)
-                    self._absorb(spec.key, result, seconds, cpu, disk, stats)
+                    try:
+                        result, seconds, cpu, report = timed_simulate(spec)
+                    except Exception as exc:
+                        self._record_failure(spec.key, exc, failures, stats)
+                        continue
+                    self._absorb(spec.key, result, seconds, cpu, report,
+                                 disk, stats)
             else:
-                self._run_pool(cold, disk, stats)
+                self._run_pool(cold, disk, stats, failures)
 
         stats.wall_seconds = time.perf_counter() - t0
+        if failures:
+            raise RunnerError(failures, stats)
         return stats
 
-    def _run_pool(self, cold: List[JobSpec], disk, stats: RunnerStats) -> None:
+    def _run_pool(self, cold: List[JobSpec], disk, stats: RunnerStats,
+                  failures: List[Tuple[JobKey, BaseException]]) -> None:
         workers = min(self.jobs, len(cold))
         with ProcessPoolExecutor(max_workers=workers) as pool:
             pending = {
@@ -143,17 +197,39 @@ class ExperimentRunner:
                 done, _ = wait(pending, return_when=FIRST_COMPLETED)
                 for future in done:
                     spec = pending.pop(future)
-                    result, seconds, cpu = future.result()
-                    self._absorb(spec.key, result, seconds, cpu, disk, stats)
+                    try:
+                        result, seconds, cpu, report = future.result()
+                    except Exception as exc:
+                        # One bad job must not lose the whole pass (or
+                        # the provenance of already-absorbed jobs): note
+                        # it and keep draining the pool.
+                        self._record_failure(spec.key, exc, failures, stats)
+                        continue
+                    self._absorb(spec.key, result, seconds, cpu, report,
+                                 disk, stats)
+
+    @staticmethod
+    def _record_failure(key: JobKey, exc: BaseException,
+                        failures: List[Tuple[JobKey, BaseException]],
+                        stats: RunnerStats) -> None:
+        failures.append((key, exc))
+        stats.failed += 1
+        stats.records.append(
+            JobRecord(key, "failed", 0.0,
+                      error=f"{type(exc).__name__}: {exc}")
+        )
 
     @staticmethod
     def _absorb(key: JobKey, result, seconds: float, cpu_seconds: float,
-                disk, stats: RunnerStats) -> None:
+                report: Optional[RunReport], disk,
+                stats: RunnerStats) -> None:
         models._CACHE[key] = result
         if disk is not None:
             disk.store(key, result)
         stats.simulated += 1
-        stats.records.append(JobRecord(key, "simulated", seconds, cpu_seconds))
+        stats.records.append(
+            JobRecord(key, "simulated", seconds, cpu_seconds, report=report)
+        )
 
 
 def run_artifact_jobs(
@@ -168,6 +244,7 @@ def run_artifact_jobs(
 __all__ = [
     "ExperimentRunner",
     "JobRecord",
+    "RunnerError",
     "RunnerStats",
     "run_artifact_jobs",
 ]

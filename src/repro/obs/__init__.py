@@ -1,0 +1,73 @@
+"""Observability layer for the slipstream co-simulation.
+
+The paper's evaluation (§4–§5) is driven entirely by internal rates —
+removal fractions, IR-misp/1000, delay-buffer backpressure, recovery
+penalties — and slip/recovery dynamics are only debuggable with
+per-event visibility.  This package provides that visibility without
+perturbing the simulation:
+
+* :class:`~repro.obs.registry.MetricsRegistry` — counters, gauges and
+  histograms components register into;
+* :class:`~repro.obs.trace.TraceWriter` — a structured JSONL event
+  trace (predictions, removals by kind, IR-misprediction recovery
+  spans, delay-buffer occupancy/backpressure, cache tallies, branch
+  redirects, R-stream merge stalls);
+* :class:`~repro.obs.report.RunReport` — the per-job aggregation
+  attached to eval job records and folded into ``BENCH_runner.json``;
+* ``python -m repro.obs`` — summarize, diff and validate traces.
+
+**Behavior-neutrality contract** (DESIGN.md §7.6): instrumentation only
+observes.  Simulation results are bit-identical with tracing on or off,
+and the disabled path costs a single ``if obs is not None`` test per
+trace.  Enable with ``REPRO_OBS=1`` (metrics + reports) and
+``REPRO_OBS_TRACE_DIR=DIR`` (JSONL traces, implies the former).
+"""
+
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.report import RunReport, build_report, diff_reports
+from repro.obs.session import (
+    ENV_ENABLE,
+    ENV_TRACE_DIR,
+    Observability,
+    for_path,
+    job_observability,
+    obs_enabled,
+    sanitize_label,
+    trace_dir,
+)
+from repro.obs.trace import (
+    EVENT_FIELDS,
+    TraceSchemaError,
+    TraceWriter,
+    iter_trace,
+    read_trace,
+    summarize_events,
+    validate_event,
+    validate_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RunReport",
+    "build_report",
+    "diff_reports",
+    "ENV_ENABLE",
+    "ENV_TRACE_DIR",
+    "Observability",
+    "for_path",
+    "job_observability",
+    "obs_enabled",
+    "sanitize_label",
+    "trace_dir",
+    "EVENT_FIELDS",
+    "TraceSchemaError",
+    "TraceWriter",
+    "iter_trace",
+    "read_trace",
+    "summarize_events",
+    "validate_event",
+    "validate_trace",
+]

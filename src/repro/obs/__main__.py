@@ -1,0 +1,117 @@
+"""Trace tooling:  python -m repro.obs {summarize,diff,validate} ...
+
+* ``summarize TRACE...`` — per-file event counts by type and the final
+  summary counters (the same numbers a :class:`repro.obs.RunReport`
+  carries).
+* ``diff A B`` — counter-by-counter comparison of two runs' traces:
+  what changed, by how much.  Two runs of the same job under the same
+  code diff empty — the determinism check.
+* ``validate TRACE...`` — schema validation only; exits non-zero on the
+  first malformed file (used by CI).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.eval.reporting import render_counter_table, render_table
+from repro.obs.trace import (
+    TraceSchemaError,
+    iter_trace,
+    summarize_events,
+    validate_trace,
+)
+
+
+def parse_args(argv: Optional[List[str]] = None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Summarize, diff and validate JSONL event traces.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    p_sum = sub.add_parser("summarize", help="event counts + final counters")
+    p_sum.add_argument("traces", nargs="+", metavar="TRACE")
+    p_diff = sub.add_parser("diff", help="compare two traces' counters")
+    p_diff.add_argument("trace_a", metavar="A")
+    p_diff.add_argument("trace_b", metavar="B")
+    p_val = sub.add_parser("validate", help="schema-validate traces")
+    p_val.add_argument("traces", nargs="+", metavar="TRACE")
+    return parser.parse_args(argv)
+
+
+def _summary_of(path: str) -> dict:
+    return summarize_events(iter_trace(path))
+
+
+def cmd_summarize(paths: List[str]) -> int:
+    for path in paths:
+        summary = _summary_of(path)
+        title = (f"{path} — {summary['model'] or '?'}/"
+                 f"{summary['benchmark'] or '?'} "
+                 f"({summary['events']} events)")
+        rows = [{"event": etype, "count": count}
+                for etype, count in sorted(summary["by_type"].items())]
+        print(render_table(rows, columns=["event", "count"], title=title))
+        if summary["counters"]:
+            print()
+            print(render_counter_table(summary["counters"],
+                                       title="final counters"))
+        print()
+    return 0
+
+
+def cmd_diff(path_a: str, path_b: str) -> int:
+    sum_a = _summary_of(path_a)
+    sum_b = _summary_of(path_b)
+    rows = []
+    for etype in sorted(set(sum_a["by_type"]) | set(sum_b["by_type"])):
+        ca = sum_a["by_type"].get(etype, 0)
+        cb = sum_b["by_type"].get(etype, 0)
+        if ca != cb:
+            rows.append({"what": f"events.{etype}", "a": ca, "b": cb,
+                         "delta": cb - ca})
+    counters_a = sum_a["counters"]
+    counters_b = sum_b["counters"]
+    for name in sorted(set(counters_a) | set(counters_b)):
+        va = counters_a.get(name, 0)
+        vb = counters_b.get(name, 0)
+        if va != vb:
+            rows.append({"what": name, "a": va, "b": vb,
+                         "delta": round(vb - va, 6)})
+    if not rows:
+        print(f"identical: {path_a} == {path_b} "
+              f"({sum_a['events']} events each)")
+        return 0
+    print(render_table(rows, columns=["what", "a", "b", "delta"],
+                       title=f"diff {path_a} -> {path_b}",
+                       float_format="{:.4f}"))
+    return 1
+
+
+def cmd_validate(paths: List[str]) -> int:
+    for path in paths:
+        try:
+            count = validate_trace(path)
+        except (OSError, TraceSchemaError) as exc:
+            print(f"INVALID {path}: {exc}", file=sys.stderr)
+            return 2
+        print(f"ok {path}: {count} events")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = parse_args(argv)
+    if args.command == "summarize":
+        return cmd_summarize(args.traces)
+    if args.command == "diff":
+        return cmd_diff(args.trace_a, args.trace_b)
+    return cmd_validate(args.traces)
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. `... | head`
+        sys.exit(0)

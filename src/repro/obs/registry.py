@@ -1,0 +1,169 @@
+"""Metrics registry: counters, gauges and histograms for the co-sim.
+
+The registry is the *aggregate* half of the observability layer
+(:mod:`repro.obs`): components register named instruments and bump them
+at trace granularity; the registry's :meth:`MetricsRegistry.snapshot`
+is what :class:`repro.obs.report.RunReport` serialises.
+
+Design constraints (DESIGN.md §7.6):
+
+* **behavior-neutral** — instruments only ever observe; nothing in the
+  simulation reads them back;
+* **near-zero overhead when disabled** — components hold an optional
+  ``Observability`` handle and guard every emission with a single
+  ``if obs is not None`` test, so the disabled path costs one pointer
+  comparison per *trace* (never per instruction);
+* **deterministic** — no wall-clock, no randomness: snapshots of two
+  identical runs compare equal, which is what makes trace diffs
+  (``python -m repro.obs diff``) meaningful.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+Number = Union[int, float]
+
+#: Default histogram bucket upper bounds (powers of two): wide enough
+#: for cycle counts and occupancies without per-metric tuning.
+DEFAULT_BUCKETS: Tuple[float, ...] = tuple(float(1 << i) for i in range(0, 17, 2))
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Number = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        self.value += amount
+
+    def set(self, value: Number) -> None:
+        """Overwrite the count (used to fold in a component's own
+        already-maintained tally at end of run)."""
+        self.value = value
+
+
+class Gauge:
+    """A point-in-time value, with its observed extremes."""
+
+    __slots__ = ("name", "value", "min", "max", "updates")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Number = 0
+        self.min: Optional[Number] = None
+        self.max: Optional[Number] = None
+        self.updates = 0
+
+    def set(self, value: Number) -> None:
+        self.value = value
+        self.updates += 1
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+
+class Histogram:
+    """A fixed-bucket distribution (cumulative counts per upper bound)."""
+
+    __slots__ = ("name", "bounds", "counts", "count", "total", "max")
+
+    def __init__(self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS):
+        self.name = name
+        self.bounds: List[float] = sorted(float(b) for b in bounds)
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total: float = 0.0
+        self.max: Optional[Number] = None
+
+    def observe(self, value: Number) -> None:
+        self.counts[bisect_right(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> Dict[str, Number]:
+        return {
+            "count": self.count,
+            "mean": round(self.mean, 4),
+            "max": self.max if self.max is not None else 0,
+        }
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use.
+
+    Instrument kinds share one namespace: asking for an existing name
+    with a different kind is a programming error and raises.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, object] = {}
+
+    def _get(self, name: str, kind, factory):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = factory()
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, kind):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(instrument).__name__}, not {kind.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge, lambda: Gauge(name))
+
+    def histogram(self, name: str,
+                  bounds: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        return self._get(name, Histogram, lambda: Histogram(name, bounds))
+
+    def set_counters(self, values: Dict[str, Number], prefix: str = "") -> None:
+        """Fold a component's own tallies in as counters, at end of run."""
+        for key, value in values.items():
+            self.counter(prefix + key).set(value)
+
+    def snapshot(self) -> Dict[str, Number]:
+        """Flat, deterministic (sorted-key) view of every instrument.
+
+        Counters appear under their own name; gauges add ``.min`` /
+        ``.max`` / ``.last``; histograms add ``.count`` / ``.mean`` /
+        ``.max``.  Values are plain ints/floats — JSON-ready.
+        """
+        out: Dict[str, Number] = {}
+        for name in sorted(self._instruments):
+            instrument = self._instruments[name]
+            if isinstance(instrument, Counter):
+                out[name] = instrument.value
+            elif isinstance(instrument, Gauge):
+                out[f"{name}.last"] = instrument.value
+                out[f"{name}.min"] = instrument.min if instrument.min is not None else 0
+                out[f"{name}.max"] = instrument.max if instrument.max is not None else 0
+            elif isinstance(instrument, Histogram):
+                for key, value in instrument.summary().items():
+                    out[f"{name}.{key}"] = value
+        return out
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+]

@@ -1,0 +1,137 @@
+"""RunReport: the per-job aggregation of one observed simulation.
+
+A :class:`RunReport` is attached to every eval job record when
+observability is enabled (:mod:`repro.eval.runner`) and folded into
+``BENCH_runner.json`` (:mod:`repro.eval.profiling`).  Its counters are
+drawn from the run's metrics registry, which the instrumented
+components populate from the *same* tallies the experiment results
+expose — by construction, ``ir_mispredictions``, ``removal_fraction``
+and ``delay_buffer_backpressure`` in a report equal the values of the
+:class:`~repro.core.slipstream.SlipstreamResult` the experiments
+already compute (tested in ``tests/test_obs.py``).
+
+Reports are duck-typed over the result object, not imported from the
+model modules, so :mod:`repro.obs` stays dependency-free of the
+simulators it observes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Union
+
+from repro.obs.session import Observability
+
+Number = Union[int, float]
+
+
+@dataclass
+class RunReport:
+    """Aggregated observability of one simulation job."""
+
+    job: str
+    model: str
+    benchmark: str
+    counters: Dict[str, Number] = field(default_factory=dict)
+    events: int = 0
+    trace_path: Optional[str] = None
+
+    def to_json(self) -> dict:
+        return {
+            "job": self.job,
+            "model": self.model,
+            "benchmark": self.benchmark,
+            "counters": dict(self.counters),
+            "events": self.events,
+            "trace_path": self.trace_path,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "RunReport":
+        return cls(
+            job=payload["job"],
+            model=payload["model"],
+            benchmark=payload["benchmark"],
+            counters=dict(payload.get("counters", {})),
+            events=int(payload.get("events", 0)),
+            trace_path=payload.get("trace_path"),
+        )
+
+
+def _result_counters(model: str, result: object) -> Dict[str, Number]:
+    """Counters derivable from the result object itself (no registry).
+
+    Used as the floor of every report so that metrics-only mode (and
+    job models without deep instrumentation) still report the headline
+    rates the experiments consume.
+    """
+    counters: Dict[str, Number] = {}
+    if isinstance(result, int):  # "count" jobs
+        counters["instructions"] = result
+        return counters
+    for name in ("retired", "cycles", "a_cycles", "r_cycles", "a_executed",
+                 "a_removed", "branch_mispredictions", "ir_mispredictions",
+                 "ir_penalty_total", "delay_buffer_backpressure",
+                 "icache_misses", "dcache_misses", "icache_accesses",
+                 "dcache_accesses", "recovery_max_outstanding",
+                 "recovery_audit_shortfalls"):
+        value = getattr(result, name, None)
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            counters[name] = value
+    for name in ("ipc", "removal_fraction", "ir_mispredictions_per_1000",
+                 "mispredictions_per_1000", "avg_ir_penalty", "coverage"):
+        value = getattr(result, name, None)
+        if isinstance(value, float):
+            counters[name] = value
+    removed = getattr(result, "removed_by_category", None)
+    if isinstance(removed, dict):
+        for category, count in sorted(removed.items()):
+            counters[f"removed.{category}"] = count
+    detections = getattr(result, "detections", None)
+    if isinstance(detections, dict):
+        for kind, count in sorted(detections.items()):
+            counters[f"detected.{kind}"] = count
+    return counters
+
+
+def build_report(
+    job: str,
+    model: str,
+    benchmark: str,
+    result: object,
+    obs: Optional[Observability] = None,
+) -> RunReport:
+    """Fold the result's own rates and the registry snapshot together."""
+    counters = _result_counters(model, result)
+    events = 0
+    trace_path: Optional[str] = None
+    if obs is not None:
+        counters.update(obs.registry.snapshot())
+        events = obs.events
+        # The writer opens its file lazily: a job that emitted nothing
+        # (e.g. an uninstrumented "count" job) has no trace on disk, so
+        # don't point readers at a file that does not exist.
+        if events and obs.trace_path is not None:
+            trace_path = str(obs.trace_path)
+    return RunReport(
+        job=job,
+        model=model,
+        benchmark=benchmark,
+        counters=counters,
+        events=events,
+        trace_path=trace_path,
+    )
+
+
+def diff_reports(a: RunReport, b: RunReport) -> Dict[str, Dict[str, Number]]:
+    """Per-counter ``{a, b, delta}`` for every counter present in either."""
+    out: Dict[str, Dict[str, Number]] = {}
+    for name in sorted(set(a.counters) | set(b.counters)):
+        va = a.counters.get(name, 0)
+        vb = b.counters.get(name, 0)
+        if va != vb:
+            out[name] = {"a": va, "b": vb, "delta": vb - va}
+    return out
+
+
+__all__ = ["RunReport", "build_report", "diff_reports"]

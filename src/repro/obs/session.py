@@ -1,0 +1,117 @@
+"""The per-run observability handle and its environment configuration.
+
+One :class:`Observability` couples a :class:`~repro.obs.registry.MetricsRegistry`
+with an optional :class:`~repro.obs.trace.TraceWriter`.  Components take
+it as an optional constructor argument (``obs=None``) and guard every
+emission with ``if obs is not None`` — the contract that keeps the
+disabled path at one pointer test per trace.
+
+Process-wide enablement is environment-driven so that
+``ProcessPoolExecutor`` workers inherit it:
+
+* ``REPRO_OBS=1`` — enable metrics + :class:`~repro.obs.report.RunReport`
+  aggregation for every eval job;
+* ``REPRO_OBS_TRACE_DIR=DIR`` — additionally write one JSONL event
+  trace per job under ``DIR`` (implies ``REPRO_OBS=1``).
+
+:func:`job_observability` is the factory :mod:`repro.eval.jobs` calls:
+it returns ``None`` when disabled, so simulation code never pays more
+than the ``None`` test.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import TraceWriter
+
+ENV_ENABLE = "REPRO_OBS"
+ENV_TRACE_DIR = "REPRO_OBS_TRACE_DIR"
+
+
+class Observability:
+    """Metrics registry + optional event trace for one simulation run."""
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None,
+                 trace: Optional[TraceWriter] = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.trace = trace
+
+    # Registry pass-throughs (the common component surface).
+    def counter(self, name: str):
+        return self.registry.counter(name)
+
+    def gauge(self, name: str):
+        return self.registry.gauge(name)
+
+    def histogram(self, name: str, bounds=None):
+        if bounds is None:
+            return self.registry.histogram(name)
+        return self.registry.histogram(name, bounds)
+
+    def emit(self, etype: str, **fields) -> None:
+        """Write one trace event (no-op without a trace sink)."""
+        if self.trace is not None:
+            self.trace.emit(etype, **fields)
+
+    @property
+    def events(self) -> int:
+        return self.trace.events if self.trace is not None else 0
+
+    @property
+    def trace_path(self) -> Optional[Path]:
+        return self.trace.path if self.trace is not None else None
+
+    def close(self) -> None:
+        if self.trace is not None:
+            self.trace.close()
+
+
+def obs_enabled() -> bool:
+    """True when the environment asks for observability."""
+    if os.environ.get(ENV_ENABLE, "") not in ("", "0"):
+        return True
+    return bool(os.environ.get(ENV_TRACE_DIR))
+
+
+def trace_dir() -> Optional[Path]:
+    """The configured trace directory, or None for metrics-only mode."""
+    value = os.environ.get(ENV_TRACE_DIR)
+    return Path(value) if value else None
+
+
+def sanitize_label(label: str) -> str:
+    """A job label as a safe file stem (``cmp/li@1[BR]#ab`` → ``cmp-li@1-BR-ab``)."""
+    return re.sub(r"[^A-Za-z0-9_.@-]+", "-", label).strip("-")
+
+
+def job_observability(label: str) -> Optional[Observability]:
+    """The environment-configured handle for one job, or None."""
+    if not obs_enabled():
+        return None
+    writer: Optional[TraceWriter] = None
+    directory = trace_dir()
+    if directory is not None:
+        writer = TraceWriter(directory / f"{sanitize_label(label)}.jsonl")
+    return Observability(trace=writer)
+
+
+def for_path(path: Union[str, Path]) -> Observability:
+    """An explicitly-enabled handle tracing to ``path`` (tests, CLI)."""
+    return Observability(trace=TraceWriter(path))
+
+
+__all__ = [
+    "ENV_ENABLE",
+    "ENV_TRACE_DIR",
+    "Observability",
+    "for_path",
+    "job_observability",
+    "obs_enabled",
+    "sanitize_label",
+    "trace_dir",
+]

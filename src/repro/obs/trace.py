@@ -1,0 +1,179 @@
+"""Structured JSONL event trace of one simulation run.
+
+Every line is one JSON object ("event") with two universal fields —
+``t`` (event type) and ``i`` (0-based emission index) — plus the
+type-specific fields of :data:`EVENT_FIELDS`.  Events are emitted at
+trace granularity by the instrumented components (slip/recovery
+dynamics are only debuggable with per-event visibility; AR-SMT made the
+same observation for its delay-buffer dynamics), and the emission order
+is deterministic: two runs of the same job produce byte-identical
+traces.
+
+The schema is deliberately open: validators check that the *required*
+fields of each known type are present and that unknown types are not
+emitted; extra fields are allowed so events can grow without breaking
+old readers.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Union
+
+#: Required fields per event type (beyond the universal ``t`` and ``i``).
+EVENT_FIELDS: Dict[str, FrozenSet[str]] = {
+    # Run lifecycle.
+    "start": frozenset({"benchmark", "model"}),
+    "summary": frozenset({"counters"}),
+    # A-stream front end: one per predicted trace.
+    "predict": frozenset({"seq", "pc", "predicted", "removal"}),
+    # Instruction removal actually applied to a trace (per-kind counts).
+    "removal": frozenset({"seq", "removed", "by_kind"}),
+    # Conventional branch misprediction -> fetch redirect.
+    "redirect": frozenset({"seq", "stream"}),
+    # Delay-buffer backpressure: the A-stream stalled for the R-stream.
+    "backpressure": frozenset({"seq", "occupancy", "stall_cycles"}),
+    # One trace retired (R-stream in the CMP, the whole core in SS runs;
+    # the slipstream emitter adds a_cycle/r_cycle/occupancy/merge_stalls).
+    "trace_retired": frozenset({"seq", "retired"}),
+    # IR-misprediction detection + recovery span.
+    "recovery": frozenset({"seq", "kind", "detect_cycle", "latency",
+                           "resume_cycle", "mem_restored"}),
+    # End-of-run cache tallies (one per cache).
+    "cache": frozenset({"cache", "accesses", "misses"}),
+}
+
+
+class TraceSchemaError(ValueError):
+    """An event (or a whole trace file) violates the schema."""
+
+
+def validate_event(event: dict) -> None:
+    """Raise :class:`TraceSchemaError` unless ``event`` is well-formed."""
+    if not isinstance(event, dict):
+        raise TraceSchemaError(f"event is not an object: {event!r}")
+    etype = event.get("t")
+    if etype not in EVENT_FIELDS:
+        raise TraceSchemaError(f"unknown event type {etype!r}")
+    if not isinstance(event.get("i"), int):
+        raise TraceSchemaError(f"event missing integer index 'i': {event!r}")
+    missing = EVENT_FIELDS[etype] - event.keys()
+    if missing:
+        raise TraceSchemaError(
+            f"{etype!r} event missing fields {sorted(missing)}: {event!r}"
+        )
+
+
+class TraceWriter:
+    """Append-only JSONL emitter.
+
+    ``sink`` is a path (opened lazily, truncated) or any text stream.
+    Events are validated at emission — a malformed event is a bug in the
+    instrumentation, not something to discover when reading the trace.
+    """
+
+    def __init__(self, sink: Union[str, Path, io.TextIOBase]):
+        self._path: Optional[Path] = None
+        self._stream: Optional[io.TextIOBase] = None
+        if isinstance(sink, (str, Path)):
+            self._path = Path(sink)
+        else:
+            self._stream = sink
+        self.events = 0
+
+    @property
+    def path(self) -> Optional[Path]:
+        return self._path
+
+    def emit(self, etype: str, **fields) -> None:
+        event = {"t": etype, "i": self.events, **fields}
+        validate_event(event)
+        if self._stream is None:
+            assert self._path is not None
+            self._path.parent.mkdir(parents=True, exist_ok=True)
+            self._stream = open(self._path, "w", encoding="utf-8")
+        self._stream.write(json.dumps(event, sort_keys=True) + "\n")
+        self.events += 1
+
+    def close(self) -> None:
+        if self._stream is not None and self._path is not None:
+            self._stream.close()
+            self._stream = None
+
+
+def iter_trace(path: Union[str, Path]) -> Iterator[dict]:
+    """Yield events from a JSONL trace file, validating each line."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except ValueError as exc:
+                raise TraceSchemaError(
+                    f"{path}:{line_no}: not JSON: {exc}"
+                ) from None
+            try:
+                validate_event(event)
+            except TraceSchemaError as exc:
+                raise TraceSchemaError(f"{path}:{line_no}: {exc}") from None
+            yield event
+
+
+def read_trace(path: Union[str, Path]) -> List[dict]:
+    """All events of a trace file (validated)."""
+    return list(iter_trace(path))
+
+
+def validate_trace(path: Union[str, Path]) -> int:
+    """Validate a whole file; returns the event count.
+
+    Also checks the emission index is contiguous from zero — a gap means
+    a lost line (truncated write).
+    """
+    count = 0
+    for event in iter_trace(path):
+        if event["i"] != count:
+            raise TraceSchemaError(
+                f"{path}: event index {event['i']} != expected {count} "
+                "(truncated or interleaved trace)"
+            )
+        count += 1
+    return count
+
+
+def summarize_events(events: Iterable[dict]) -> Dict[str, object]:
+    """Aggregate view of one trace: per-type counts plus the final
+    ``summary`` event's counters (if present)."""
+    by_type: Dict[str, int] = {}
+    counters: Dict[str, object] = {}
+    benchmark = model = None
+    for event in events:
+        by_type[event["t"]] = by_type.get(event["t"], 0) + 1
+        if event["t"] == "start":
+            benchmark = event.get("benchmark")
+            model = event.get("model")
+        elif event["t"] == "summary":
+            counters = event.get("counters", {})
+    return {
+        "benchmark": benchmark,
+        "model": model,
+        "events": sum(by_type.values()),
+        "by_type": by_type,
+        "counters": counters,
+    }
+
+
+__all__ = [
+    "EVENT_FIELDS",
+    "TraceSchemaError",
+    "TraceWriter",
+    "iter_trace",
+    "read_trace",
+    "validate_trace",
+    "summarize_events",
+    "validate_event",
+]

@@ -57,5 +57,17 @@ class Cache:
         return all_hit
 
     @property
+    def hits(self) -> int:
+        return self.accesses - self.misses
+
+    @property
     def miss_rate(self) -> float:
         return self.misses / self.accesses if self.accesses else 0.0
+
+    def snapshot(self) -> dict:
+        """Observability tallies (:mod:`repro.obs`)."""
+        return {
+            "accesses": self.accesses,
+            "hits": self.hits,
+            "misses": self.misses,
+        }

@@ -18,6 +18,7 @@ from typing import Optional
 from repro.arch.executor import DynInstr
 from repro.arch.functional import FunctionalSimulator
 from repro.isa.program import Program
+from repro.obs.session import Observability
 from repro.trace.compare import Divergence, first_divergence
 from repro.trace.predictor import TracePredictor, TracePredictorConfig
 from repro.trace.selection import CompletedTrace, TraceSelector, TRACE_LENGTH
@@ -63,6 +64,7 @@ class SuperscalarCore:
         trace_length: int = TRACE_LENGTH,
         max_instructions: int = 50_000_000,
         control: str = "trace",
+        obs: Optional[Observability] = None,
     ):
         """``control`` selects the control-flow predictor: "trace" (the
         paper's methodology — the same trace predictor that underlies
@@ -85,6 +87,8 @@ class SuperscalarCore:
         self._former = BlockFormer(config.fetch_width)
         self._mispredictions = 0
         self._last_complete = 0
+        #: Observability handle (:mod:`repro.obs`); behavior-neutral.
+        self._obs = obs
 
     # ------------------------------------------------------------------
 
@@ -92,15 +96,29 @@ class SuperscalarCore:
         """Run the program to completion; returns timing results."""
         if self.control == "hybrid":
             return self._run_conventional()
+        obs = self._obs
+        if obs is not None:
+            obs.emit("start", benchmark=self.program.name,
+                     model=self.config.name,
+                     trace_length=self.trace_length)
         sim = FunctionalSimulator(self.program, self.max_instructions)
         selector = TraceSelector(self.trace_length)
         upcoming = self.predictor.predict()
+        seq = 0
         for trace in selector.chunk(sim.steps()):
             divergence = first_divergence(upcoming, trace)
             self._schedule_trace(trace, divergence)
             self.predictor.update(trace.trace_id)
             upcoming = self.predictor.predict()
-        return CoreRunResult(
+            if obs is not None:
+                if divergence is not None:
+                    obs.emit("redirect", seq=seq, stream="S",
+                             reason=divergence.kind)
+                obs.emit("trace_retired", seq=seq,
+                         retired=self.scheduler.retired,
+                         cycle=self.scheduler.total_cycles)
+            seq += 1
+        result = CoreRunResult(
             model=self.config.name,
             benchmark=self.program.name,
             retired=self.scheduler.retired,
@@ -111,6 +129,22 @@ class SuperscalarCore:
             icache_accesses=self.icache.accesses,
             dcache_accesses=self.dcache.accesses,
         )
+        if obs is not None:
+            self._finalize_obs(obs, traces=seq)
+        return result
+
+    def _finalize_obs(self, obs: Observability, traces: int) -> None:
+        """Fold the core's tallies into the registry and close the trace
+        (behavior-neutral; see :mod:`repro.obs`)."""
+        registry = obs.registry
+        registry.set_counters(self.scheduler.snapshot(), "sched.")
+        registry.counter("core.traces").set(traces)
+        registry.counter("core.branch_mispredictions").set(self._mispredictions)
+        for name, cache in (("icache", self.icache), ("dcache", self.dcache)):
+            registry.set_counters(cache.snapshot(), f"{name}.")
+            obs.emit("cache", cache=name, accesses=cache.accesses,
+                     hits=cache.hits, misses=cache.misses)
+        obs.emit("summary", counters=registry.snapshot())
 
     def _run_conventional(self) -> CoreRunResult:
         """Per-branch prediction with the hybrid predictor and a BTB."""

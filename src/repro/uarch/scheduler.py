@@ -109,6 +109,13 @@ class OoOScheduler:
         self._retire_cycle = 0
         self._retire_count = 0
         self.retired = 0
+        #: Observability tallies (:mod:`repro.obs`) — observers only;
+        #: nothing in the timing model reads them back.
+        self.redirects = 0
+        #: Cycles an instruction's dispatch slipped because the delay-
+        #: buffer merge ports (``merge_width``) were saturated — the
+        #: R-stream merge stall the paper's §2.2 transfer path implies.
+        self.merge_stalls = 0
 
     # ------------------------------------------------------------------
     # External timing events.
@@ -120,6 +127,7 @@ class OoOScheduler:
         floor = resolve_cycle + 1 + self.config.redirect_penalty
         if floor > self._next_block_cycle:
             self._next_block_cycle = floor
+        self.redirects += 1
 
     def stall_fetch_until(self, cycle: int) -> None:
         """External fetch barrier (recovery completion, delay-buffer
@@ -194,10 +202,15 @@ class OoOScheduler:
         if timing.merged and accelerated and local_ready > dispatch:
             merged_counts = self._merged_count
             merge_width = self._merge_width
-            while counts_get(dispatch, 0) >= dispatch_width or (
-                merged_counts.get(dispatch, 0) >= merge_width
-            ):
-                dispatch += 1
+            while True:
+                if counts_get(dispatch, 0) >= dispatch_width:
+                    dispatch += 1
+                    continue
+                if merged_counts.get(dispatch, 0) >= merge_width:
+                    dispatch += 1
+                    self.merge_stalls += 1
+                    continue
+                break
             merged_counts[dispatch] = merged_counts.get(dispatch, 0) + 1
         counts[dispatch] = counts_get(dispatch, 0) + 1
         self._last_dispatch = dispatch
@@ -248,3 +261,12 @@ class OoOScheduler:
     @property
     def ipc(self) -> float:
         return self.retired / self._retire_cycle if self._retire_cycle else 0.0
+
+    def snapshot(self) -> dict:
+        """Observability tallies (:mod:`repro.obs`)."""
+        return {
+            "retired": self.retired,
+            "cycles": self._retire_cycle,
+            "redirects": self.redirects,
+            "merge_stalls": self.merge_stalls,
+        }

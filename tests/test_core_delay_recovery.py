@@ -65,6 +65,42 @@ class TestDelayBuffer:
         assert buf.occupancy == 0
         buf.push(8, 0)  # full capacity available again
 
+    def test_flush_then_mark_popped_rejected(self):
+        """flush() resets the unpopped tracking too: a mark after a
+        flush has no group to land on and must raise, not silently
+        corrupt the next group's pop state."""
+        buf = DelayBuffer(capacity=8)
+        buf.push(4, 0)
+        buf.flush()
+        with pytest.raises(DelayBufferError):
+            buf.mark_popped(10)
+        # And the buffer is still usable afterwards.
+        buf.push(8, 0)
+        buf.mark_popped(50)
+        assert buf.push(4, 0) == 50
+
+    def test_mark_popped_is_fifo_over_many_groups(self):
+        """Pops mark the oldest unpopped group even after partial
+        drains (the O(1) second-deque invariant)."""
+        buf = DelayBuffer(capacity=100)
+        for i in range(10):
+            buf.push(10, produce_cycle=i)
+        for i in range(10):
+            buf.mark_popped(pop_cycle=1000 + i)
+        # All ten groups drained; a full-capacity push waits only for
+        # the groups it displaces, oldest first.
+        assert buf.push(100, produce_cycle=0) == 1009
+
+    def test_snapshot_counters(self):
+        buf = DelayBuffer(capacity=16)
+        buf.push(16, 0)
+        buf.mark_popped(500)
+        buf.push(8, 10)
+        snap = buf.snapshot()
+        assert snap["pushes"] == 2
+        assert snap["backpressure_events"] == 1
+        assert snap["max_occupancy"] == 16
+
     def test_bad_capacity_rejected(self):
         with pytest.raises(ValueError):
             DelayBuffer(capacity=0)

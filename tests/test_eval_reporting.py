@@ -30,6 +30,22 @@ class TestMetrics:
         # geomean of (2x, 0.5x) is 1x.
         assert geometric_mean_speedup([100.0, -50.0]) == pytest.approx(0.0)
 
+    def test_geometric_mean_speedup_empty_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_mean_speedup([])
+
+    def test_geometric_mean_speedup_impossible_gain_rejected(self):
+        """Gains at or below -100% have no real geometric mean; the
+        error must name the offending gain instead of surfacing as a
+        math-domain error (regression: used to raise from math.pow or
+        silently return a complex-derived value)."""
+        with pytest.raises(ValueError, match="-100"):
+            geometric_mean_speedup([10.0, -100.0])
+        with pytest.raises(ValueError, match="-250"):
+            geometric_mean_speedup([-250.0])
+        # Just above the boundary is still legal.
+        assert geometric_mean_speedup([-99.9]) == pytest.approx(-99.9)
+
     def test_per_1000(self):
         assert per_1000(5, 1000) == 5.0
         assert per_1000(5, 0) == 0.0

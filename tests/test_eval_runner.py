@@ -1,17 +1,21 @@
 """The parallel experiment runner: dedup, parallel==sequential identity,
-and warm-cache runs performing zero simulations."""
+warm-cache runs performing zero simulations, and failure handling (one
+bad job must not lose the pass)."""
 
 import pytest
 
 from repro.eval import jobs, models
 from repro.eval.jobs import (
+    JobKey,
+    JobSpec,
     baseline_spec,
     count_spec,
     enumerate_artifact_jobs,
     slipstream_spec,
 )
 from repro.eval.profiling import stats_payload
-from repro.eval.runner import ExperimentRunner, run_artifact_jobs
+from repro.eval.runner import ExperimentRunner, RunnerError, run_artifact_jobs
+from repro.obs.session import ENV_TRACE_DIR
 
 BENCH = "jpeg"  # the cheapest workload in the suite
 
@@ -94,6 +98,105 @@ class TestParallelIdentity:
         ExperimentRunner(jobs=2).run(small_specs())
         # Simulations happened in worker processes, not this one.
         assert jobs.simulation_count() == 0
+
+
+def bogus_spec():
+    """A spec whose model no simulation path knows: the worker raises."""
+    return JobSpec(JobKey("bogus", BENCH))
+
+
+class TestFailureHandling:
+    @pytest.mark.parametrize("n_jobs", [1, 2], ids=["inline", "pool"])
+    def test_failed_job_does_not_lose_the_pass(self, fresh_caches, n_jobs):
+        specs = [*small_specs(), bogus_spec()]
+        with pytest.raises(RunnerError) as excinfo:
+            ExperimentRunner(jobs=n_jobs).run(specs)
+        err = excinfo.value
+
+        # The error aggregates the casualties and names them.
+        assert len(err.failures) == 1
+        assert err.failures[0][0] == bogus_spec().key
+        assert f"bogus/{BENCH}@1" in str(err)
+        assert "ValueError" in str(err)
+
+        # Stats are fully populated despite the raise.
+        stats = err.stats
+        assert stats.failed == 1
+        assert stats.simulated == len(small_specs())
+        assert stats.wall_seconds > 0
+
+        # The casualty has a "failed" record carrying the error string.
+        failed = [r for r in stats.records if r.source == "failed"]
+        assert len(failed) == 1
+        assert failed[0].key == bogus_spec().key
+        assert "ValueError" in failed[0].error
+
+        # Surviving results were absorbed: readable without resimulating.
+        jobs.reset_simulation_count()
+        assert models.run_baseline(BENCH).retired > 0
+        assert jobs.simulation_count() == 0
+
+    def test_failed_payload_shape(self, fresh_caches):
+        with pytest.raises(RunnerError) as excinfo:
+            ExperimentRunner(jobs=1).run([count_spec(BENCH), bogus_spec()])
+        payload = stats_payload(excinfo.value.stats, scale=1)
+        assert payload["failed"] == 1
+        failed = [r for r in payload["per_job"] if r["source"] == "failed"]
+        assert len(failed) == 1
+        assert "ValueError" in failed[0]["error"]
+
+    def test_many_failures_are_summarized(self, fresh_caches):
+        specs = [JobSpec(JobKey("bogus", b))
+                 for b in ("a", "b", "c", "d", "e")]
+        with pytest.raises(RunnerError) as excinfo:
+            ExperimentRunner(jobs=1).run(specs)
+        assert len(excinfo.value.failures) == 5
+        assert "(+2 more)" in str(excinfo.value)
+
+
+class TestTracingIdentity:
+    def test_parallel_matches_sequential_with_tracing(
+            self, fresh_caches, tmp_path, monkeypatch):
+        """The ISSUE's bit-identity check: tracing enabled (workers
+        inherit the env), parallel results == sequential results."""
+        monkeypatch.setenv(ENV_TRACE_DIR, str(tmp_path / "tr-seq"))
+        specs = small_specs()
+        stats_seq = ExperimentRunner(jobs=1).run(specs)
+        assert stats_seq.simulated == len(specs)
+        seq_base = models.run_baseline(BENCH)
+        seq_slip = models.run_slipstream_model(BENCH)
+
+        models.clear_cache()
+        models.configure_disk_cache(enabled=True,
+                                    cache_dir=str(tmp_path / "cache-par"))
+        monkeypatch.setenv(ENV_TRACE_DIR, str(tmp_path / "tr-par"))
+        stats_par = ExperimentRunner(jobs=3).run(specs)
+        assert stats_par.simulated == len(specs)
+
+        # Bit-identical architectural results.
+        assert models.run_baseline(BENCH) == seq_base
+        assert models.run_slipstream_model(BENCH) == seq_slip
+
+        # Both passes carried reports; their counters agree too.
+        reports_seq = {r.job: r for r in stats_seq.reports}
+        reports_par = {r.job: r for r in stats_par.reports}
+        assert set(reports_seq) == set(reports_par) != set()
+        for label, report in reports_seq.items():
+            assert report.counters == reports_par[label].counters
+
+        # Pool workers wrote byte-identical traces to the inline path
+        # (count jobs are uninstrumented and carry no trace).
+        from repro.obs import validate_trace
+        traced = {label: r for label, r in reports_seq.items()
+                  if r.trace_path is not None}
+        assert traced
+        for label, report in traced.items():
+            par_trace = reports_par[label].trace_path
+            assert validate_trace(report.trace_path) == \
+                validate_trace(par_trace)
+            with open(report.trace_path, "rb") as a, \
+                    open(par_trace, "rb") as b:
+                assert a.read() == b.read()
 
 
 class TestWarmCache:
