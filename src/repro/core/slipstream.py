@@ -151,6 +151,13 @@ class SlipstreamResult:
     branch_mispredictions: int
     ir_mispredictions: int
     ir_penalty_total: int
+    #: One entry per IR-misprediction recovery, in detection order:
+    #: ``(retired_at_detection, latency_cycles)``.  Fault studies use
+    #: this to measure detection latency (retired instructions between a
+    #: strike and the deviation being flagged) and per-event recovery
+    #: penalties; IR-misps are rare (paper: <0.05/1000), so the log
+    #: stays small.
+    recoveries: List[Tuple[int, int]]
     detections: Dict[str, int]
     recovery_max_outstanding: int
     recovery_audit_shortfalls: int
@@ -296,6 +303,8 @@ class SlipstreamProcessor:
         self.branch_mispredictions = 0
         self.ir_mispredictions = 0
         self.ir_penalty_total = 0
+        #: (retired_at_detection, latency_cycles) per recovery event.
+        self.recovery_log: List[Tuple[int, int]] = []
         self.detections: Dict[str, int] = {"value": 0, "control": 0, "ir_detector": 0}
         self.audit_shortfalls = 0
 
@@ -358,6 +367,7 @@ class SlipstreamProcessor:
             branch_mispredictions=self.branch_mispredictions,
             ir_mispredictions=self.ir_mispredictions,
             ir_penalty_total=self.ir_penalty_total,
+            recoveries=list(self.recovery_log),
             detections=dict(self.detections),
             recovery_max_outstanding=self.recovery.max_outstanding,
             recovery_audit_shortfalls=self.audit_shortfalls,
@@ -815,6 +825,7 @@ class SlipstreamProcessor:
                 self.a_state.mem.write(addr, self.r_state.mem.read(addr))
 
         self.ir_penalty_total += cost.latency
+        self.recovery_log.append((self.retired, cost.latency))
         resume = detect_cycle + cost.latency
         if self._obs is not None:
             self._obs.emit("recovery", seq=self._obs_seq, kind=kind,

@@ -27,6 +27,8 @@ from __future__ import annotations
 
 import os
 import pickle
+import signal
+import threading
 import time
 from dataclasses import dataclass
 from hashlib import sha256
@@ -37,8 +39,9 @@ import repro
 from repro.analysis.ineffectual import cross_check
 from repro.arch.functional import FunctionalSimulator
 from repro.core.slipstream import SlipstreamConfig, SlipstreamProcessor
-from repro.fault.coverage import run_campaign
-from repro.fault.injector import FaultSite
+from repro.eval.resilience import ChaosPlan, JobTimeout, execute_chaos
+from repro.fault.coverage import hang_budget, inject_one, run_campaign
+from repro.fault.injector import FaultSite, TransientFault
 from repro.fingerprint import canonical, fingerprint
 from repro.obs import RunReport, build_report, job_observability
 from repro.obs.session import Observability
@@ -80,7 +83,10 @@ class JobKey:
     parameters for fault jobs, the empty string where defaults apply.
     """
 
-    model: str  # "count" | "ss64" | "ss128" | "cmp" | "fault" | "xcheck"
+    #: "count" | "ss64" | "ss128" | "cmp" | "fault" | "xcheck" |
+    #: "finj" (one fault-campaign injection point) | "chaos" (synthetic
+    #: runner-resilience job; see :mod:`repro.eval.resilience`).
+    model: str
     benchmark: str
     scale: int = 1
     removal_triggers: Tuple[str, ...] = ()
@@ -114,6 +120,12 @@ class JobSpec:
     config: Optional[SlipstreamConfig] = None
     points: int = 0
     sites: Tuple[FaultSite, ...] = ()
+    #: One campaign injection point ("finj" jobs).
+    fault: Optional[TransientFault] = None
+    #: Model ECC on the R-stream's architectural state ("finj" jobs).
+    ecc: bool = False
+    #: Scripted failure behaviour ("chaos" jobs).
+    chaos: Optional[ChaosPlan] = None
 
 
 def count_spec(benchmark: str, scale: int = 1) -> JobSpec:
@@ -168,6 +180,35 @@ def fault_spec(
     return JobSpec(key, points=points, sites=sites)
 
 
+def injection_spec(
+    benchmark: str,
+    site: FaultSite,
+    target_seq: int,
+    bit: int = 7,
+    scale: int = 1,
+    ecc: bool = False,
+) -> JobSpec:
+    """One fault-campaign point: inject (site, dynamic instruction, bit)
+    into one workload and classify the run.  The clean reference is the
+    default "cmp" job of the same benchmark/scale, shared through the
+    caches (prewarmed by :mod:`repro.fault.campaign`)."""
+    fault = TransientFault(site=site, target_seq=target_seq, bit=bit)
+    key = JobKey(
+        "finj", benchmark, scale,
+        config_fingerprint=fingerprint([fault, ecc]),
+    )
+    return JobSpec(key, fault=fault, ecc=ecc)
+
+
+def chaos_spec(name: str, plan: ChaosPlan) -> JobSpec:
+    """A synthetic runner-resilience job (:mod:`repro.eval.resilience`).
+
+    ``name`` fills the benchmark slot of the key so concurrent chaos
+    jobs stay distinct; the plan's fingerprint keys the behaviour."""
+    key = JobKey("chaos", name, config_fingerprint=fingerprint(plan))
+    return JobSpec(key, chaos=plan)
+
+
 # ----------------------------------------------------------------------
 # The raw compute.
 # ----------------------------------------------------------------------
@@ -198,10 +239,35 @@ def simulate(spec: JobSpec, obs: Optional[Observability] = None):
     if model == "fault":
         return _simulate_fault_study(key.benchmark, key.scale, spec.points,
                                      spec.sites)
+    if model == "finj":
+        return _simulate_injection(spec)
     if model == "xcheck":
         program = get_benchmark(key.benchmark).program(key.scale)
         return cross_check(program)
+    if model == "chaos":
+        assert spec.chaos is not None
+        return execute_chaos(spec.chaos)
     raise ValueError(f"unknown job model {model!r}")
+
+
+def _simulate_injection(spec: JobSpec):
+    """One fault-campaign point: fetch the shared clean reference
+    through the caches (a disk hit when the campaign driver prewarmed
+    it), then run the injected co-simulation."""
+    from repro.eval import models  # lazy: models imports this module
+
+    key = spec.key
+    assert spec.fault is not None
+    program = get_benchmark(key.benchmark).program(key.scale)
+    reference = models.run_slipstream_model(key.benchmark, key.scale)
+    return inject_one(
+        program,
+        spec.fault,
+        reference_output=reference.output,
+        baseline_detections=reference.ir_mispredictions,
+        ecc=spec.ecc,
+        max_instructions=hang_budget(reference.retired),
+    )
 
 
 def simulate_with_report(spec: JobSpec):
@@ -252,6 +318,39 @@ def timed_simulate(spec: JobSpec):
     c0 = time.process_time()
     result, report = simulate_with_report(spec)
     return result, time.perf_counter() - w0, time.process_time() - c0, report
+
+
+def run_attempt(spec: JobSpec, timeout_seconds: Optional[float] = None):
+    """One *bounded* attempt at a job: :func:`timed_simulate` under an
+    optional wall-clock alarm.
+
+    The timeout is enforced inside the executing process with a
+    ``SIGALRM`` itimer, so a stuck job dies with a
+    :class:`~repro.eval.resilience.JobTimeout` while the worker (and
+    the rest of the pool) survives.  On platforms without ``SIGALRM``,
+    or off the main thread, the attempt runs unbounded — the runner's
+    driver-side hard deadline still applies on the pool path.
+    """
+    if (
+        not timeout_seconds
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        return timed_simulate(spec)
+
+    def _expired(signum, frame):
+        raise JobTimeout(
+            f"{job_label(spec.key)}: attempt exceeded "
+            f"{timeout_seconds}s wall clock"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, timeout_seconds)
+    try:
+        return timed_simulate(spec)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 # ----------------------------------------------------------------------

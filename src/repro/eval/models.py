@@ -38,10 +38,11 @@ from repro.eval.jobs import (
     count_spec,
     crosscheck_spec,
     fault_spec,
+    injection_spec,
     simulate,
     slipstream_spec,
 )
-from repro.fault.coverage import CampaignResult
+from repro.fault.coverage import CampaignResult, InjectionResult
 from repro.fault.injector import FaultSite
 from repro.uarch.core import CoreRunResult
 
@@ -139,6 +140,21 @@ def run_fault_study(
 ) -> CampaignResult:
     """A deterministic fault-injection campaign over one workload."""
     return run_cached(fault_spec(benchmark, scale, points, sites))  # type: ignore[return-value]
+
+
+def run_injection(
+    benchmark: str,
+    site: FaultSite,
+    target_seq: int,
+    bit: int = 7,
+    scale: int = 1,
+    ecc: bool = False,
+) -> InjectionResult:
+    """One classified fault injection (a scaled-campaign strike point),
+    against the cached fault-free slipstream reference."""
+    return run_cached(
+        injection_spec(benchmark, site, target_seq, bit, scale, ecc)
+    )  # type: ignore[return-value]
 
 
 @dataclass

@@ -14,12 +14,34 @@ R-stream is the recovery source).
 * :mod:`repro.fault.scenarios` — the paper's three analysis scenarios
   as runnable experiments.
 * :mod:`repro.fault.coverage` — fault-injection campaigns classifying
-  outcomes (detected+recovered / masked / silent corruption /
-  detected-unrecoverable).
+  outcomes (detected+recovered / ecc-corrected / masked / silent
+  corruption / detected-unrecoverable).
+* :mod:`repro.fault.ecc` — ECC on the R-stream's architectural state,
+  the paper's fix for the unrecoverable hole.
+* :mod:`repro.fault.campaign` — seeded campaigns scaled across the
+  benchmark suite, fanned through the hardened experiment runner
+  (``python -m repro.fault``).
 """
 
 from repro.fault.injector import FaultInjector, FaultSite, TransientFault
-from repro.fault.coverage import FaultOutcome, run_campaign, classify_run
+from repro.fault.coverage import (
+    HANDLED_OUTCOMES,
+    HARMFUL_OUTCOMES,
+    FaultOutcome,
+    classify_run,
+    hang_budget,
+    inject_one,
+    run_campaign,
+)
+from repro.fault.ecc import ECCModel, PROTECTED_SITES
+from repro.fault.campaign import (
+    CampaignConfig,
+    CampaignPoint,
+    ScaledCampaignResult,
+    run_scaled_campaign,
+    sample_points,
+    write_fault_bench,
+)
 from repro.fault.scenarios import run_scenario, SCENARIOS
 
 __all__ = [
@@ -27,6 +49,18 @@ __all__ = [
     "FaultSite",
     "TransientFault",
     "FaultOutcome",
+    "HANDLED_OUTCOMES",
+    "HARMFUL_OUTCOMES",
+    "ECCModel",
+    "PROTECTED_SITES",
+    "CampaignConfig",
+    "CampaignPoint",
+    "ScaledCampaignResult",
+    "run_scaled_campaign",
+    "sample_points",
+    "write_fault_bench",
+    "hang_budget",
+    "inject_one",
     "run_campaign",
     "classify_run",
     "run_scenario",

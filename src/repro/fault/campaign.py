@@ -1,0 +1,429 @@
+"""Scaled fault-injection campaigns across the benchmark suite.
+
+:mod:`repro.fault.coverage` classifies *one* injected fault;
+this module scales that to a statistical campaign (paper, section 3):
+a seeded RNG samples (site × dynamic-instruction × bit) strike points
+across all eight workloads, every point becomes a cached
+:class:`~repro.eval.jobs.JobSpec` fanned through the hardened
+:class:`~repro.eval.runner.ExperimentRunner`, and the classified
+outcomes aggregate into an outcome × site × workload coverage table.
+
+Determinism is load-bearing: the sampler derives one
+``random.Random(f"{seed}:{benchmark}")`` stream per workload (string
+seeds hash independently of ``PYTHONHASHSEED``), sites rotate
+round-robin so every site is exercised on every workload, and the
+emitted ``BENCH_fault.json`` payload contains no wall-clock — the same
+seed yields a byte-identical artifact, whether run with ``--jobs 1`` or
+a full pool, cold or resumed from the disk cache.
+
+With ``ecc=True`` the campaign models ECC on the R-stream's
+architectural state (:mod:`repro.fault.ecc`): ``R_ARCH`` strikes
+classify as ``ECC_CORRECTED`` instead of ``DETECTED_UNRECOVERABLE`` /
+``SILENT_CORRUPTION``, closing the paper's unrecoverable hole —
+coverage of redundantly-executed instructions reaches 100%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import json
+import random
+
+from repro.fault.coverage import (
+    HANDLED_OUTCOMES,
+    HARMFUL_OUTCOMES,
+    CampaignResult,
+    FaultOutcome,
+    InjectionResult,
+)
+from repro.fault.injector import FaultSite, TransientFault
+from repro.obs.registry import MetricsRegistry
+from repro.workloads.suite import benchmark_suite
+
+DEFAULT_BENCH_FAULT_PATH = "BENCH_fault.json"
+
+#: Default strike sites: both streams' pipelines plus the R-stream's
+#: architectural state (the paper's three section-3 fault classes).
+DEFAULT_SITES: Tuple[FaultSite, ...] = (
+    FaultSite.A_RESULT,
+    FaultSite.R_TRANSIENT,
+    FaultSite.R_ARCH,
+)
+
+
+def _default_benchmarks() -> Tuple[str, ...]:
+    return tuple(b.name for b in benchmark_suite())
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """One scaled campaign, fully determined by its fields.
+
+    ``warmup_fraction`` skips the first part of each stream's dynamic
+    instructions so strikes land in steady state rather than in loop
+    preambles whose values are often dead (mostly-``MASKED`` strikes
+    carry no information).  ``points_per_benchmark`` counts sampled
+    strike points per workload; sites rotate round-robin across them,
+    so with the default three sites each site receives one third.
+    """
+
+    benchmarks: Tuple[str, ...] = field(default_factory=_default_benchmarks)
+    scale: int = 1
+    points_per_benchmark: int = 12
+    seed: int = 2000
+    sites: Tuple[FaultSite, ...] = DEFAULT_SITES
+    ecc: bool = False
+    warmup_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        if not self.benchmarks:
+            raise ValueError("campaign needs at least one benchmark")
+        if not self.sites:
+            raise ValueError("campaign needs at least one fault site")
+        if self.points_per_benchmark < 1:
+            raise ValueError("points_per_benchmark must be >= 1")
+        if not 0.0 <= self.warmup_fraction < 1.0:
+            raise ValueError("warmup_fraction must be in [0, 1)")
+
+
+@dataclass(frozen=True)
+class CampaignPoint:
+    """One sampled strike point of a campaign."""
+
+    benchmark: str
+    fault: TransientFault
+
+
+def sample_points(
+    config: CampaignConfig,
+    stream_lengths: Dict[str, Dict[str, int]],
+) -> List[CampaignPoint]:
+    """Sample the campaign's strike points, deterministically.
+
+    ``stream_lengths`` maps each benchmark to its per-stream dynamic
+    instruction counts — ``{"A": executed_by_a, "R": retired}`` — which
+    bound the sampled sequence numbers (A-stream numbering only covers
+    the instructions the A-stream actually executed).  Each benchmark
+    gets its own seeded RNG stream, so adding a benchmark to the
+    campaign does not perturb the points sampled for the others.
+    """
+    points: List[CampaignPoint] = []
+    for benchmark in config.benchmarks:
+        lengths = stream_lengths[benchmark]
+        rng = random.Random(f"{config.seed}:{benchmark}")
+        for index in range(config.points_per_benchmark):
+            site = config.sites[index % len(config.sites)]
+            n = lengths["A" if site is FaultSite.A_RESULT else "R"]
+            lo = int(n * config.warmup_fraction)
+            seq = rng.randrange(lo, n) if n > lo else 0
+            bit = rng.randrange(32)
+            points.append(CampaignPoint(
+                benchmark=benchmark,
+                fault=TransientFault(site=site, target_seq=seq, bit=bit),
+            ))
+    return points
+
+
+@dataclass
+class ScaledCampaignResult:
+    """Aggregate of one scaled campaign.
+
+    ``per_benchmark`` holds each workload's classified injections;
+    ``failed_points`` lists the job labels of campaign points that did
+    not complete (the hardened runner retries, quarantines and reports
+    — a lost point is recorded, never silently dropped).
+    """
+
+    config: CampaignConfig
+    points: List[CampaignPoint] = field(default_factory=list)
+    per_benchmark: Dict[str, CampaignResult] = field(default_factory=dict)
+    failed_points: List[str] = field(default_factory=list)
+
+    # -- aggregation -------------------------------------------------
+
+    @property
+    def results(self) -> List[InjectionResult]:
+        out: List[InjectionResult] = []
+        for benchmark in sorted(self.per_benchmark):
+            out.extend(self.per_benchmark[benchmark].results)
+        return out
+
+    @property
+    def combined(self) -> CampaignResult:
+        """All benchmarks' injections as one campaign."""
+        return CampaignResult(results=self.results)
+
+    @property
+    def coverage(self) -> Optional[float]:
+        """Fraction of harmful faults handled safely, suite-wide."""
+        return self.combined.coverage
+
+    @property
+    def redundant_coverage(self) -> Optional[float]:
+        """Coverage restricted to strikes on *redundantly executed*
+        (compared) instructions — the paper's transparent-coverage
+        claim.  Without ECC, ``R_ARCH`` strikes keep this below 1.0
+        (the comparison saw the correct value; the storage lied later);
+        with ECC it reaches 1.0.
+        """
+        harmful = [
+            r for r in self.results
+            if r.outcome in HARMFUL_OUTCOMES and r.struck_compared
+        ]
+        if not harmful:
+            return None
+        good = sum(1 for r in harmful if r.outcome in HANDLED_OUTCOMES)
+        return good / len(harmful)
+
+    @property
+    def ecc_corrections(self) -> int:
+        return sum(1 for r in self.results if r.ecc_corrected)
+
+    def table(self) -> Dict[str, Dict[str, Dict[str, int]]]:
+        """Outcome tallies as ``benchmark -> site -> outcome -> n``."""
+        out: Dict[str, Dict[str, Dict[str, int]]] = {}
+        for benchmark in sorted(self.per_benchmark):
+            sites: Dict[str, Dict[str, int]] = {}
+            for result in self.per_benchmark[benchmark].results:
+                cell = sites.setdefault(result.fault.site.value, {})
+                name = result.outcome.value
+                cell[name] = cell.get(name, 0) + 1
+            out[benchmark] = {
+                site: dict(sorted(counts.items()))
+                for site, counts in sorted(sites.items())
+            }
+        return out
+
+    def metrics(self) -> MetricsRegistry:
+        """Detection-latency and recovery-penalty distributions.
+
+        Latency is counted in R-stream retirements between strike and
+        detection; penalty is the triggered recovery's cost in cycles.
+        Only detected outcomes contribute (an ECC correction has no
+        detection event — the error never becomes architectural).
+        """
+        registry = MetricsRegistry()
+        latency = registry.histogram("fault.detect_latency")
+        penalty = registry.histogram("fault.recovery_penalty")
+        outcomes = registry.counter  # one counter per outcome
+        for result in self.results:
+            outcomes(f"fault.outcome.{result.outcome.value}").inc()
+            if result.detect_latency is not None:
+                latency.observe(result.detect_latency)
+            if result.recovery_penalty is not None:
+                penalty.observe(result.recovery_penalty)
+        return registry
+
+    # -- serialisation ----------------------------------------------
+
+    def to_payload(self) -> dict:
+        """The deterministic ``BENCH_fault.json`` document.
+
+        Contains *no* wall-clock or host-specific fields: the same
+        campaign config produces a byte-identical payload regardless of
+        parallelism, cache temperature or machine.
+        """
+        combined = self.combined
+        registry = self.metrics()
+        coverage = self.coverage
+        redundant = self.redundant_coverage
+
+        def _round(value: Optional[float]) -> Optional[float]:
+            return None if value is None else round(value, 4)
+
+        return {
+            "config": {
+                "benchmarks": list(self.config.benchmarks),
+                "scale": self.config.scale,
+                "points_per_benchmark": self.config.points_per_benchmark,
+                "seed": self.config.seed,
+                "sites": [s.value for s in self.config.sites],
+                "ecc": self.config.ecc,
+                "warmup_fraction": self.config.warmup_fraction,
+            },
+            "points": len(self.points),
+            "completed": len(self.results),
+            "failed_points": sorted(self.failed_points),
+            "fired": combined.fired,
+            "harmful": combined.harmful,
+            "coverage": _round(coverage),
+            "redundant_coverage": _round(redundant),
+            "ecc_corrections": self.ecc_corrections,
+            "outcomes": {
+                outcome.value: count
+                for outcome, count in sorted(
+                    combined.counts().items(), key=lambda kv: kv[0].value
+                )
+            },
+            "table": self.table(),
+            "per_benchmark": {
+                benchmark: {
+                    "coverage": _round(campaign.coverage),
+                    "fired": campaign.fired,
+                    "harmful": campaign.harmful,
+                }
+                for benchmark, campaign in sorted(self.per_benchmark.items())
+            },
+            "metrics": registry.snapshot(),
+        }
+
+
+def campaign_specs(config: CampaignConfig,
+                   points: Sequence[CampaignPoint]) -> List["JobSpec"]:
+    """The campaign's points as runner job specs."""
+    from repro.eval.jobs import injection_spec
+
+    return [
+        injection_spec(
+            point.benchmark,
+            point.fault.site,
+            point.fault.target_seq,
+            bit=point.fault.bit,
+            scale=config.scale,
+            ecc=config.ecc,
+        )
+        for point in points
+    ]
+
+
+def run_scaled_campaign(
+    config: CampaignConfig,
+    jobs: int = 1,
+    policy: Optional["RetryPolicy"] = None,
+    use_disk_cache: bool = True,
+) -> Tuple[ScaledCampaignResult, "RunnerStats"]:
+    """Run one scaled campaign through the hardened runner.
+
+    Two runner passes: first the fault-free reference runs (one
+    slipstream simulation per workload — also the source of the stream
+    lengths the sampler needs), then every sampled strike point as a
+    ``finj`` job.  Both passes absorb into the persistent cache, so an
+    interrupted campaign resumes where it stopped and a repeated one is
+    pure cache hits.  A failing point does not sink the campaign: the
+    runner's casualties land in ``failed_points`` and the aggregation
+    covers what completed.
+
+    Returns ``(result, stats)`` where ``stats`` is the injection pass's
+    :class:`~repro.eval.runner.RunnerStats` (reference-pass timing is
+    not included; with a warm cache it is pure hits anyway).
+    """
+    from repro.eval import models
+    from repro.eval.jobs import job_label, slipstream_spec
+    from repro.eval.runner import ExperimentRunner, RunnerError
+
+    runner = ExperimentRunner(jobs=jobs, use_disk_cache=use_disk_cache,
+                              policy=policy)
+
+    # Pass 1: fault-free references (stream lengths + reference outputs).
+    runner.run([
+        slipstream_spec(benchmark, config.scale)
+        for benchmark in config.benchmarks
+    ])
+    stream_lengths: Dict[str, Dict[str, int]] = {}
+    for benchmark in config.benchmarks:
+        reference = models.run_slipstream_model(benchmark, config.scale)
+        stream_lengths[benchmark] = {
+            "R": reference.retired,
+            "A": reference.retired - reference.a_removed,
+        }
+
+    points = sample_points(config, stream_lengths)
+    specs = campaign_specs(config, points)
+
+    # Pass 2: the strike points, fanned through the hardened runner.
+    try:
+        stats = runner.run(specs)
+    except RunnerError as error:
+        stats = error.stats
+
+    result = ScaledCampaignResult(config=config, points=points)
+    for point, spec in zip(points, specs):
+        injection = models._CACHE.get(spec.key)
+        if injection is None:
+            result.failed_points.append(job_label(spec.key))
+            continue
+        campaign = result.per_benchmark.setdefault(
+            point.benchmark, CampaignResult()
+        )
+        campaign.results.append(injection)
+    return result, stats
+
+
+def write_fault_bench(
+    result: ScaledCampaignResult,
+    path: Union[str, Path] = DEFAULT_BENCH_FAULT_PATH,
+) -> Path:
+    """Write the campaign's ``BENCH_fault.json``; returns the path.
+
+    Unlike ``BENCH_runner.json`` (timing: inherently run-dependent),
+    this artifact is fully deterministic, so it *overwrites* rather
+    than appends — the file is a function of the campaign config and
+    the simulator code, and meaningful to diff across commits.
+    """
+    target = Path(path)
+    target.write_text(
+        json.dumps(result.to_payload(), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return target
+
+
+def format_coverage_table(result: ScaledCampaignResult) -> str:
+    """Human-readable outcome × site × workload table for the CLI."""
+    lines: List[str] = []
+    outcome_order = [o.value for o in FaultOutcome]
+    present = sorted(
+        {r.outcome.value for r in result.results},
+        key=outcome_order.index,
+    )
+    if not present:
+        return "(no completed campaign points)"
+    site_width = max(len("site"), max(
+        (len(s.value) for s in result.config.sites), default=4))
+    bench_width = max(len("workload"), max(
+        (len(b) for b in result.config.benchmarks), default=8))
+    header = (f"{'workload':<{bench_width}}  {'site':<{site_width}}  "
+              + "  ".join(f"{name:>{len(name)}}" for name in present))
+    lines.append(header)
+    lines.append("-" * len(header))
+    table = result.table()
+    for benchmark in sorted(table):
+        for site, counts in table[benchmark].items():
+            row = (f"{benchmark:<{bench_width}}  {site:<{site_width}}  "
+                   + "  ".join(f"{counts.get(name, 0):>{len(name)}}"
+                               for name in present))
+            lines.append(row)
+    lines.append("")
+    cov = result.coverage
+    red = result.redundant_coverage
+    lines.append(
+        "coverage (harmful faults handled): "
+        + ("n/a (no harmful faults)" if cov is None else f"{cov:.1%}")
+    )
+    lines.append(
+        "redundant-instruction coverage:    "
+        + ("n/a" if red is None else f"{red:.1%}")
+    )
+    if result.config.ecc:
+        lines.append(f"ECC corrections:                   "
+                     f"{result.ecc_corrections}")
+    if result.failed_points:
+        lines.append(f"failed points: {len(result.failed_points)} "
+                     f"({', '.join(result.failed_points[:4])}...)")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignPoint",
+    "DEFAULT_SITES",
+    "ScaledCampaignResult",
+    "campaign_specs",
+    "format_coverage_table",
+    "run_scaled_campaign",
+    "sample_points",
+    "write_fault_bench",
+]

@@ -5,6 +5,9 @@ fault and classifies the run against a fault-free reference:
 
 * ``DETECTED_RECOVERED`` — the machinery flagged a deviation (an extra
   "IR-misprediction") and the program output is correct.
+* ``ECC_CORRECTED`` — the strike landed in ECC-protected architectural
+  state (:mod:`repro.fault.ecc`) and was corrected before use; the
+  output is correct.  Only produced when the campaign models ECC.
 * ``MASKED`` — no deviation flagged, output correct anyway (the
   corrupted value never influenced architectural results, or the flip
   hit a value that is re-derived).
@@ -15,36 +18,84 @@ fault and classifies the run against a fault-free reference:
   is still wrong: detection happened, recovery used corrupted
   R-stream state (the paper's argument for ECC on the R-stream's
   register file and data cache).
+* ``HANG`` — the injected run exceeded its *deterministic* instruction
+  budget (:func:`hang_budget`, a fixed multiple of the fault-free run's
+  retirement count).  A strike that corrupts loop-control state can
+  make the program retire orders of magnitude more instructions than
+  the clean run — or never halt at all.  No watchdog is modelled, so a
+  hang is harmful and unhandled.  The budget is a function of the
+  reference run, never of wall-clock, which keeps campaign artifacts
+  byte-deterministic across hosts.
+
+* ``NOT_FIRED`` — the sampled strike point was never reached (the
+  stream retired fewer instructions, or the A-stream skipped past the
+  targeted sequence number).  Not a fault at all: explicitly excluded
+  from every coverage denominator.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence
 
 from repro.arch.functional import FunctionalSimulator
-from repro.core.slipstream import SlipstreamConfig, SlipstreamProcessor
+from repro.core.slipstream import (
+    SimulationError,
+    SlipstreamConfig,
+    SlipstreamProcessor,
+)
+from repro.fault.ecc import ECCModel
 from repro.fault.injector import FaultInjector, FaultSite, TransientFault
 from repro.isa.program import Program
 
 
 class FaultOutcome(enum.Enum):
     DETECTED_RECOVERED = "detected_recovered"
+    ECC_CORRECTED = "ecc_corrected"
     MASKED = "masked"
     SILENT_CORRUPTION = "silent_corruption"
     DETECTED_UNRECOVERABLE = "detected_unrecoverable"
+    HANG = "hang"
     NOT_FIRED = "not_fired"
+
+
+#: Outcomes where the fault actually changed a value that mattered —
+#: the denominator of every coverage number.  ``MASKED`` strikes are
+#: harmless by definition and ``NOT_FIRED`` points are not faults.
+HARMFUL_OUTCOMES = frozenset({
+    FaultOutcome.DETECTED_RECOVERED,
+    FaultOutcome.ECC_CORRECTED,
+    FaultOutcome.SILENT_CORRUPTION,
+    FaultOutcome.DETECTED_UNRECOVERABLE,
+    FaultOutcome.HANG,
+})
+
+#: Harmful outcomes the design handled safely.
+HANDLED_OUTCOMES = frozenset({
+    FaultOutcome.DETECTED_RECOVERED,
+    FaultOutcome.ECC_CORRECTED,
+})
 
 
 @dataclass
 class InjectionResult:
-    """Outcome of one fault injection."""
+    """Outcome of one fault injection.
+
+    ``detect_latency`` is the number of R-stream retirements between
+    the strike and the deviation being flagged (None when nothing was
+    detected, or the strike hit the A-stream where the numbering is
+    approximate and a detection never followed); ``recovery_penalty``
+    is that recovery's latency in cycles.
+    """
 
     fault: TransientFault
     outcome: FaultOutcome
     struck_compared: Optional[bool]
     detections: int
+    detect_latency: Optional[int] = None
+    recovery_penalty: Optional[int] = None
+    ecc_corrected: bool = False
 
 
 @dataclass
@@ -67,22 +118,31 @@ class CampaignResult:
         return grouped
 
     @property
-    def coverage(self) -> float:
-        """Fraction of fired, non-masked faults that were handled
-        safely (detected and recovered)."""
-        harmful = [
-            r for r in self.results
-            if r.outcome in (
-                FaultOutcome.DETECTED_RECOVERED,
-                FaultOutcome.SILENT_CORRUPTION,
-                FaultOutcome.DETECTED_UNRECOVERABLE,
-            )
-        ]
-        if not harmful:
-            return 1.0
-        good = sum(
-            1 for r in harmful if r.outcome is FaultOutcome.DETECTED_RECOVERED
+    def fired(self) -> int:
+        """Points whose fault actually struck (``NOT_FIRED`` excluded)."""
+        return sum(
+            1 for r in self.results if r.outcome is not FaultOutcome.NOT_FIRED
         )
+
+    @property
+    def harmful(self) -> int:
+        """Fired, non-masked faults: the coverage denominator."""
+        return sum(1 for r in self.results if r.outcome in HARMFUL_OUTCOMES)
+
+    @property
+    def coverage(self) -> Optional[float]:
+        """Fraction of harmful faults the design handled safely
+        (detected-and-recovered, or ECC-corrected).
+
+        ``NOT_FIRED`` points and ``MASKED`` strikes are explicitly
+        excluded from the denominator.  When the campaign produced *no*
+        harmful fault at all, there is no coverage to speak of — the
+        property is ``None``, never a vacuous (and misleading) ``1.0``.
+        """
+        harmful = [r for r in self.results if r.outcome in HARMFUL_OUTCOMES]
+        if not harmful:
+            return None
+        good = sum(1 for r in harmful if r.outcome in HANDLED_OUTCOMES)
         return good / len(harmful)
 
 
@@ -97,6 +157,8 @@ def classify_run(
     if not injector.report.fired:
         return FaultOutcome.NOT_FIRED
     correct = list(result_output) == list(reference_output)
+    if injector.report.ecc_corrected and correct:
+        return FaultOutcome.ECC_CORRECTED
     detected = detections > baseline_detections
     if correct and detected:
         return FaultOutcome.DETECTED_RECOVERED
@@ -107,31 +169,107 @@ def classify_run(
     return FaultOutcome.SILENT_CORRUPTION
 
 
+def _detection_span(run, report):
+    """(detect_latency, recovery_penalty) of the first recovery at or
+    after the strike, from the run's recovery log.
+
+    The log holds ``(retired_at_detection, latency_cycles)`` per
+    recovery.  The strike's position in R-stream retirement numbering
+    is ``report.seq + 1`` (the hook fires just after the retirement
+    counter advances); A-stream strikes use the same numbering as an
+    approximation — the streams retire in near lockstep.  A baseline
+    (fault-independent) recovery landing between strike and detection
+    would be misattributed; baseline IR-misps are rare enough (paper:
+    <0.05/1000) that the first post-strike recovery is the detection.
+    """
+    if report.seq is None:
+        return None, None
+    strike_retired = report.seq + 1
+    for retired_at, latency in run.recoveries:
+        if retired_at >= strike_retired:
+            return max(0, retired_at - strike_retired), latency
+    return None, None
+
+
+def hang_budget(reference_retired: int) -> int:
+    """Deterministic instruction budget for one injected run.
+
+    A corrupted loop bound can make the injected program retire
+    unboundedly many instructions; an injected run past this budget
+    classifies as :attr:`FaultOutcome.HANG`.  The budget is a pure
+    function of the fault-free run's retirement count (generous 4x
+    headroom plus a floor for tiny programs), never of wall-clock, so
+    campaign results stay byte-deterministic across hosts.
+    """
+    return 4 * reference_retired + 10_000
+
+
 def inject_one(
     program: Program,
     fault: TransientFault,
     config: Optional[SlipstreamConfig] = None,
     reference_output: Optional[Sequence[int]] = None,
     baseline_detections: Optional[int] = None,
+    ecc: bool = False,
+    max_instructions: Optional[int] = None,
 ) -> InjectionResult:
-    """Run the slipstream machine with one injected fault."""
+    """Run the slipstream machine with one injected fault.
+
+    ``ecc`` models ECC on the R-stream's architectural state
+    (:class:`repro.fault.ecc.ECCModel`): protected strikes are corrected
+    and classify as ``ECC_CORRECTED``.
+
+    ``max_instructions`` bounds the injected run (see
+    :func:`hang_budget`); when the reference is computed here it
+    defaults to the reference's budget, and an injected run exceeding
+    it classifies as ``HANG``.
+    """
     if reference_output is None or baseline_detections is None:
         clean = SlipstreamProcessor(program, config).run()
         reference_output = clean.output
         baseline_detections = clean.ir_mispredictions
+        if max_instructions is None:
+            max_instructions = hang_budget(clean.retired)
         reference = FunctionalSimulator(program).run()
         assert list(reference.output) == list(reference_output)
-    injector = FaultInjector(fault)
-    run = SlipstreamProcessor(program, config, fault_hook=injector).run()
+    run_config = config
+    if max_instructions is not None:
+        run_config = replace(
+            config if config is not None else SlipstreamConfig(),
+            max_instructions=max_instructions,
+        )
+    injector = FaultInjector(fault, ecc=ECCModel() if ecc else None)
+    try:
+        run = SlipstreamProcessor(program, run_config, fault_hook=injector).run()
+    except SimulationError:
+        if not injector.report.fired:
+            # The budget covers the clean run with 4x headroom; running
+            # out *before* the strike is a simulator bug, not a fault
+            # effect.
+            raise
+        return InjectionResult(
+            fault=fault,
+            outcome=FaultOutcome.HANG,
+            struck_compared=injector.report.struck_compared,
+            detections=0,
+            ecc_corrected=injector.report.ecc_corrected,
+        )
     outcome = classify_run(
         reference_output, injector, run.output, baseline_detections,
         run.ir_mispredictions,
     )
+    detect_latency = recovery_penalty = None
+    if outcome in (FaultOutcome.DETECTED_RECOVERED,
+                   FaultOutcome.DETECTED_UNRECOVERABLE):
+        detect_latency, recovery_penalty = _detection_span(run, injector.report)
     return InjectionResult(
         fault=fault,
         outcome=outcome,
         struck_compared=injector.report.struck_compared,
         detections=run.ir_mispredictions,
+        detect_latency=detect_latency,
+        recovery_penalty=recovery_penalty,
+        ecc_corrected=injector.report.ecc_corrected,
     )
 
 
@@ -141,11 +279,13 @@ def run_campaign(
     target_seqs: Sequence[int],
     bit: int = 7,
     config: Optional[SlipstreamConfig] = None,
+    ecc: bool = False,
 ) -> CampaignResult:
     """Inject one fault per (site, target) pair and aggregate."""
     clean = SlipstreamProcessor(program, config).run()
     reference_output = clean.output
     baseline = clean.ir_mispredictions
+    budget = hang_budget(clean.retired)
     campaign = CampaignResult()
     for site in sites:
         for seq in target_seqs:
@@ -155,6 +295,8 @@ def run_campaign(
                     program, fault, config,
                     reference_output=reference_output,
                     baseline_detections=baseline,
+                    ecc=ecc,
+                    max_instructions=budget,
                 )
             )
     return campaign

@@ -1,0 +1,63 @@
+"""ECC on the R-stream's architectural state (paper, section 3).
+
+The paper's fault analysis leaves exactly one unrecoverable hole for
+redundantly-executed instructions: a transient fault that corrupts the
+R-stream's *architectural* state (register file or data cache) after
+writeback.  The comparison hardware saw the correctly computed value,
+so the strike is invisible at the faulted instruction, and any later
+detection recovers from the already-corrupted R-stream context — the
+``DETECTED_UNRECOVERABLE`` outcome of :mod:`repro.fault.coverage`.
+
+The paper's fix is conventional: protect the R-stream's register file
+and data cache with single-error-correcting ECC.  :class:`ECCModel`
+models that protection at the fidelity of our injector: an
+:data:`~repro.fault.injector.FaultSite.R_ARCH` single-bit strike is
+corrected before the value is next consumed, so the architectural state
+is never observed corrupted and the run classifies as
+``ECC_CORRECTED``.  Strikes *computed* wrong (``R_TRANSIENT``) are not
+helped — ECC faithfully encodes the wrong value — which preserves the
+paper's residual caveat for instructions the A-stream bypassed
+(scenario #2).  With ECC enabled, every fault on a redundantly-executed
+instruction is handled: A-stream strikes and compared R-stream
+transients by the existing IR-misprediction machinery, architectural
+strikes by the code — the "fully recoverable" claim the campaign
+(:mod:`repro.fault.campaign`) reproduces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet
+
+from repro.fault.injector import FaultSite
+
+#: Sites ECC protects: architectural storage only.  Transient pipeline
+#: values are not ECC-protected anywhere in the design (the paper's
+#: sphere-of-replication argument covers them instead).
+PROTECTED_SITES: FrozenSet[FaultSite] = frozenset({FaultSite.R_ARCH})
+
+
+@dataclass
+class ECCModel:
+    """Single-bit-correcting ECC over the R-stream's register file and
+    data cache.
+
+    The model is exact for our injector: faults are single-bit by
+    construction (:class:`~repro.fault.injector.TransientFault`), so a
+    SEC code corrects every protected strike; double-bit behaviour never
+    arises and is deliberately not modelled.
+    """
+
+    protected_sites: FrozenSet[FaultSite] = PROTECTED_SITES
+    #: Strikes corrected so far (one per protected fault that fired).
+    corrections: int = field(default=0)
+
+    def protects(self, site: FaultSite) -> bool:
+        return site in self.protected_sites
+
+    def correct(self) -> None:
+        """Record one corrected strike."""
+        self.corrections += 1
+
+
+__all__ = ["ECCModel", "PROTECTED_SITES"]

@@ -32,10 +32,13 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.arch.executor import DynInstr, wrap32
 from repro.arch.state import ArchState
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.fault.ecc import ECCModel
 
 
 class FaultSite(enum.Enum):
@@ -65,20 +68,35 @@ def _flip(value: int, bit: int) -> int:
 
 @dataclass
 class FaultReport:
-    """What the injector actually did."""
+    """What the injector actually did.
+
+    ``seq`` is the struck dynamic instruction's per-stream sequence
+    number (the strike point, in the faulted stream's retirement
+    numbering); ``ecc_corrected`` is set when an
+    :class:`~repro.fault.ecc.ECCModel` absorbed an architectural strike
+    before it could land.
+    """
 
     fired: bool = False
     struck_compared: Optional[bool] = None
     original_value: Optional[int] = None
     corrupted_value: Optional[int] = None
     pc: Optional[int] = None
+    seq: Optional[int] = None
+    ecc_corrected: bool = False
 
 
 class FaultInjector:
-    """A :data:`repro.core.slipstream.FaultHook` injecting one fault."""
+    """A :data:`repro.core.slipstream.FaultHook` injecting one fault.
 
-    def __init__(self, fault: TransientFault):
+    ``ecc`` optionally models ECC on the R-stream's architectural state
+    (:mod:`repro.fault.ecc`): a protected site's strike is counted and
+    corrected instead of corrupting the state.
+    """
+
+    def __init__(self, fault: TransientFault, ecc: Optional["ECCModel"] = None):
         self.fault = fault
+        self.ecc = ecc
         self.report = FaultReport()
 
     def __call__(
@@ -96,7 +114,8 @@ class FaultInjector:
         if dyn.value is None:
             # The targeted instruction produces no value (branch, nop);
             # the fault is architecturally masked by construction.
-            self.report = FaultReport(fired=True, struck_compared=compared, pc=dyn.pc)
+            self.report = FaultReport(fired=True, struck_compared=compared,
+                                      pc=dyn.pc, seq=dyn.seq)
             return dyn
         corrupted = _flip(dyn.value, fault.bit)
         self.report = FaultReport(
@@ -105,7 +124,15 @@ class FaultInjector:
             original_value=dyn.value,
             corrupted_value=corrupted,
             pc=dyn.pc,
+            seq=dyn.seq,
         )
+        if self.ecc is not None and self.ecc.protects(fault.site):
+            # The strike lands in ECC-protected storage: the single-bit
+            # error is corrected before the value is next consumed, so
+            # architectural state is never observed corrupted.
+            self.ecc.correct()
+            self.report.ecc_corrected = True
+            return dyn
         if fault.site is FaultSite.A_RESULT:
             # The A-stream retires the corrupted value into its context.
             self._write_back(dyn, state, corrupted)

@@ -171,7 +171,13 @@ class TestCampaign:
         counts = campaign.counts()
         assert sum(counts.values()) == 4
         assert set(campaign.by_site()) <= {FaultSite.A_RESULT, FaultSite.R_TRANSIENT}
-        assert 0.0 <= campaign.coverage <= 1.0
+        # Coverage is None when no harmful fault fired (never a vacuous
+        # 1.0); otherwise it is a proper fraction of harmful faults.
+        if campaign.harmful:
+            assert campaign.coverage is not None
+            assert 0.0 <= campaign.coverage <= 1.0
+        else:
+            assert campaign.coverage is None
 
     def test_a_stream_faults_always_safe(self, program):
         """Faults confined to the A-stream are always transparently
