@@ -1,0 +1,87 @@
+"""Perf smoke: the compiled engine must not be slower than the interpreter.
+
+Runs the pinned ``cmp/li`` co-simulation (the sweep's heavyweight job
+shape) once per engine, ``--reps`` times each, and compares the minimum
+CPU seconds — CPU time, not wall clock, so a noisy shared CI runner
+does not flap the check.  The two engines' ``SlipstreamResult``s must
+also be equal, making this a cheap end-to-end identity smoke on top of
+the dedicated test suite.
+
+Fails (exit 1) only when the compiled engine is *slower* than the
+interpreter: the point is to catch a regression that silently turns the
+default engine into a pessimization, not to enforce a specific speedup
+on unknown CI hardware.  The measured numbers are written as JSON for
+artifact upload; read the ratio with::
+
+    python -c "import json; print(json.load(open('BENCH_perf_smoke.json'))['speedup'])"
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+
+from repro.core.slipstream import SlipstreamProcessor
+from repro.workloads.suite import get_benchmark
+
+BENCHMARK = "li"
+
+
+def measure(program, engine: str, reps: int):
+    """(min CPU seconds, result) over ``reps`` fresh co-simulations."""
+    best = None
+    result = None
+    for _ in range(reps):
+        c0 = time.process_time()
+        result = SlipstreamProcessor(program, engine=engine).run()
+        cpu = time.process_time() - c0
+        if best is None or cpu < best:
+            best = cpu
+    return best, result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--reps", type=int, default=2,
+                        help="runs per engine; min is compared (default 2)")
+    parser.add_argument("--out", default="BENCH_perf_smoke.json",
+                        help="JSON output path")
+    args = parser.parse_args(argv)
+
+    program = get_benchmark(BENCHMARK).program(1)
+    interp_cpu, interp_result = measure(program, "interpreted", args.reps)
+    compiled_cpu, compiled_result = measure(program, "compiled", args.reps)
+
+    identical = compiled_result == interp_result
+    speedup = interp_cpu / compiled_cpu if compiled_cpu > 0 else float("inf")
+    payload = {
+        "benchmark": f"cmp/{BENCHMARK}@1",
+        "python": platform.python_version(),
+        "reps": args.reps,
+        "interpreted_cpu_seconds": round(interp_cpu, 4),
+        "compiled_cpu_seconds": round(compiled_cpu, 4),
+        "speedup": round(speedup, 3),
+        "results_identical": identical,
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(json.dumps(payload, indent=2))
+
+    if not identical:
+        print("FAIL: engines disagree on the co-simulation result",
+              file=sys.stderr)
+        return 1
+    if compiled_cpu > interp_cpu:
+        print(f"FAIL: compiled engine slower than the interpreter "
+              f"({compiled_cpu:.2f}s > {interp_cpu:.2f}s CPU)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

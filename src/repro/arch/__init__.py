@@ -8,6 +8,12 @@ retired control/data flow (paper, section 4).
 
 from repro.arch.state import ArchState, Memory, RegisterFile
 from repro.arch.executor import DynInstr, execute_one, wrap32
+from repro.arch.compiled import (
+    CompiledProgram,
+    compiled_enabled,
+    compiled_for,
+    resolve_engine,
+)
 from repro.arch.functional import FunctionalSimulator, RunResult
 
 __all__ = [
@@ -17,6 +23,10 @@ __all__ = [
     "DynInstr",
     "execute_one",
     "wrap32",
+    "CompiledProgram",
+    "compiled_enabled",
+    "compiled_for",
+    "resolve_engine",
     "FunctionalSimulator",
     "RunResult",
 ]

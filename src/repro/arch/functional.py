@@ -9,6 +9,16 @@ used throughout the project:
   functional simulator (section 4);
 * providing the R-stream's authoritative execution in the slipstream
   co-simulation.
+
+Two execution engines produce bit-identical results (asserted by
+``tests/test_arch_compiled.py``):
+
+* ``"compiled"`` (default) — pre-decoded closures from
+  :mod:`repro.arch.compiled`; :meth:`FunctionalSimulator.run` executes
+  whole basic blocks per dispatch and allocates no ``DynInstr`` at all.
+* ``"interpreted"`` — the reference :func:`repro.arch.executor.execute_one`
+  loop.  Select it globally with ``REPRO_COMPILED=0`` or per-instance
+  with ``engine="interpreted"``.
 """
 
 from __future__ import annotations
@@ -16,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator, List, Optional
 
+from repro.arch.compiled import CompiledProgram, compiled_for, resolve_engine
 from repro.arch.executor import DynInstr, execute_one
 from repro.arch.state import ArchState
 from repro.isa.program import Program
@@ -45,9 +56,18 @@ class FunctionalSimulator:
     retired instructions (the dynamic instruction stream).
     """
 
-    def __init__(self, program: Program, max_instructions: int = 50_000_000):
+    def __init__(
+        self,
+        program: Program,
+        max_instructions: int = 50_000_000,
+        engine: Optional[str] = None,
+    ):
         self.program = program
         self.max_instructions = max_instructions
+        self.engine = resolve_engine(engine)
+        self._compiled: Optional[CompiledProgram] = (
+            compiled_for(program) if self.engine == "compiled" else None
+        )
 
     def fresh_state(self) -> ArchState:
         return ArchState(image=self.program.data)
@@ -60,12 +80,25 @@ class FunctionalSimulator:
         if state is None:
             state = self.fresh_state()
         pc = self.program.entry
-        for seq in range(self.max_instructions):
-            dyn = execute_one(self.program, state, pc, seq=seq)
-            yield dyn
-            if state.halted:
-                return
-            pc = dyn.next_pc
+        program = self.program
+        compiled = self._compiled
+        if compiled is not None:
+            step_get = compiled.step_funcs.get
+            for seq in range(self.max_instructions):
+                f = step_get(pc)
+                dyn = (f(state, seq) if f is not None
+                       else execute_one(program, state, pc, seq=seq))
+                yield dyn
+                if state.halted:
+                    return
+                pc = dyn.next_pc
+        else:
+            for seq in range(self.max_instructions):
+                dyn = execute_one(program, state, pc, seq=seq)
+                yield dyn
+                if state.halted:
+                    return
+                pc = dyn.next_pc
         raise InstructionLimitExceeded(
             f"{self.program.name} exceeded {self.max_instructions} instructions"
         )
@@ -74,6 +107,18 @@ class FunctionalSimulator:
         """Run to completion, returning final state and retire count."""
         if state is None:
             state = self.fresh_state()
+        if self._compiled is not None:
+            count, halted = self._compiled.run(
+                state, self.program.entry, self.max_instructions
+            )
+            if not halted:
+                raise InstructionLimitExceeded(
+                    f"{self.program.name} exceeded "
+                    f"{self.max_instructions} instructions"
+                )
+            return RunResult(
+                state=state, instruction_count=count, output=state.output
+            )
         count = 0
         for _ in self.steps(state):
             count += 1

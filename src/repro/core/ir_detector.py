@@ -34,16 +34,23 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, FrozenSet, Iterable, List, Tuple
 
-from repro.arch.executor import DynInstr
-from repro.core.rdfg import RDFGNode, connect, kill, select
+from repro.core.rdfg import RDFGNode, kill, select
 from repro.core.removal import RemovalKind
-from repro.core.rename_table import Operand, OperandRenameTable
+from repro.core.rename_table import Entry, OperandRenameTable
 from repro.isa.instructions import InstrClass
 from repro.trace.selection import CompletedTrace
 from repro.trace.trace_id import TraceId
 
 DEFAULT_SCOPE_TRACES = 8
 ALL_TRIGGERS = frozenset({"BR", "WW", "SV"})
+
+#: The rename table accepts any hashable operand key.  The detector
+#: encodes operands as ints — register number for registers, address
+#: offset past 2^32 for memory — instead of ``("r", n)``/``("m", a)``
+#: tuples: int keys allocate nothing for registers and hash in one
+#: operation, and this loop touches every retired instruction's
+#: operands.  Addresses are < 2^32 (wrap32), so the spaces are disjoint.
+_MEM_BASE = 1 << 32
 
 #: Instruction classes that must never be removed: indirect jumps steer
 #: control through dynamic targets, OUT is architectural program output,
@@ -74,7 +81,7 @@ class _ScopedTrace:
         self.seq = seq
         self.trace_id = trace_id
         self.nodes = nodes
-        self.touched: List[Operand] = []
+        self.touched: List[int] = []
         self.pcs: List[int] = []
 
 
@@ -109,16 +116,96 @@ class IRDetector:
 
     def feed_trace(self, trace: CompletedTrace) -> List[TraceAnalysis]:
         """Merge one retired trace; returns analyses of traces that left
-        the scope as a result (usually zero or one)."""
+        the scope as a result (usually zero or one).
+
+        The per-instruction merge logic (formerly ``_merge``/``_write``
+        helpers) is inlined with hoisted locals: this loop runs once per
+        retired R-stream instruction and dominated the detector's
+        profile as method calls.
+        """
         seq = self._next_seq
         self._next_seq += 1
         scoped = _ScopedTrace(seq, trace.trace_id, [])
         self._scope.append(scoped)
-        for index, dyn in enumerate(trace.instructions):
-            node = RDFGNode(seq, index, removable=self._is_removable(dyn))
-            scoped.nodes.append(node)
-            scoped.pcs.append(dyn.pc)
-            self._merge(dyn, node, scoped)
+        nodes_append = scoped.nodes.append
+        pcs_append = scoped.pcs.append
+        touched_append = scoped.touched.append
+        # The rename-table read/write protocol is inlined against the
+        # entry dict (same semantics as OperandRenameTable.read/write,
+        # which documents it): per-operand method calls and
+        # WriteOutcome allocations dominated this loop's profile.
+        entries = self._table._entries
+        entries_get = entries.get
+        entry_cls = Entry
+        br_trigger = self._br_trigger
+        ww_trigger = self._ww_trigger
+        sv_trigger = self._sv_trigger
+        node_cls = RDFGNode
+        never = _NEVER_REMOVABLE
+        br_kind = RemovalKind.BR
+        sv_kind = RemovalKind.SV
+        mem_base = _MEM_BASE
+        index = 0
+        for dyn in trace.instructions:
+            instr = dyn.instr
+            node = node_cls(seq, index, removable=instr.klass not in never)
+            index += 1
+            nodes_append(node)
+            pcs_append(dyn.pc)
+            mem_addr = dyn.mem_addr
+            # Source operands: establish producer connections and ref
+            # bits (``connect`` inlined: same-trace edges only, else an
+            # external reference disqualifying back-propagation).
+            for reg in instr.srcs:
+                if reg:
+                    entry = entries_get(reg)
+                    if entry is not None:
+                        entry.ref = True
+                        producer = entry.producer
+                        if producer.trace_seq == seq:
+                            producer.consumers.append(node)
+                            node.producers.append(producer)
+                        else:
+                            producer.external_ref = True
+            if instr.is_load and mem_addr is not None:
+                entry = entries_get(mem_addr + mem_base)
+                if entry is not None:
+                    entry.ref = True
+                    producer = entry.producer
+                    if producer.trace_seq == seq:
+                        producer.consumers.append(node)
+                        node.producers.append(producer)
+                    else:
+                        producer.external_ref = True
+
+            # Trigger: branch instructions are always selected at merge.
+            if br_trigger and instr.is_branch:
+                select(node, br_kind)
+
+            # Destination operand: SV/WW detection and value kills.
+            if instr.is_store and mem_addr is not None:
+                operand = mem_addr + mem_base
+            elif dyn.dest_reg is not None and dyn.value is not None:
+                operand = dyn.dest_reg
+            else:
+                continue
+            value = dyn.value
+            entry = entries_get(operand)
+            if entry is not None:
+                if sv_trigger and entry.value == value:
+                    # Non-modifying write: select; the old producer
+                    # remains the live producer of the location (but the
+                    # write refreshes the entry's scope lifetime).
+                    entry.last_write_seq = seq
+                    select(node, sv_kind)
+                else:
+                    killed = entry.producer
+                    unreferenced = not entry.ref
+                    entries[operand] = entry_cls(value, node)
+                    kill(killed, unreferenced and ww_trigger)
+            else:
+                entries[operand] = entry_cls(value, node)
+            touched_append(operand)
         retired: List[TraceAnalysis] = []
         while len(self._scope) > self.scope_traces:
             retired.append(self._retire_oldest())
@@ -132,54 +219,6 @@ class IRDetector:
         return retired
 
     # ------------------------------------------------------------------
-
-    @staticmethod
-    def _is_removable(dyn: DynInstr) -> bool:
-        return dyn.instr.klass not in _NEVER_REMOVABLE
-
-    def _merge(self, dyn: DynInstr, node: RDFGNode, scoped: _ScopedTrace) -> None:
-        table = self._table
-        instr = dyn.instr
-        mem_addr = dyn.mem_addr
-        # Source operands: establish producer connections and ref bits.
-        for reg in instr.srcs:
-            if reg == 0:
-                continue
-            producer = table.read(("r", reg))
-            if producer is not None:
-                connect(producer, node)
-        if instr.is_load and mem_addr is not None:
-            producer = table.read(("m", mem_addr))
-            if producer is not None:
-                connect(producer, node)
-
-        # Trigger: branch instructions are always selected at merge.
-        if instr.is_branch and self._br_trigger:
-            select(node, RemovalKind.BR)
-
-        # Destination operand: SV/WW detection and value kills.
-        if instr.is_store and mem_addr is not None:
-            self._write(("m", mem_addr), dyn.value, node, scoped)
-        elif dyn.dest_reg is not None and dyn.value is not None:
-            self._write(("r", dyn.dest_reg), dyn.value, node, scoped)
-
-    def _write(self, operand: Operand, value: int, node: RDFGNode, scoped: _ScopedTrace) -> None:
-        outcome = self._table.write(
-            operand, value, node, detect_silent=self._sv_trigger
-        )
-        if outcome.silent:
-            # Non-modifying write: select; the old producer remains the
-            # live producer of the location (but the write refreshes the
-            # entry's scope lifetime).
-            select(node, RemovalKind.SV)
-            scoped.touched.append(operand)
-            return
-        if outcome.killed is not None:
-            kill(
-                outcome.killed,
-                unreferenced=outcome.killed_unreferenced and self._ww_trigger,
-            )
-        scoped.touched.append(operand)
 
     def _retire_oldest(self) -> TraceAnalysis:
         scoped = self._scope.popleft()

@@ -10,24 +10,28 @@ into R-DFGs and detects the two ineffectual-write triggers:
 * **unreferenced write (WW)** — the old producer is overwritten with its
   ref bit still clear.
 
-Operands are ``("r", reg)`` or ``("m", addr)`` tuples.  Entries are
-invalidated when their producer's trace leaves the IR-detector's
-analysis scope.
+The table is agnostic to the operand encoding: any hashable key works,
+as long as register and memory keys cannot collide.  The readable
+``("r", reg)``/``("m", addr)`` tuples (the :func:`reg_operand` /
+:func:`mem_operand` helpers) are one such encoding; the IR-detector's
+hot path uses disjoint integer ranges instead, which allocate nothing
+and hash faster.  Entries are invalidated when their producer's trace
+leaves the IR-detector's analysis scope.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Hashable, Optional, Tuple
 
-Operand = Tuple[str, int]
+Operand = Hashable
 
 
-def reg_operand(reg: int) -> Operand:
+def reg_operand(reg: int) -> Tuple[str, int]:
     return ("r", reg)
 
 
-def mem_operand(addr: int) -> Operand:
+def mem_operand(addr: int) -> Tuple[str, int]:
     return ("m", addr)
 
 
@@ -70,6 +74,13 @@ class WriteOutcome:
     killed_unreferenced: bool = False
 
 
+#: Shared immutable-by-convention outcomes for the two cases that carry
+#: no per-write payload; one write per dynamic instruction makes the
+#: allocation measurable.  Callers only ever read outcome fields.
+_SILENT_OUTCOME = WriteOutcome(silent=True)
+_FRESH_OUTCOME = WriteOutcome()
+
+
 class OperandRenameTable:
     """Tracks the most recent producer of every live location."""
 
@@ -108,14 +119,14 @@ class OperandRenameTable:
         if entry is not None:
             if detect_silent and entry.value == value:
                 entry.last_write_seq = producer.trace_seq
-                return WriteOutcome(silent=True)
+                return _SILENT_OUTCOME
             outcome = WriteOutcome(
                 killed=entry.producer, killed_unreferenced=not entry.ref
             )
             self._entries[operand] = Entry(value, producer)
             return outcome
         self._entries[operand] = Entry(value, producer)
-        return WriteOutcome()
+        return _FRESH_OUTCOME
 
     def invalidate_if_stale(self, operand: Operand, trace_seq: int) -> None:
         """Drop the entry if its most recent writer belongs to the trace

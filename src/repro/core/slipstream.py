@@ -51,6 +51,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.arch.compiled import compiled_for, resolve_engine
 from repro.arch.executor import DynInstr, ExecutionError, execute_one
 from repro.arch.state import ArchState
 from repro.fingerprint import fingerprint as _config_fingerprint
@@ -61,7 +62,7 @@ from repro.core.pc_ir_predictor import PCIRPredictor, PCIRPredictorConfig
 from repro.core.recovery import RecoveryController
 from repro.core.removal import RemovalKind, removal_category
 from repro.isa.instructions import InstrClass, WORD
-from repro.isa.program import Program
+from repro.isa.program import Program, TEXT_BASE
 from repro.obs.session import Observability
 from repro.trace.predictor import TracePredictorConfig
 from repro.trace.selection import (
@@ -76,7 +77,7 @@ from repro.trace.trace_id import TraceId
 from repro.uarch.cache import Cache
 from repro.uarch.config import CoreConfig, SS_64x4
 from repro.uarch.latencies import latency_of
-from repro.uarch.scheduler import InstrTiming, OoOScheduler
+from repro.uarch.scheduler import OoOScheduler
 
 #: Fault-injection hook: called for every retired instruction of either
 #: stream.  ``stream`` is "A" or "R"; ``compared`` tells whether the
@@ -237,10 +238,36 @@ class SlipstreamProcessor:
         config: Optional[SlipstreamConfig] = None,
         fault_hook: Optional[FaultHook] = None,
         obs: Optional[Observability] = None,
+        engine: Optional[str] = None,
     ):
         self.program = program
         self.config = config or SlipstreamConfig()
         self.fault_hook = fault_hook
+        #: Execution engine ("compiled" | "interpreted").  Both produce
+        #: bit-identical results, so the choice is a constructor/env
+        #: concern (REPRO_COMPILED), never part of SlipstreamConfig —
+        #: config fingerprints and eval cache keys must not depend on it.
+        self.engine = resolve_engine(engine)
+        self._step_funcs = (
+            compiled_for(program).step_funcs if self.engine == "compiled" else None
+        )
+        # Static per-PC scheduling metadata, precomputed once regardless
+        # of engine (it is a pure function of the static instruction):
+        # (srcs, latency, is_load, is_store, is_control, is_branch).
+        # Replaces the latency_of dict probe + attribute chain per
+        # scheduled instruction in both streams.
+        self._sched_meta: Dict[int, Tuple] = {}
+        pc = TEXT_BASE
+        for instr in program.instructions:
+            self._sched_meta[pc] = (
+                instr.srcs,
+                latency_of(instr),
+                instr.is_load,
+                instr.is_store,
+                instr.is_control,
+                instr.is_branch,
+            )
+            pc += WORD
         #: Observability handle (:mod:`repro.obs`); None disables all
         #: instrumentation at the cost of one pointer test per trace.
         #: Instrumentation is behavior-neutral: results are bit-identical
@@ -507,35 +534,69 @@ class SlipstreamProcessor:
         misprediction at the first point such fetch would lose.
         """
         steps: List[_FollowedStep] = []
+        steps_append = steps.append
         pc = self.a_pc
         diverged = steps_static is None
+        n_static = len(steps_static) if steps_static is not None else 0
+        ir_vec = removal.ir_vec if removal is not None else None
+        n_vec = len(ir_vec) if ir_vec is not None else 0
+        # Execution is inlined (formerly ``_a_execute``) with stream
+        # state hoisted into locals: this loop runs once per A-stream
+        # instruction, second only to ``_r_phase``.
+        a_state = self.a_state
+        funcs = self._step_funcs
+        funcs_get = funcs.get if funcs is not None else None
+        program = self.program
+        a_seq = self._a_seq
+        a_executed = 0
+        fault_hook = self.fault_hook
+        track_undo = self.recovery.track_undo
+        followed = _FollowedStep
+        removed_by_category = self.removed_by_category
+        halted = False
         for index in range(self.config.trace_length):
             st: Optional[PredictedStep] = None
-            if not diverged and index < len(steps_static):
+            if not diverged and index < n_static:
                 st = steps_static[index]
-            if st is not None and removal is not None \
-                    and index < len(removal.ir_vec) and removal.ir_vec[index] \
+            if st is not None and ir_vec is not None \
+                    and index < n_vec and ir_vec[index] \
                     and st.instr.klass not in _NEVER_REMOVED:
                 kind = removal.kinds[index]
-                steps.append(
-                    _FollowedStep(st.pc, st.instr, False, kind=kind,
-                                  pred_taken=st.taken)
-                )
+                step = followed(st.pc, st.instr, False, kind=kind,
+                                pred_taken=st.taken)
+                steps_append(step)
                 self.a_removed += 1
                 category = removal_category(kind)
-                self.removed_by_category[category] = (
-                    self.removed_by_category.get(category, 0) + 1
+                removed_by_category[category] = (
+                    removed_by_category.get(category, 0) + 1
                 )
-                pc = _next_pc_of(steps[-1])
+                pc = _next_pc_of(step)
                 continue
-            dyn = self._a_execute(pc)
-            if dyn is None:  # execution fault on a corrupt path
+            # Execute one instruction in the A-stream's context; a fault
+            # means corrupt state drove the A-stream onto an invalid
+            # path, and it idles until the R-stream exposes the
+            # deviation and recovery restarts it.
+            try:
+                if funcs_get is not None:
+                    f = funcs_get(pc)
+                    dyn = (f(a_state, a_seq) if f is not None
+                           else execute_one(program, a_state, pc, seq=a_seq))
+                else:
+                    dyn = execute_one(program, a_state, pc, seq=a_seq)
+            except (ExecutionError, ValueError, IndexError):
                 break
-            step = _FollowedStep(pc, dyn.instr, True, dyn=dyn,
-                                 pred_taken=st.taken if st is not None else dyn.taken)
-            steps.append(step)
-            if self.a_state.halted:
-                return steps, True
+            a_seq += 1
+            a_executed += 1
+            if fault_hook is not None:
+                dyn = fault_hook("A", dyn, a_state, True)
+            if dyn.is_store and dyn.mem_addr is not None:
+                track_undo(dyn.mem_addr)
+            step = followed(pc, dyn.instr, True, dyn=dyn,
+                            pred_taken=st.taken if st is not None else dyn.taken)
+            steps_append(step)
+            if a_state.halted:
+                halted = True
+                break
             if st is not None:
                 if dyn.instr.is_branch and dyn.taken != st.taken:
                     # Conventional misprediction, detected by the
@@ -563,26 +624,9 @@ class SlipstreamProcessor:
             if dyn.instr.klass in (InstrClass.JUMP_INDIRECT, InstrClass.HALT):
                 break
             pc = dyn.next_pc
-        return steps, False
-
-    def _a_execute(self, pc: int) -> Optional[DynInstr]:
-        """Execute one instruction in the A-stream's context.
-
-        Returns None if execution faults (corrupt state drove the
-        A-stream onto an invalid path); the A-stream then idles until
-        the R-stream exposes the deviation and recovery restarts it.
-        """
-        try:
-            dyn = execute_one(self.program, self.a_state, pc, seq=self._a_seq)
-        except (ExecutionError, ValueError, IndexError):
-            return None
-        self._a_seq += 1
-        self.a_executed += 1
-        if self.fault_hook is not None:
-            dyn = self.fault_hook("A", dyn, self.a_state, True)
-        if dyn.is_store and dyn.mem_addr is not None:
-            self.recovery.track_undo(dyn.mem_addr)
-        return dyn
+        self._a_seq = a_seq
+        self.a_executed += a_executed
+        return steps, halted
 
     def _schedule_a_trace(self, steps: List[_FollowedStep]) -> None:
         """Schedule the A-stream's executed instructions with
@@ -592,20 +636,75 @@ class SlipstreamProcessor:
         slots (the stored intermediate PCs let the front end skip the
         removed chunks entirely, Figure 2)."""
         cfg = self.a_core
-        icache_probe = self.a_icache.probe
-        dcache_probe = self.a_dcache.probe
-        sched_add = self.a_sched.add
         icache_miss = cfg.icache.miss_penalty
         dcache_miss = cfg.dcache.miss_penalty
         fetch_width = cfg.fetch_width
         block_pending = self._a_block_pending
         block_count = self._a_block_count
+        sched_meta = self._sched_meta
+        # Scheduler pass inlined (same logic as OoOScheduler.add_args,
+        # specialized: the A-stream never merges delay-buffer values and
+        # never passes a fetch floor); scalar state in locals, written
+        # back after the loop, as in _r_phase.
+        asc = self.a_sched
+        as_overhead_num, as_overhead_den = asc._overhead_num, asc._overhead_den
+        as_overhead_acc = asc._overhead_acc
+        as_dispatch_width = asc._dispatch_width
+        as_issue_width = asc._issue_width
+        as_retire_width = asc._retire_width
+        as_rob_size = asc._rob_size
+        as_frontend_depth = asc._frontend_depth
+        as_reg_ready = asc._reg_ready
+        as_store_ready = asc._store_ready
+        as_store_get = as_store_ready.get
+        as_rob = asc._rob_retire
+        as_rob_append = as_rob.append
+        as_rob_popleft = as_rob.popleft
+        as_issue_count = asc._issue_count
+        as_issue_get = as_issue_count.get
+        as_next_block_cycle = asc._next_block_cycle
+        as_cur_block_fetch = asc._cur_block_fetch
+        as_last_dispatch = asc._last_dispatch
+        as_dispatch_used = asc._dispatch_used
+        as_retire_cycle = asc._retire_cycle
+        as_retire_count = asc._retire_count
+        as_retired = asc.retired
+        as_redirects = asc.redirects
+        redirect_penalty = asc.config.redirect_penalty
+        a_last_complete = self._a_last_complete
+        a_last_retire = self._a_last_retire
+        # Cache probes inlined as in _r_phase; counters written back
+        # after the loop.
+        aic = self.a_icache
+        aic_sets, aic_lb = aic._sets, aic._line_bytes
+        aic_ns, aic_assoc = aic._num_sets, aic._assoc
+        aic_stamp, aic_acc, aic_misses = aic._stamp, 0, 0
+        adc = self.a_dcache
+        adc_sets, adc_lb = adc._sets, adc._line_bytes
+        adc_ns, adc_assoc = adc._num_sets, adc._assoc
+        adc_stamp, adc_acc, adc_misses = adc._stamp, 0, 0
         for step in steps:
             if step.executed:
                 dyn = step.dyn
-                instr = dyn.instr
+                pc = dyn.pc
+                meta = sched_meta.get(pc)
+                if meta is None:
+                    instr = dyn.instr
+                    meta = (instr.srcs, latency_of(instr), instr.is_load,
+                            instr.is_store, instr.is_control, instr.is_branch)
+                srcs, latency, is_load, is_store, _, _ = meta
                 icache_penalty = 0
-                if not icache_probe(dyn.pc):
+                aic_acc += 1
+                aic_stamp += 1
+                line = pc // aic_lb
+                cset = aic_sets[line % aic_ns]
+                if line in cset:
+                    cset[line] = aic_stamp
+                else:
+                    aic_misses += 1
+                    if len(cset) >= aic_assoc:
+                        del cset[min(cset, key=cset.get)]
+                    cset[line] = aic_stamp
                     icache_penalty = icache_miss
                     block_pending = True
                 new_block = block_pending or block_count >= fetch_width
@@ -615,26 +714,95 @@ class SlipstreamProcessor:
                 block_count += 1
                 mem_addr = dyn.mem_addr
                 dcache_penalty = 0
-                if mem_addr is not None and not dcache_probe(mem_addr):
-                    dcache_penalty = dcache_miss
-                ts = sched_add(
-                    InstrTiming(
-                        new_block=new_block,
-                        icache_penalty=icache_penalty,
-                        srcs=instr.srcs,
-                        dest=dyn.dest_reg,
-                        latency=latency_of(instr),
-                        is_load=instr.is_load,
-                        is_store=instr.is_store,
-                        mem_addr=mem_addr,
-                        dcache_penalty=dcache_penalty,
-                    )
-                )
-                self._a_last_complete = ts.complete
-                self._a_last_retire = ts.retire
-                step.a_retire = ts.retire
+                if mem_addr is not None:
+                    adc_acc += 1
+                    adc_stamp += 1
+                    line = mem_addr // adc_lb
+                    cset = adc_sets[line % adc_ns]
+                    if line in cset:
+                        cset[line] = adc_stamp
+                    else:
+                        adc_misses += 1
+                        if len(cset) >= adc_assoc:
+                            del cset[min(cset, key=cset.get)]
+                        cset[line] = adc_stamp
+                        dcache_penalty = dcache_miss
+                # --- inlined OoOScheduler.add_args (A-stream) ---
+                # Fetch.
+                if new_block:
+                    fetch = as_next_block_cycle + icache_penalty
+                    as_cur_block_fetch = fetch
+                    gap = 1
+                    if as_overhead_num:
+                        as_overhead_acc += as_overhead_num
+                        if as_overhead_acc >= as_overhead_den:
+                            as_overhead_acc -= as_overhead_den
+                            gap += 1
+                    as_next_block_cycle = fetch + gap
+                else:
+                    fetch = as_cur_block_fetch
+                # Operand readiness.
+                ready = 0
+                for src in srcs:
+                    t = as_reg_ready[src]
+                    if t > ready:
+                        ready = t
+                if is_load and mem_addr is not None:
+                    t = as_store_get(mem_addr, 0)
+                    if t > ready:
+                        ready = t
+                # Dispatch: in order, width-limited, ROB-limited.
+                dispatch = fetch + as_frontend_depth
+                if dispatch < as_last_dispatch:
+                    dispatch = as_last_dispatch
+                if len(as_rob) >= as_rob_size:
+                    rob_free = as_rob_popleft()
+                    if dispatch < rob_free:
+                        dispatch = rob_free
+                if dispatch == as_last_dispatch \
+                        and as_dispatch_used >= as_dispatch_width:
+                    dispatch += 1
+                if dispatch == as_last_dispatch:
+                    as_dispatch_used += 1
+                else:
+                    as_last_dispatch = dispatch
+                    as_dispatch_used = 1
+                # Issue: width-limited slot search.
+                issue = dispatch if dispatch > ready else ready
+                while as_issue_get(issue, 0) >= as_issue_width:
+                    issue += 1
+                as_issue_count[issue] = as_issue_get(issue, 0) + 1
+                # Complete.
+                complete = issue + latency
+                if is_load:
+                    complete += dcache_penalty
+                dest = dyn.dest_reg
+                if dest is not None:
+                    as_reg_ready[dest] = complete
+                if is_store and mem_addr is not None:
+                    as_store_ready[mem_addr] = complete
+                # Retire: in order, width-limited.
+                earliest = complete + 1
+                if earliest > as_retire_cycle:
+                    as_retire_cycle = earliest
+                    as_retire_count = 1
+                elif as_retire_count >= as_retire_width:
+                    as_retire_cycle += 1
+                    as_retire_count = 1
+                else:
+                    as_retire_count += 1
+                as_rob_append(as_retire_cycle)
+                as_retired += 1
+                # --- end inlined scheduler ---
+                a_last_complete = complete
+                a_last_retire = as_retire_cycle
+                step.a_retire = as_retire_cycle
                 if step.mispredicted:
-                    self.a_sched.redirect(ts.complete)
+                    # Inlined OoOScheduler.redirect.
+                    floor = complete + 1 + redirect_penalty
+                    if floor > as_next_block_cycle:
+                        as_next_block_cycle = floor
+                    as_redirects += 1
                     block_pending = True
                 taken = dyn.taken
             else:
@@ -643,6 +811,23 @@ class SlipstreamProcessor:
                 block_pending = True
         self._a_block_pending = block_pending
         self._a_block_count = block_count
+        asc._overhead_acc = as_overhead_acc
+        asc._next_block_cycle = as_next_block_cycle
+        asc._cur_block_fetch = as_cur_block_fetch
+        asc._last_dispatch = as_last_dispatch
+        asc._dispatch_used = as_dispatch_used
+        asc._retire_cycle = as_retire_cycle
+        asc._retire_count = as_retire_count
+        asc.retired = as_retired
+        asc.redirects = as_redirects
+        self._a_last_complete = a_last_complete
+        self._a_last_retire = a_last_retire
+        aic._stamp = aic_stamp
+        aic.accesses += aic_acc
+        aic.misses += aic_misses
+        adc._stamp = adc_stamp
+        adc.accesses += adc_acc
+        adc.misses += adc_misses
 
     # ==================================================================
     # R-phase: consume one delay-buffer group in the R-stream.
@@ -657,37 +842,275 @@ class SlipstreamProcessor:
         deviation: Optional[Tuple[str, int]] = None  # (kind, detect_cycle)
         last_complete = self.r_sched.total_cycles
 
+        # Execute + schedule, fused and fully hoisted: this loop retires
+        # every R-stream (architectural) instruction, making it the
+        # single hottest region of the co-simulation.  Stream state is
+        # kept in locals and written back after the loop.
+        r_state = self.r_state
+        r_pc = self.r_pc
+        r_seq = self._r_seq
+        retired = self.retired
+        fault_hook = self.fault_hook
+        funcs = self._step_funcs
+        funcs_get = funcs.get if funcs is not None else None
+        program = self.program
+        sched_meta_get = self._sched_meta.get
+        # Scheduler pass inlined (same logic as OoOScheduler.add_args,
+        # which documents it, specialized: fetch_floor is always 0 and
+        # merged == step.executed here).  Mutable containers are shared
+        # in place; scalar state lives in locals until the writeback
+        # after the loop.
+        rsc = self.r_sched
+        rs_overhead_num, rs_overhead_den = rsc._overhead_num, rsc._overhead_den
+        rs_overhead_acc = rsc._overhead_acc
+        rs_dispatch_width = rsc._dispatch_width
+        rs_issue_width = rsc._issue_width
+        rs_retire_width = rsc._retire_width
+        rs_rob_size = rsc._rob_size
+        rs_frontend_depth = rsc._frontend_depth
+        rs_merge_width = rsc._merge_width
+        rs_reg_ready = rsc._reg_ready
+        rs_store_ready = rsc._store_ready
+        rs_store_get = rs_store_ready.get
+        rs_rob = rsc._rob_retire
+        rs_rob_append = rs_rob.append
+        rs_rob_popleft = rs_rob.popleft
+        rs_issue_count = rsc._issue_count
+        rs_issue_get = rs_issue_count.get
+        rs_next_block_cycle = rsc._next_block_cycle
+        rs_cur_block_fetch = rsc._cur_block_fetch
+        rs_last_dispatch = rsc._last_dispatch
+        rs_dispatch_used = rsc._dispatch_used
+        rs_merge_cycle = rsc._merge_cycle
+        rs_merge_used = rsc._merge_used
+        rs_retire_cycle = rsc._retire_cycle
+        rs_retire_count = rsc._retire_count
+        rs_retired = rsc.retired
+        rs_merge_stalls = rsc.merge_stalls
+        # Cache probes are inlined below (same hit/miss/LRU logic as
+        # Cache.probe); counters accumulate in locals and are written
+        # back right after the loop.
+        ric = self.r_icache
+        ric_sets, ric_lb = ric._sets, ric._line_bytes
+        ric_ns, ric_assoc = ric._num_sets, ric._assoc
+        ric_stamp, ric_acc, ric_misses = ric._stamp, 0, 0
+        rdc = self.r_dcache
+        rdc_sets, rdc_lb = rdc._sets, rdc._line_bytes
+        rdc_ns, rdc_assoc = rdc._num_sets, rdc._assoc
+        rdc_stamp, rdc_acc, rdc_misses = rdc._stamp, 0, 0
+        cfg = self.r_core
+        icache_miss = cfg.icache.miss_penalty
+        dcache_miss = cfg.dcache.miss_penalty
+        fetch_width = cfg.fetch_width
+        block_break = self._r_block_break
+        block_count = self._r_block_count
+        transfer_latency = self.config.transfer_latency
+        recovery = self.recovery
+        detector_seq = self._detector_seq
+        executed_append = executed.append
+        branch_ok_append = branch_ok.append
+
         for step in record.steps:
-            if self.r_state.halted:
+            if r_state.halted:
                 break
-            if self.r_pc != step.pc:
+            if r_pc != step.pc:
                 # Control deviation the A-stream did not know about
                 # (removed mispredicted branch, or corrupt A context).
                 deviation = ("control", last_complete)
                 break
-            dyn = self._r_execute(step)
-            last_complete = self._schedule_r_instr(dyn, step, available)
-            executed.append(dyn)
-            branch_ok.append(
-                not dyn.instr.is_branch or dyn.taken == step.pred_taken
-            )
-
-            if step.executed:
-                if _mismatch(step.dyn, dyn):
-                    deviation = ("value", last_complete)
-                    self.r_pc = dyn.next_pc
-                    break
-                if dyn.is_store and step.dyn.mem_addr is not None:
-                    self.recovery.untrack_undo(step.dyn.mem_addr)
+            # Execute one architectural instruction (inlined _r_execute).
+            if funcs_get is not None and (f := funcs_get(r_pc)) is not None:
+                dyn = f(r_state, r_seq)
             else:
-                if dyn.instr.is_branch and dyn.taken != step.pred_taken:
+                dyn = execute_one(program, r_state, r_pc, seq=r_seq)
+            r_seq += 1
+            retired += 1
+            step_executed = step.executed
+            if fault_hook is not None:
+                dyn = fault_hook("R", dyn, r_state, step_executed)
+
+            # Schedule it (inlined _schedule_r_instr); the fault hook
+            # never alters pc/instr, so static metadata stays valid.
+            pc = dyn.pc
+            meta = sched_meta_get(pc)
+            if meta is None:
+                instr = dyn.instr
+                meta = (instr.srcs, latency_of(instr), instr.is_load,
+                        instr.is_store, instr.is_control, instr.is_branch)
+            srcs, latency, is_load, is_store, is_control, is_branch = meta
+            icache_penalty = 0
+            ric_acc += 1
+            ric_stamp += 1
+            line = pc // ric_lb
+            cset = ric_sets[line % ric_ns]
+            if line in cset:
+                cset[line] = ric_stamp
+            else:
+                ric_misses += 1
+                if len(cset) >= ric_assoc:
+                    del cset[min(cset, key=cset.get)]
+                cset[line] = ric_stamp
+                icache_penalty = icache_miss
+                block_break = True
+            new_block = block_break or block_count >= fetch_width
+            if new_block:
+                block_count = 0
+                block_break = False
+            block_count += 1
+            taken = dyn.taken
+            if is_control and taken:
+                block_break = True
+            mem_addr = dyn.mem_addr
+            dcache_penalty = 0
+            if mem_addr is not None:
+                rdc_acc += 1
+                rdc_stamp += 1
+                line = mem_addr // rdc_lb
+                cset = rdc_sets[line % rdc_ns]
+                if line in cset:
+                    cset[line] = rdc_stamp
+                else:
+                    rdc_misses += 1
+                    if len(cset) >= rdc_assoc:
+                        del cset[min(cset, key=cset.get)]
+                    cset[line] = rdc_stamp
+                    dcache_penalty = dcache_miss
+            # --- inlined OoOScheduler.add_args (R-stream) ---
+            # Fetch.
+            if new_block:
+                fetch = rs_next_block_cycle + icache_penalty
+                rs_cur_block_fetch = fetch
+                gap = 1
+                if rs_overhead_num:
+                    rs_overhead_acc += rs_overhead_num
+                    if rs_overhead_acc >= rs_overhead_den:
+                        rs_overhead_acc -= rs_overhead_den
+                        gap += 1
+                rs_next_block_cycle = fetch + gap
+            else:
+                fetch = rs_cur_block_fetch
+            # Operand readiness (delay-buffer override for redundantly
+            # executed instructions only).
+            ready = 0
+            for src in srcs:
+                t = rs_reg_ready[src]
+                if t > ready:
+                    ready = t
+            if is_load and mem_addr is not None:
+                t = rs_store_get(mem_addr, 0)
+                if t > ready:
+                    ready = t
+            if step_executed:
+                override = step.a_retire + transfer_latency
+                if override < available:
+                    override = available
+                accelerated = override < ready
+            else:
+                accelerated = False
+            if accelerated:
+                local_ready = ready
+                ready = override
+            # Dispatch: in order, width-limited, ROB-limited.
+            dispatch = fetch + rs_frontend_depth
+            if dispatch < rs_last_dispatch:
+                dispatch = rs_last_dispatch
+            if len(rs_rob) >= rs_rob_size:
+                rob_free = rs_rob_popleft()
+                if dispatch < rob_free:
+                    dispatch = rob_free
+            if dispatch == rs_last_dispatch \
+                    and rs_dispatch_used >= rs_dispatch_width:
+                dispatch += 1
+            if accelerated and local_ready > dispatch:
+                if dispatch == rs_merge_cycle \
+                        and rs_merge_used >= rs_merge_width:
+                    dispatch += 1
+                    rs_merge_stalls += 1
+                if dispatch == rs_merge_cycle:
+                    rs_merge_used += 1
+                else:
+                    rs_merge_cycle = dispatch
+                    rs_merge_used = 1
+            if dispatch == rs_last_dispatch:
+                rs_dispatch_used += 1
+            else:
+                rs_last_dispatch = dispatch
+                rs_dispatch_used = 1
+            # Issue: width-limited slot search.
+            issue = dispatch if dispatch > ready else ready
+            while rs_issue_get(issue, 0) >= rs_issue_width:
+                issue += 1
+            rs_issue_count[issue] = rs_issue_get(issue, 0) + 1
+            # Complete.
+            complete = issue + latency
+            if is_load:
+                complete += dcache_penalty
+            dest = dyn.dest_reg
+            if dest is not None:
+                rs_reg_ready[dest] = complete
+            if is_store and mem_addr is not None:
+                rs_store_ready[mem_addr] = complete
+            # Retire: in order, width-limited.
+            earliest = complete + 1
+            if earliest > rs_retire_cycle:
+                rs_retire_cycle = earliest
+                rs_retire_count = 1
+            elif rs_retire_count >= rs_retire_width:
+                rs_retire_cycle += 1
+                rs_retire_count = 1
+            else:
+                rs_retire_count += 1
+            rs_rob_append(rs_retire_cycle)
+            rs_retired += 1
+            # --- end inlined scheduler ---
+            last_complete = complete
+            executed_append(dyn)
+            branch_ok_append(not is_branch or taken == step.pred_taken)
+
+            if step_executed:
+                a_dyn = step.dyn
+                # Redundant-instruction comparison, inlined _mismatch.
+                if (a_dyn.value != dyn.value
+                        or a_dyn.mem_addr != mem_addr
+                        or a_dyn.taken != taken
+                        or a_dyn.next_pc != dyn.next_pc):
+                    deviation = ("value", last_complete)
+                    r_pc = dyn.next_pc
+                    break
+                if is_store and a_dyn.mem_addr is not None:
+                    recovery.untrack_undo(a_dyn.mem_addr)
+            else:
+                if is_branch and taken != step.pred_taken:
                     # A removed branch whose presumed outcome was wrong.
                     deviation = ("control", last_complete)
-                    self.r_pc = dyn.next_pc
+                    r_pc = dyn.next_pc
                     break
-                if dyn.is_store and dyn.mem_addr is not None:
-                    self.recovery.track_do(dyn.mem_addr, self._detector_seq)
-            self.r_pc = dyn.next_pc
+                if is_store and mem_addr is not None:
+                    recovery.track_do(mem_addr, detector_seq)
+            r_pc = dyn.next_pc
+
+        self.r_pc = r_pc
+        self._r_seq = r_seq
+        self.retired = retired
+        self._r_block_break = block_break
+        self._r_block_count = block_count
+        rsc._overhead_acc = rs_overhead_acc
+        rsc._next_block_cycle = rs_next_block_cycle
+        rsc._cur_block_fetch = rs_cur_block_fetch
+        rsc._last_dispatch = rs_last_dispatch
+        rsc._dispatch_used = rs_dispatch_used
+        rsc._merge_cycle = rs_merge_cycle
+        rsc._merge_used = rs_merge_used
+        rsc._retire_cycle = rs_retire_cycle
+        rsc._retire_count = rs_retire_count
+        rsc.retired = rs_retired
+        rsc.merge_stalls = rs_merge_stalls
+        ric._stamp = ric_stamp
+        ric.accesses += ric_acc
+        ric.misses += ric_misses
+        rdc._stamp = rdc_stamp
+        rdc.accesses += rdc_acc
+        rdc.misses += rdc_misses
 
         # Feed the IR-detector with what the R-stream actually retired,
         # train the IR-predictor, and verify outstanding ir-vecs.
@@ -724,53 +1147,6 @@ class SlipstreamProcessor:
                      r_cycle=self.r_sched.total_cycles,
                      occupancy=self.delay_buffer.occupancy,
                      merge_stalls=self.r_sched.merge_stalls)
-
-    def _r_execute(self, step: _FollowedStep) -> DynInstr:
-        dyn = execute_one(self.program, self.r_state, self.r_pc, seq=self._r_seq)
-        self._r_seq += 1
-        self.retired += 1
-        if self.fault_hook is not None:
-            dyn = self.fault_hook("R", dyn, self.r_state, step.executed)
-        return dyn
-
-    def _schedule_r_instr(self, dyn: DynInstr, step: _FollowedStep, available: int) -> int:
-        cfg = self.r_core
-        instr = dyn.instr
-        icache_penalty = 0
-        if not self.r_icache.probe(dyn.pc):
-            icache_penalty = cfg.icache.miss_penalty
-            self._r_block_break = True
-        new_block = self._r_block_break or self._r_block_count >= cfg.fetch_width
-        if new_block:
-            self._r_block_count = 0
-            self._r_block_break = False
-        self._r_block_count += 1
-        if instr.is_control and dyn.taken:
-            self._r_block_break = True
-        mem_addr = dyn.mem_addr
-        dcache_penalty = 0
-        if mem_addr is not None and not self.r_dcache.probe(mem_addr):
-            dcache_penalty = cfg.dcache.miss_penalty
-        ts = self.r_sched.add(
-            InstrTiming(
-                new_block=new_block,
-                icache_penalty=icache_penalty,
-                srcs=instr.srcs,
-                dest=dyn.dest_reg,
-                latency=latency_of(instr),
-                is_load=instr.is_load,
-                is_store=instr.is_store,
-                mem_addr=mem_addr,
-                dcache_penalty=dcache_penalty,
-                ready_override=(
-                    max(step.a_retire + self.config.transfer_latency, available)
-                    if step.executed
-                    else None
-                ),
-                merged=step.executed,
-            )
-        )
-        return ts.complete
 
     # ==================================================================
     # IR-detector analysis handling and recovery.
@@ -872,16 +1248,6 @@ class SlipstreamProcessor:
             obs.emit("cache", cache=name, accesses=cache.accesses,
                      hits=cache.hits, misses=cache.misses)
         obs.emit("summary", counters=registry.snapshot())
-
-
-def _mismatch(a_dyn: DynInstr, r_dyn: DynInstr) -> bool:
-    """Redundant-instruction comparison (the value-prediction check)."""
-    return (
-        a_dyn.value != r_dyn.value
-        or a_dyn.mem_addr != r_dyn.mem_addr
-        or a_dyn.taken != r_dyn.taken
-        or a_dyn.next_pc != r_dyn.next_pc
-    )
 
 
 def _trace_id_of_steps(steps: List[_FollowedStep], start_pc: int) -> TraceId:

@@ -33,7 +33,7 @@ import time
 from dataclasses import dataclass
 from hashlib import sha256
 from pathlib import Path
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import repro
 from repro.analysis.ineffectual import cross_check
@@ -213,6 +213,28 @@ def chaos_spec(name: str, plan: ChaosPlan) -> JobSpec:
 # The raw compute.
 # ----------------------------------------------------------------------
 
+#: Per-process memo of assembled benchmark programs.
+#: :meth:`Benchmark.program` re-runs the assembler on every call; the
+#: artifact suite requests the same (benchmark, scale) program for
+#: several models, and a warm pool worker for many consecutive jobs, so
+#: one build per process suffices.  Programs are read-only during
+#: simulation (the two slipstream streams already share one), and a
+#: stable object identity also lets the compiled execution engine
+#: (:func:`repro.arch.compiled.compiled_for`, an id-keyed memo) reuse
+#: its pre-decoded closures across every job on the same program.
+_PROGRAM_MEMO: Dict[Tuple[str, int], object] = {}
+
+
+def benchmark_program(name: str, scale: int = 1):
+    """The benchmark's assembled program, memoized per process."""
+    memo_key = (name, scale)
+    program = _PROGRAM_MEMO.get(memo_key)
+    if program is None:
+        program = get_benchmark(name).program(scale)
+        _PROGRAM_MEMO[memo_key] = program
+    return program
+
+
 def simulate(spec: JobSpec, obs: Optional[Observability] = None):
     """Run one job's simulation (no caching) and return its result.
 
@@ -225,16 +247,16 @@ def simulate(spec: JobSpec, obs: Optional[Observability] = None):
     key = spec.key
     model = key.model
     if model == "count":
-        program = get_benchmark(key.benchmark).program(key.scale)
+        program = benchmark_program(key.benchmark, key.scale)
         return FunctionalSimulator(program).run().instruction_count
     if model == "ss64":
-        program = get_benchmark(key.benchmark).program(key.scale)
+        program = benchmark_program(key.benchmark, key.scale)
         return SuperscalarCore(SS_64x4, program, obs=obs).run()
     if model == "ss128":
-        program = get_benchmark(key.benchmark).program(key.scale)
+        program = benchmark_program(key.benchmark, key.scale)
         return SuperscalarCore(SS_128x8, program, obs=obs).run()
     if model == "cmp":
-        program = get_benchmark(key.benchmark).program(key.scale)
+        program = benchmark_program(key.benchmark, key.scale)
         return SlipstreamProcessor(program, spec.config, obs=obs).run()
     if model == "fault":
         return _simulate_fault_study(key.benchmark, key.scale, spec.points,
@@ -242,7 +264,7 @@ def simulate(spec: JobSpec, obs: Optional[Observability] = None):
     if model == "finj":
         return _simulate_injection(spec)
     if model == "xcheck":
-        program = get_benchmark(key.benchmark).program(key.scale)
+        program = benchmark_program(key.benchmark, key.scale)
         return cross_check(program)
     if model == "chaos":
         assert spec.chaos is not None
@@ -258,7 +280,7 @@ def _simulate_injection(spec: JobSpec):
 
     key = spec.key
     assert spec.fault is not None
-    program = get_benchmark(key.benchmark).program(key.scale)
+    program = benchmark_program(key.benchmark, key.scale)
     reference = models.run_slipstream_model(key.benchmark, key.scale)
     return inject_one(
         program,
@@ -296,7 +318,7 @@ def _simulate_fault_study(benchmark: str, scale: int, points: int,
                           sites: Tuple[FaultSite, ...]):
     """A deterministic fault-injection campaign over one workload, with
     strike points spread over the steady-state region of the run."""
-    program = get_benchmark(benchmark).program(scale)
+    program = benchmark_program(benchmark, scale)
     total = FunctionalSimulator(program).run().instruction_count
     start = total // 4
     stride = max((total - start) // (points + 1), 1)
@@ -305,19 +327,26 @@ def _simulate_fault_study(benchmark: str, scale: int, points: int,
 
 
 def timed_simulate(spec: JobSpec):
-    """Worker entry point: ``(result, wall_seconds, cpu_seconds, report)``.
+    """Worker entry point: ``(result, wall_seconds, cpu_seconds,
+    started_monotonic, report)``.
 
     CPU seconds are the contention-independent cost of the job: on an
     oversubscribed machine the wall clock inside a worker is inflated by
     scheduling, but process CPU time is not, so it is what sequential
-    cost estimates must sum.  ``report`` is the job's
+    cost estimates must sum.  ``started_monotonic`` is this process's
+    ``time.monotonic()`` at the moment the job started computing; on the
+    supported platforms the monotonic clock is system-wide, so the
+    runner subtracts its own submit-time reading to measure how long the
+    job sat queued behind busy workers.  ``report`` is the job's
     :class:`~repro.obs.RunReport` (None when observability is disabled);
     the environment configuring it is inherited by pool workers.
     """
+    started = time.monotonic()
     w0 = time.perf_counter()
     c0 = time.process_time()
     result, report = simulate_with_report(spec)
-    return result, time.perf_counter() - w0, time.process_time() - c0, report
+    return (result, time.perf_counter() - w0, time.process_time() - c0,
+            started, report)
 
 
 def run_attempt(spec: JobSpec, timeout_seconds: Optional[float] = None):

@@ -1,0 +1,140 @@
+"""Duration oracle: learned per-job cost estimates for LJF scheduling.
+
+The runner submits cold jobs longest-first so a nearly-drained pool is
+never left waiting on one big straggler.  That needs a duration
+estimate *before* the job runs.  The original heuristic was a static
+per-model weight table; this oracle replaces it with measured per-job
+CPU seconds, learned across passes (exponentially weighted moving
+average) and persisted next to the disk cache, so every cold sweep
+after the first orders by what jobs actually cost on this machine.
+
+Estimates are keyed by a digest of the :class:`~repro.eval.jobs.JobKey`
+alone — deliberately **not** the code-version fingerprint that keys
+result-cache entries.  Editing the simulator invalidates every cached
+result, but the *relative* cost of jobs barely moves; a fresh cold
+sweep after a code change is exactly when good ordering matters most.
+
+Jobs never seen before fall back to the static model weights, scaled by
+the median of the learned durations so unknown jobs sort amongst the
+known ones instead of all landing at one end of the queue.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from hashlib import sha256
+from pathlib import Path
+from statistics import median
+from typing import Dict, Optional, Union
+
+from repro.eval.jobs import JobKey
+from repro.fingerprint import canonical
+
+#: Fallback relative cost of each job kind, used for jobs with no
+#: recorded duration (e.g. the first-ever cold sweep).
+MODEL_WEIGHT = {"cmp": 4.0, "fault": 3.0, "finj": 3.0, "ss128": 2.0,
+                "ss64": 2.0, "count": 1.0, "chaos": 1.0}
+
+#: EWMA smoothing: new observations dominate, because per-job cost
+#: drifts mostly through deliberate simulator optimization — which
+#: should reflect in the ordering quickly, not after many passes.
+EWMA_ALPHA = 0.7
+
+#: File name inside the disk-cache root.
+ORACLE_FILENAME = "durations.json"
+
+
+def job_digest(key: JobKey) -> str:
+    """Stable identity of one job for duration bookkeeping."""
+    return sha256(repr(canonical(key)).encode("utf-8")).hexdigest()[:16]
+
+
+class DurationOracle:
+    """EWMA of per-job CPU seconds, persisted as JSON.
+
+    With ``path=None`` the oracle is in-memory only (disk cache
+    disabled): estimates still improve within the pass's process but
+    nothing is written.  Loads are defensive — a corrupt, truncated or
+    differently-shaped file degrades to an empty oracle, never fatal,
+    matching the :class:`~repro.eval.jobs.DiskCache` contract.
+    """
+
+    def __init__(self, path: Optional[Union[str, os.PathLike]] = None):
+        self.path = Path(path) if path is not None else None
+        self._durations: Dict[str, float] = {}
+        self._dirty = False
+        if self.path is not None:
+            try:
+                raw = json.loads(self.path.read_text(encoding="utf-8"))
+                if isinstance(raw, dict):
+                    self._durations = {
+                        str(k): float(v) for k, v in raw.items()
+                        if isinstance(v, (int, float)) and v > 0
+                    }
+            except (OSError, ValueError):
+                pass
+
+    @classmethod
+    def for_cache_root(
+        cls, root: Optional[Union[str, os.PathLike]]
+    ) -> "DurationOracle":
+        """The oracle persisted under a disk-cache root (None = memory)."""
+        if root is None:
+            return cls(None)
+        return cls(Path(root) / ORACLE_FILENAME)
+
+    def __len__(self) -> int:
+        return len(self._durations)
+
+    # ------------------------------------------------------------------
+
+    def estimate(self, key: JobKey) -> float:
+        """Expected CPU seconds of ``key`` (sort key for LJF submission).
+
+        Unknown jobs estimate at their static model weight times the
+        median learned duration, so a never-seen heavyweight model still
+        sorts ahead of measured lightweights.
+        """
+        learned = self._durations.get(job_digest(key))
+        if learned is not None:
+            return learned
+        scale = median(self._durations.values()) if self._durations else 1.0
+        return MODEL_WEIGHT.get(key.model, 1.0) * scale
+
+    def observe(self, key: JobKey, cpu_seconds: float) -> None:
+        """Fold one fresh simulation's measured CPU time into the EWMA."""
+        if cpu_seconds <= 0.0:
+            return
+        digest = job_digest(key)
+        previous = self._durations.get(digest)
+        if previous is None:
+            self._durations[digest] = cpu_seconds
+        else:
+            self._durations[digest] = (
+                EWMA_ALPHA * cpu_seconds + (1.0 - EWMA_ALPHA) * previous
+            )
+        self._dirty = True
+
+    def save(self) -> None:
+        """Persist atomically; no-op when unchanged, in-memory, or the
+        cache directory is unwritable (degrades like DiskCache.store)."""
+        if self.path is None or not self._dirty:
+            return
+        tmp = self.path.with_suffix(f".tmp{os.getpid()}")
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            tmp.write_text(
+                json.dumps(self._durations, sort_keys=True), encoding="utf-8"
+            )
+            os.replace(tmp, self.path)
+            self._dirty = False
+        except OSError:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+
+
+__all__ = ["DurationOracle", "EWMA_ALPHA", "MODEL_WEIGHT", "ORACLE_FILENAME",
+           "job_digest"]

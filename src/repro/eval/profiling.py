@@ -1,8 +1,11 @@
 """Runner profiling: machine-readable timing of an artifact sweep.
 
 Turns a :class:`repro.eval.runner.RunnerStats` into ``BENCH_runner.json``:
-cold/warm wall-clock, a per-job breakdown (key, provenance, seconds) and
-the measured speedup versus a one-process cold run of the same jobs.
+cold/warm wall-clock, the machine's CPU count next to the worker count
+(so oversubscribed numbers read as what they are), a per-job breakdown
+(key, provenance, wall/CPU/queue seconds) and the measured speedup
+versus a one-process cold run of the same jobs (``null`` on warm passes
+where nothing was simulated).
 
 The file holds a bounded history of passes (oldest first), so a cold
 sweep followed by a warm re-run records both the parallel speedup and
@@ -44,6 +47,7 @@ def stats_payload(stats: RunnerStats, scale: int,
             "source": r.source,
             "seconds": round(r.seconds, 4),
             "cpu_seconds": round(r.cpu_seconds, 4),
+            "queue_seconds": round(r.queue_seconds, 4),
         }
         if r.error is not None:
             record["error"] = r.error
@@ -59,6 +63,8 @@ def stats_payload(stats: RunnerStats, scale: int,
         "code_fingerprint": code_fingerprint(),
         "scale": scale,
         "jobs": stats.jobs,
+        "cpu_count": stats.cpu_count,
+        "workers": stats.workers,
         "requested_jobs": stats.requested,
         "unique_jobs": stats.deduplicated,
         "simulated": stats.simulated,
@@ -74,7 +80,11 @@ def stats_payload(stats: RunnerStats, scale: int,
         "wall_clock_seconds": round(stats.wall_seconds, 3),
         "sequential_estimate_seconds": round(
             stats.sequential_estimate_seconds, 3),
-        "speedup_vs_sequential": round(stats.speedup_vs_sequential, 3),
+        # null on a warm pass: nothing was simulated, so there is no
+        # sequential baseline to claim a speedup against.
+        "speedup_vs_sequential": (
+            None if stats.speedup_vs_sequential is None
+            else round(stats.speedup_vs_sequential, 3)),
         "observability": {
             "enabled": obs_enabled(),
             "trace_dir": str(directory) if directory is not None else None,

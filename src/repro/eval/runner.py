@@ -6,8 +6,11 @@ are embarrassingly parallel, so the runner:
 1. deduplicates the requested specs by :class:`~repro.eval.jobs.JobKey`;
 2. satisfies what it can from the in-process and persistent caches;
 3. fans the remaining cold jobs out over a
-   ``concurrent.futures.ProcessPoolExecutor`` (``--jobs N``), largest
-   expected jobs first so the pool drains evenly;
+   ``concurrent.futures.ProcessPoolExecutor`` (``--jobs N``), longest
+   expected jobs first so the pool drains evenly — expected durations
+   come from the :class:`~repro.eval.oracle.DurationOracle`, which
+   learns each job's measured CPU seconds across passes (static
+   per-model weights bootstrap the first sweep);
 4. stores every fresh result in both caches, making the subsequent
    report rendering (and the next cold start) pure cache hits.
 
@@ -34,6 +37,7 @@ turns into ``BENCH_runner.json``.
 
 from __future__ import annotations
 
+import os
 import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
@@ -49,14 +53,9 @@ from repro.eval.jobs import (
     job_label,
     run_attempt,
 )
+from repro.eval.oracle import DurationOracle
 from repro.eval.resilience import AttemptRecord, JobTimeout, RetryPolicy
 from repro.obs import RunReport
-
-#: Rough relative cost of each job kind, used only to order submissions
-#: (longest first) so a nearly-drained pool is not left waiting on one
-#: big straggler.
-_MODEL_WEIGHT = {"cmp": 4, "fault": 3, "finj": 3, "ss128": 2, "ss64": 2,
-                 "count": 1, "chaos": 1}
 
 
 @dataclass
@@ -65,7 +64,11 @@ class JobRecord:
 
     ``seconds`` is the wall clock inside the worker (inflated when
     workers outnumber cores); ``cpu_seconds`` is the job's process CPU
-    time, the contention-independent cost.  ``error`` is set when the
+    time, the contention-independent cost; ``queue_seconds`` is how
+    long the job sat between the driver submitting it and the worker
+    starting it (submission overhead plus the wait behind busy
+    workers — the scheduling cost the duration-oracle ordering is
+    there to shrink).  ``error`` is set when the
     job did not produce a result; ``source`` then distinguishes
     ``"failed"`` (the job itself raised, timed out, or was quarantined
     as poison) from ``"aborted"`` (an innocent victim: the pass gave up
@@ -82,6 +85,7 @@ class JobRecord:
     source: str  # "simulated" | "disk" | "memory" | "failed" | "aborted"
     seconds: float
     cpu_seconds: float = 0.0
+    queue_seconds: float = 0.0
     error: Optional[str] = None
     report: Optional[RunReport] = None
     attempts: List[AttemptRecord] = field(default_factory=list)
@@ -125,6 +129,13 @@ class RunnerStats:
     """What one :meth:`ExperimentRunner.run` pass did."""
 
     jobs: int = 1
+    #: Physical parallelism context: CPUs the machine reports, and the
+    #: workers the pass actually used.  ``workers > cpu_count`` means
+    #: the pool was oversubscribed — worker wall clocks are inflated by
+    #: time-slicing and the wall-clock speedup is bounded by
+    #: ``cpu_count``, not ``jobs``.
+    cpu_count: int = 0
+    workers: int = 0
     requested: int = 0
     deduplicated: int = 0
     simulated: int = 0
@@ -161,9 +172,13 @@ class RunnerStats:
         )
 
     @property
-    def speedup_vs_sequential(self) -> float:
-        if self.wall_seconds <= 0.0:
-            return 0.0
+    def speedup_vs_sequential(self) -> Optional[float]:
+        """None on a warm pass: with zero simulations the estimate is
+        zero CPU seconds over pure cache-lookup wall clock, and the
+        resulting 0.0x said "parallelism is broken" when it actually
+        meant "there was nothing to parallelize"."""
+        if self.simulated == 0 or self.wall_seconds <= 0.0:
+            return None
         return self.sequential_estimate_seconds / self.wall_seconds
 
 
@@ -204,7 +219,8 @@ class ExperimentRunner:
         stats) is raised once the pass completes.  The ``jobs=1`` inline
         path behaves identically, minus the pool-crash machinery.
         """
-        stats = RunnerStats(jobs=self.jobs, requested=len(specs))
+        stats = RunnerStats(jobs=self.jobs, requested=len(specs),
+                            cpu_count=os.cpu_count() or 1)
         failures: List[Tuple[JobKey, BaseException]] = []
         aborted: List[JobKey] = []
         t0 = time.perf_counter()
@@ -231,13 +247,18 @@ class ExperimentRunner:
             cold.append(spec)
 
         if cold:
-            cold.sort(
-                key=lambda s: _MODEL_WEIGHT.get(s.key.model, 1), reverse=True
+            # Longest expected job first, by learned CPU seconds (static
+            # model weights for jobs never measured), so the pool drains
+            # evenly instead of idling behind one late-submitted biggie.
+            oracle = DurationOracle.for_cache_root(
+                disk.root if disk is not None else None
             )
+            cold.sort(key=lambda s: oracle.estimate(s.key), reverse=True)
             if self.jobs == 1:
-                self._run_inline(cold, disk, stats, failures)
+                self._run_inline(cold, disk, stats, failures, oracle)
             else:
-                self._run_pool(cold, disk, stats, failures, aborted)
+                self._run_pool(cold, disk, stats, failures, aborted, oracle)
+            oracle.save()
 
         stats.wall_seconds = time.perf_counter() - t0
         if failures:
@@ -249,14 +270,17 @@ class ExperimentRunner:
     # ------------------------------------------------------------------
 
     def _run_inline(self, cold: List[JobSpec], disk, stats: RunnerStats,
-                    failures: List[Tuple[JobKey, BaseException]]) -> None:
+                    failures: List[Tuple[JobKey, BaseException]],
+                    oracle: DurationOracle) -> None:
         policy = self.policy
+        stats.workers = 1
         for spec in cold:
             job = _PendingJob(spec)
             while True:
                 a0 = time.perf_counter()
+                submitted = time.monotonic()
                 try:
-                    result, seconds, cpu, report = run_attempt(
+                    result, seconds, cpu, started, report = run_attempt(
                         spec, policy.timeout_seconds
                     )
                 except JobTimeout as exc:
@@ -274,8 +298,9 @@ class ExperimentRunner:
                     if job.attempts:
                         job.attempts.append(AttemptRecord(
                             job.attempt, "ok", time.perf_counter() - a0))
-                    self._absorb(spec.key, result, seconds, cpu, report,
-                                 disk, stats, job.attempts)
+                    self._absorb(spec.key, result, seconds, cpu,
+                                 max(0.0, started - submitted), report,
+                                 disk, stats, oracle, job.attempts)
                     break
                 if not retrying:
                     break
@@ -289,7 +314,8 @@ class ExperimentRunner:
 
     def _run_pool(self, cold: List[JobSpec], disk, stats: RunnerStats,
                   failures: List[Tuple[JobKey, BaseException]],
-                  aborted: List[JobKey]) -> None:
+                  aborted: List[JobKey],
+                  oracle: DurationOracle) -> None:
         """Drain ``cold`` through a process pool, surviving crashes.
 
         At most ``workers`` jobs are in flight at once, so when the pool
@@ -303,6 +329,7 @@ class ExperimentRunner:
         """
         policy = self.policy
         workers = min(self.jobs, len(cold))
+        stats.workers = workers
         queue: Deque[_PendingJob] = deque(_PendingJob(s) for s in cold)
         inflight: Dict[Future, Tuple[_PendingJob, float]] = {}
         pool: Optional[ProcessPoolExecutor] = None
@@ -344,7 +371,10 @@ class ExperimentRunner:
                     future = pool.submit(
                         run_attempt, job.spec, policy.timeout_seconds
                     )
-                    inflight[future] = (job, now)
+                    # Submit-time monotonic stamp: the worker reports
+                    # its own start-time reading back, and the
+                    # difference is the job's queue delay.
+                    inflight[future] = (job, time.monotonic())
 
                 if not inflight:
                     # Everything queued is backing off: sleep it out.
@@ -361,10 +391,11 @@ class ExperimentRunner:
 
                 crashed: List[Tuple[_PendingJob, BaseException, float]] = []
                 for future in done:
-                    job, started = inflight.pop(future)
-                    elapsed = time.monotonic() - started
+                    job, submitted = inflight.pop(future)
+                    elapsed = time.monotonic() - submitted
                     try:
-                        result, seconds, cpu, report = future.result()
+                        result, seconds, cpu, started, report = \
+                            future.result()
                     except JobTimeout as exc:
                         stats.timeouts += 1
                         if self._attempt_failed(job, "timeout", exc, elapsed,
@@ -389,19 +420,20 @@ class ExperimentRunner:
                             job.attempts.append(AttemptRecord(
                                 job.attempt, "ok", elapsed))
                         self._absorb(job.spec.key, result, seconds, cpu,
-                                     report, disk, stats, job.attempts)
+                                     max(0.0, started - submitted), report,
+                                     disk, stats, oracle, job.attempts)
 
                 if crashed or self._pool_broken(pool):
                     # The pool is dead: every remaining in-flight future
                     # is doomed — fold them into the suspect set.
-                    for future, (job, started) in list(inflight.items()):
+                    for future, (job, submitted) in list(inflight.items()):
                         crashed.append((
                             job,
                             BrokenProcessPool(
                                 "worker process pool crashed with the job "
                                 "in flight"
                             ),
-                            time.monotonic() - started,
+                            time.monotonic() - submitted,
                         ))
                     inflight.clear()
                     pool.shutdown(wait=False, cancel_futures=True)
@@ -424,9 +456,9 @@ class ExperimentRunner:
                 if hard is not None and inflight:
                     now = time.monotonic()
                     overdue = [
-                        (job, started)
-                        for job, started in inflight.values()
-                        if now - started > hard
+                        (job, submitted)
+                        for job, submitted in inflight.values()
+                        if now - submitted > hard
                     ]
                     if overdue:
                         hard_blamed = overdue[0][0]
@@ -442,7 +474,7 @@ class ExperimentRunner:
         hard = self.policy.hard_deadline_seconds
         if hard is not None:
             deadlines.extend(
-                started + hard for _, started in inflight.values()
+                submitted + hard for _, submitted in inflight.values()
             )
         deadlines.extend(
             job.not_before for job in queue if job.not_before > now
@@ -575,16 +607,17 @@ class ExperimentRunner:
 
     @staticmethod
     def _absorb(key: JobKey, result, seconds: float, cpu_seconds: float,
-                report: Optional[RunReport], disk,
-                stats: RunnerStats,
+                queue_seconds: float, report: Optional[RunReport], disk,
+                stats: RunnerStats, oracle: DurationOracle,
                 attempts: Optional[List[AttemptRecord]] = None) -> None:
         models._CACHE[key] = result
         if disk is not None:
             disk.store(key, result)
+        oracle.observe(key, cpu_seconds)
         stats.simulated += 1
         stats.records.append(
-            JobRecord(key, "simulated", seconds, cpu_seconds, report=report,
-                      attempts=list(attempts or []))
+            JobRecord(key, "simulated", seconds, cpu_seconds, queue_seconds,
+                      report=report, attempts=list(attempts or []))
         )
 
 

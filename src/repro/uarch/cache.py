@@ -21,27 +21,38 @@ class Cache:
         self._stamp = 0
         self.accesses = 0
         self.misses = 0
+        # Config fields hoisted out of the per-probe path (one probe per
+        # fetched instruction plus one per memory access, per stream).
+        self._line_bytes = config.line_bytes
+        self._num_sets = config.num_sets
+        self._assoc = config.assoc
 
     def _locate(self, addr: int):
-        line = addr // self.config.line_bytes
-        return self._sets[line % self.config.num_sets], line
+        line = addr // self._line_bytes
+        return self._sets[line % self._num_sets], line
 
     def probe(self, addr: int) -> bool:
         """Access the byte address; return True on hit.
 
         Misses allocate (fetch the line); LRU victim is evicted.
+
+        NOTE: the slipstream co-simulation hot loops
+        (``repro.core.slipstream``) inline this exact logic against
+        ``_sets``/``_stamp``; keep them in sync when changing it.
         """
         self.accesses += 1
-        cache_set, line = self._locate(addr)
-        self._stamp += 1
+        line = addr // self._line_bytes
+        cache_set = self._sets[line % self._num_sets]
+        stamp = self._stamp + 1
+        self._stamp = stamp
         if line in cache_set:
-            cache_set[line] = self._stamp
+            cache_set[line] = stamp
             return True
         self.misses += 1
-        if len(cache_set) >= self.config.assoc:
+        if len(cache_set) >= self._assoc:
             victim = min(cache_set, key=cache_set.get)
             del cache_set[victim]
-        cache_set[line] = self._stamp
+        cache_set[line] = stamp
         return False
 
     def probe_range(self, addr: int, length_bytes: int) -> bool:

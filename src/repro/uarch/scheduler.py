@@ -79,6 +79,34 @@ class OoOScheduler:
     the paper's (see DESIGN.md); conventional cores use (0, 1).
     """
 
+    __slots__ = (
+        "config",
+        "_overhead_num",
+        "_overhead_den",
+        "_overhead_acc",
+        "_dispatch_width",
+        "_issue_width",
+        "_retire_width",
+        "_rob_size",
+        "_frontend_depth",
+        "_merge_width",
+        "_reg_ready",
+        "_store_ready",
+        "_rob_retire",
+        "_issue_count",
+        "_next_block_cycle",
+        "_cur_block_fetch",
+        "_last_dispatch",
+        "_dispatch_used",
+        "_merge_cycle",
+        "_merge_used",
+        "_retire_cycle",
+        "_retire_count",
+        "retired",
+        "redirects",
+        "merge_stalls",
+    )
+
     def __init__(
         self,
         config: CoreConfig,
@@ -97,15 +125,19 @@ class OoOScheduler:
         #: Delay-buffer data-flow read ports: at most this many merged
         #: (value-predicted) instructions dispatch per cycle.
         self._merge_width = merge_width if merge_width is not None else config.dispatch_width
-        self._merged_count: Dict[int, int] = {}
         self._reg_ready: List[int] = [0] * REG_COUNT
         self._store_ready: Dict[int, int] = {}
         self._rob_retire: Deque[int] = deque()
         self._issue_count: Dict[int, int] = {}
-        self._dispatch_count: Dict[int, int] = {}
         self._next_block_cycle = 0
         self._cur_block_fetch = 0
+        # Dispatch is in order, hence monotone non-decreasing: slot
+        # occupancy needs only the current cycle's count, not a dict
+        # keyed by cycle (issue is out of order and keeps the dict).
         self._last_dispatch = 0
+        self._dispatch_used = 0
+        self._merge_cycle = 0
+        self._merge_used = 0
         self._retire_cycle = 0
         self._retire_count = 0
         self.retired = 0
@@ -141,12 +173,37 @@ class OoOScheduler:
 
     def add(self, timing: InstrTiming) -> Timestamps:
         """Schedule one instruction; returns its pipeline timestamps."""
+        return self.add_args(*timing)
+
+    def add_args(
+        self,
+        new_block: bool,
+        icache_penalty: int,
+        srcs: Tuple[int, ...],
+        dest: Optional[int],
+        latency: int,
+        is_load: bool = False,
+        is_store: bool = False,
+        mem_addr: Optional[int] = None,
+        dcache_penalty: int = 0,
+        override: Optional[int] = None,
+        fetch_floor: int = 0,
+        merged: bool = False,
+    ) -> Timestamps:
+        """Positional fast path of :meth:`add`, skipping the
+        :class:`InstrTiming` allocation (one call per scheduled dynamic
+        instruction).
+
+        NOTE: the slipstream co-simulation hot loops
+        (``repro.core.slipstream``) inline this exact logic with the
+        scalar state in locals; keep them in sync when changing it.
+        """
         # Fetch.
-        if timing.new_block:
+        if new_block:
             block = self._next_block_cycle
-            if timing.fetch_floor > block:
-                block = timing.fetch_floor
-            fetch = block + timing.icache_penalty
+            if fetch_floor > block:
+                block = fetch_floor
+            fetch = block + icache_penalty
             self._cur_block_fetch = fetch
             gap = 1
             if self._overhead_num:
@@ -163,17 +220,14 @@ class OoOScheduler:
         # actually accelerates this instruction).
         ready = 0
         reg_ready = self._reg_ready
-        for src in timing.srcs:
+        for src in srcs:
             t = reg_ready[src]
             if t > ready:
                 ready = t
-        mem_addr = timing.mem_addr
-        is_load = timing.is_load
         if is_load and mem_addr is not None:
             t = self._store_ready.get(mem_addr, 0)
             if t > ready:
                 ready = t
-        override = timing.ready_override
         accelerated = override is not None and override < ready
         if accelerated:
             # Value-predicted operands (delay buffer): predictions only
@@ -182,38 +236,39 @@ class OoOScheduler:
             local_ready = ready
             ready = override
 
-        # Dispatch: in order, width-limited, ROB-limited.
+        # Dispatch: in order, width-limited, ROB-limited.  Dispatch
+        # cycles never decrease, so slot occupancy reduces to a count
+        # at the current dispatch cycle: any later cycle is empty.
+        last_dispatch = self._last_dispatch
         dispatch = fetch + self._frontend_depth
-        if dispatch < self._last_dispatch:
-            dispatch = self._last_dispatch
+        if dispatch < last_dispatch:
+            dispatch = last_dispatch
         rob_retire = self._rob_retire
         if len(rob_retire) >= self._rob_size:
             rob_free = rob_retire.popleft()
             if dispatch < rob_free:
                 dispatch = rob_free
-        dispatch_width = self._dispatch_width
-        counts = self._dispatch_count
-        counts_get = counts.get
-        while counts_get(dispatch, 0) >= dispatch_width:
+        if dispatch == last_dispatch and self._dispatch_used >= self._dispatch_width:
             dispatch += 1
         # Delay-buffer merge ports (slipstream R-stream): consumed only
         # when the prediction actually matters — the operand would not
-        # have been locally available by dispatch time.
-        if timing.merged and accelerated and local_ready > dispatch:
-            merged_counts = self._merged_count
-            merge_width = self._merge_width
-            while True:
-                if counts_get(dispatch, 0) >= dispatch_width:
-                    dispatch += 1
-                    continue
-                if merged_counts.get(dispatch, 0) >= merge_width:
-                    dispatch += 1
-                    self.merge_stalls += 1
-                    continue
-                break
-            merged_counts[dispatch] = merged_counts.get(dispatch, 0) + 1
-        counts[dispatch] = counts_get(dispatch, 0) + 1
-        self._last_dispatch = dispatch
+        # have been locally available by dispatch time.  The same
+        # monotonicity argument applies: advancing one cycle lands on
+        # an empty cycle for both dispatch slots and merge ports.
+        if merged and accelerated and local_ready > dispatch:
+            if dispatch == self._merge_cycle and self._merge_used >= self._merge_width:
+                dispatch += 1
+                self.merge_stalls += 1
+            if dispatch == self._merge_cycle:
+                self._merge_used += 1
+            else:
+                self._merge_cycle = dispatch
+                self._merge_used = 1
+        if dispatch == last_dispatch:
+            self._dispatch_used += 1
+        else:
+            self._last_dispatch = dispatch
+            self._dispatch_used = 1
 
         # Issue: width-limited slot search.
         issue = dispatch if dispatch > ready else ready
@@ -225,12 +280,12 @@ class OoOScheduler:
         counts[issue] = counts_get(issue, 0) + 1
 
         # Complete.
-        complete = issue + timing.latency
+        complete = issue + latency
         if is_load:
-            complete += timing.dcache_penalty
-        if timing.dest is not None:
-            reg_ready[timing.dest] = complete
-        if timing.is_store and mem_addr is not None:
+            complete += dcache_penalty
+        if dest is not None:
+            reg_ready[dest] = complete
+        if is_store and mem_addr is not None:
             self._store_ready[mem_addr] = complete
 
         # Retire: in order, width-limited.

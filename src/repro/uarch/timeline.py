@@ -77,21 +77,36 @@ class PipelineTimeline:
         return "\n".join(lines)
 
 
+class _RecordingScheduler:
+    """Transparent scheduler proxy that records each ``add``'s stamps.
+
+    The real :class:`~repro.uarch.scheduler.OoOScheduler` is slotted
+    (no per-instance ``__dict__``), so its ``add`` cannot be patched in
+    place; the proxy delegates every other attribute to the wrapped
+    scheduler.
+    """
+
+    def __init__(self, scheduler, timeline: PipelineTimeline, limit: int):
+        self._scheduler = scheduler
+        self._timeline = timeline
+        self._limit = limit
+        self._count = 0
+
+    def add(self, timing):
+        stamps = self._scheduler.add(timing)
+        if self._count < self._limit:
+            self._timeline.record(f"#{self._count}", stamps)
+            self._count += 1
+        return stamps
+
+    def __getattr__(self, name):
+        return getattr(self._scheduler, name)
+
+
 def trace_core_timeline(core, limit: int = 4096) -> PipelineTimeline:
     """Wrap a :class:`~repro.uarch.core.SuperscalarCore`'s scheduler so
     that running the core also fills a timeline (first ``limit``
     instructions)."""
     timeline = PipelineTimeline()
-    scheduler = core.scheduler
-    original_add = scheduler.add
-    counter = [0]
-
-    def recording_add(timing):
-        stamps = original_add(timing)
-        if counter[0] < limit:
-            timeline.record(f"#{counter[0]}", stamps)
-            counter[0] += 1
-        return stamps
-
-    scheduler.add = recording_add
+    core.scheduler = _RecordingScheduler(core.scheduler, timeline, limit)
     return timeline

@@ -258,3 +258,57 @@ class TestStats:
         payload = stats_payload(stats, scale=1)
         assert payload["warm"] is True
         assert payload["simulated"] == 0
+
+
+class TestSchedulingOverhaul:
+    def test_parallelism_context_and_queue_seconds(self, fresh_caches):
+        stats = ExperimentRunner(jobs=2).run(small_specs())
+        assert stats.cpu_count >= 1
+        assert stats.workers == 2  # min(jobs=2, 3 cold jobs)
+        simulated = [r for r in stats.records if r.source == "simulated"]
+        assert simulated
+        for record in simulated:
+            assert record.queue_seconds >= 0.0
+        payload = stats_payload(stats, scale=1)
+        assert payload["cpu_count"] == stats.cpu_count
+        assert payload["workers"] == 2
+        for row in payload["per_job"]:
+            assert row["queue_seconds"] >= 0.0
+
+    def test_speedup_is_null_on_warm_pass(self, fresh_caches):
+        specs = small_specs()
+        cold = ExperimentRunner(jobs=1).run(specs)
+        assert cold.speedup_vs_sequential is not None
+        assert cold.speedup_vs_sequential > 0.0
+        warm = ExperimentRunner(jobs=1).run(specs)
+        assert warm.speedup_vs_sequential is None
+        payload = stats_payload(warm, scale=1)
+        assert payload["speedup_vs_sequential"] is None
+
+    def test_duration_oracle_persists_measured_costs(self, fresh_caches):
+        from repro.eval.oracle import ORACLE_FILENAME, DurationOracle
+
+        specs = small_specs()
+        ExperimentRunner(jobs=1).run(specs)
+        oracle_path = fresh_caches / ORACLE_FILENAME
+        assert oracle_path.is_file()
+        oracle = DurationOracle(oracle_path)
+        assert len(oracle) == len(specs)
+        # Learned durations order the CMP co-simulation (the sweep's
+        # heavyweight) ahead of the functional count job.
+        assert (oracle.estimate(slipstream_spec(BENCH).key)
+                > oracle.estimate(count_spec(BENCH).key))
+
+    def test_oracle_degrades_on_corrupt_file(self, tmp_path):
+        from repro.eval.oracle import DurationOracle
+
+        path = tmp_path / "durations.json"
+        path.write_text("{not json", encoding="utf-8")
+        oracle = DurationOracle(path)
+        assert len(oracle) == 0
+        key = count_spec(BENCH).key
+        # Empty oracle: static model weight times the unit scale.
+        assert oracle.estimate(key) == 1.0
+        oracle.observe(key, 2.0)
+        oracle.save()
+        assert DurationOracle(path).estimate(key) == 2.0
