@@ -1,33 +1,57 @@
-"""Perf smoke: the compiled engine must not be slower than the interpreter.
+"""Perf smoke: the compiled paths must not be slower than the scalar ones.
 
-Runs the pinned ``cmp/li`` co-simulation (the sweep's heavyweight job
-shape) once per engine, ``--reps`` times each, and compares the minimum
-CPU seconds — CPU time, not wall clock, so a noisy shared CI runner
-does not flap the check.  The two engines' ``SlipstreamResult``s must
-also be equal, making this a cheap end-to-end identity smoke on top of
-the dedicated test suite.
+Two sections, selected by ``--timing``:
 
-Fails (exit 1) only when the compiled engine is *slower* than the
-interpreter: the point is to catch a regression that silently turns the
-default engine into a pessimization, not to enforce a specific speedup
-on unknown CI hardware.  The measured numbers are written as JSON for
-artifact upload; read the ratio with::
+**ISA section** (default) runs the pinned ``cmp/li`` co-simulation (the
+sweep's heavyweight job shape) once per execution engine, ``--reps``
+times each, and compares the minimum CPU seconds — CPU time, not wall
+clock, so a noisy shared CI runner does not flap the check.  The two
+engines' ``SlipstreamResult``s must also be equal, making this a cheap
+end-to-end identity smoke on top of the dedicated test suite.
+
+**Timing section** (``--timing``) does the same A/B for the memoized
+timing model (:mod:`repro.uarch.compiled_timing`), toggled through
+``REPRO_COMPILED_TIMING``, on the superscalar baseline and the
+slipstream co-simulation, and additionally asserts that the recorded
+per-instruction pipeline :class:`~repro.uarch.scheduler.Timestamps`
+are identical under both modes.  The superscalar core — where the
+scalar path pays full per-instruction scheduler calls — gates strictly
+(memoized may never be slower); the slipstream loops were already
+hand-inlined, so there the memoized path only has to stay within a
+small documented noise margin.
+
+Fails (exit 1) only when a compiled path is *slower* than its scalar
+reference (or results differ): the point is to catch a regression that
+silently turns the default path into a pessimization, not to enforce a
+specific speedup on unknown CI hardware.  The measured numbers are
+written as JSON for artifact upload; read a ratio with::
 
     python -c "import json; print(json.load(open('BENCH_perf_smoke.json'))['speedup'])"
+    python -c "import json; print(json.load(open('BENCH_timing.json'))['models']['ss64']['speedup'])"
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
 import time
 
 from repro.core.slipstream import SlipstreamProcessor
+from repro.uarch import SS_64x4
+from repro.uarch.compiled_timing import TIMING_ENV
+from repro.uarch.core import SuperscalarCore
+from repro.uarch.timeline import trace_core_timeline
 from repro.workloads.suite import get_benchmark
 
 BENCHMARK = "li"
+
+#: Noise margin for the slipstream timing gate: its scalar loops are
+#: hand-inlined, so the memoized path roughly ties there and a strict
+#: comparison would flap on shared runners.
+CMP_TIMING_TOLERANCE = 1.10
 
 
 def measure(program, engine: str, reps: int):
@@ -43,13 +67,112 @@ def measure(program, engine: str, reps: int):
     return best, result
 
 
+def measure_timing(factory, reps: int):
+    """A/B the compiled timing model: {"on"|"off": (min CPU s, result)}.
+
+    Rounds are interleaved (on, off, on, off, ...) so drifting machine
+    load hits both modes symmetrically; each round constructs a fresh
+    simulator via ``factory`` because the mode is latched at run start.
+    """
+    out = {}
+    rounds = {"on": [], "off": []}
+    for _ in range(reps):
+        for mode, flag in (("on", "1"), ("off", "0")):
+            os.environ[TIMING_ENV] = flag
+            sim = factory()
+            c0 = time.process_time()
+            result = sim.run()
+            cpu = time.process_time() - c0
+            rounds[mode].append(round(cpu, 4))
+            if mode not in out or cpu < out[mode][0]:
+                out[mode] = (cpu, result)
+    return out, rounds
+
+
+def timestamps_identical() -> bool:
+    """True iff the recorded pipeline timestamps of every instruction
+    match between the memoized and scalar timing paths (jpeg@1 on the
+    superscalar baseline, captured through the timeline recorder)."""
+    program = get_benchmark("jpeg").program(1)
+    stamps = {}
+    for flag in ("1", "0"):
+        os.environ[TIMING_ENV] = flag
+        core = SuperscalarCore(SS_64x4, program)
+        timeline = trace_core_timeline(core, limit=1 << 30)
+        core.run()
+        stamps[flag] = [entry.stamps for entry in timeline.entries]
+    return stamps["1"] == stamps["0"]
+
+
+def timing_main(args) -> int:
+    program = get_benchmark(BENCHMARK).program(1)
+    runs = {
+        "ss64": measure_timing(
+            lambda: SuperscalarCore(SS_64x4, program), args.reps),
+        "cmp": measure_timing(
+            lambda: SlipstreamProcessor(program), args.reps),
+    }
+    stamps_ok = timestamps_identical()
+    os.environ.pop(TIMING_ENV, None)
+
+    models = {}
+    identical = stamps_ok
+    for name, (modes, rounds) in runs.items():
+        on_cpu, on_result = modes["on"]
+        off_cpu, off_result = modes["off"]
+        identical = identical and on_result == off_result
+        models[name] = {
+            "scalar_cpu_seconds": round(off_cpu, 4),
+            "memoized_cpu_seconds": round(on_cpu, 4),
+            "speedup": round(off_cpu / on_cpu, 3) if on_cpu > 0
+            else float("inf"),
+            "rounds_scalar": rounds["off"],
+            "rounds_memoized": rounds["on"],
+            "results_identical": on_result == off_result,
+        }
+    payload = {
+        "benchmark": f"{BENCHMARK}@1",
+        "python": platform.python_version(),
+        "reps": args.reps,
+        "models": models,
+        "timestamps_identical": stamps_ok,
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(json.dumps(payload, indent=2))
+
+    if not identical:
+        print("FAIL: timing modes disagree (results or timestamps)",
+              file=sys.stderr)
+        return 1
+    if models["ss64"]["speedup"] < 1.0:
+        print("FAIL: memoized timing slower than scalar on the "
+              "superscalar baseline", file=sys.stderr)
+        return 1
+    if models["cmp"]["memoized_cpu_seconds"] > (
+            models["cmp"]["scalar_cpu_seconds"] * CMP_TIMING_TOLERANCE):
+        print(f"FAIL: memoized timing more than "
+              f"{CMP_TIMING_TOLERANCE:.0%} of scalar on slipstream",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--reps", type=int, default=2,
                         help="runs per engine; min is compared (default 2)")
-    parser.add_argument("--out", default="BENCH_perf_smoke.json",
+    parser.add_argument("--out", default=None,
                         help="JSON output path")
+    parser.add_argument("--timing", action="store_true",
+                        help="run the compiled-timing section instead of "
+                             "the ISA-engine section")
     args = parser.parse_args(argv)
+    if args.timing:
+        args.out = args.out or "BENCH_timing.json"
+        return timing_main(args)
+    args.out = args.out or "BENCH_perf_smoke.json"
 
     program = get_benchmark(BENCHMARK).program(1)
     interp_cpu, interp_result = measure(program, "interpreted", args.reps)

@@ -702,29 +702,48 @@ class CompiledProgram:
         return count, False
 
 
-# ``Program`` is an eq-comparing dataclass (unhashable), so the engine
-# memo is keyed by object identity with a weakref finalizer for cleanup.
-# The engine is deliberately NOT stored on the Program instance: plain
-# dataclasses pickle their __dict__, and closures are unpicklable.
-_ENGINES: Dict[int, Tuple["weakref.ref[Program]", CompiledProgram]] = {}
+# ``Program`` is an eq-comparing dataclass (unhashable), so per-program
+# derived artifacts are memoized by object identity with a weakref
+# finalizer for cleanup.  Artifacts are deliberately NOT stored on the
+# Program instance: plain dataclasses pickle their __dict__, and
+# closures are unpicklable.
 
 
-def compiled_for(program: Program) -> CompiledProgram:
-    """The (memoized) compiled engine for ``program``.
+def program_keyed_memo(build: Callable[[Program], object]) -> Callable[[Program], object]:
+    """A per-process, identity-keyed memo of ``build(program)``.
 
-    Compilation is pure pre-decoding: programs are immutable after
-    assembly, so one engine per program instance is always valid.
+    Programs are immutable after assembly, so anything derived purely
+    from the static program (compiled step closures, timing metadata)
+    stays valid for the program object's lifetime.  Entries are evicted
+    by a weakref finalizer when the program is collected; a recycled
+    ``id`` therefore never aliases a live entry (the stored weakref is
+    re-checked against the argument anyway).
+
+    Used by :func:`compiled_for` (functional engine) and
+    :func:`repro.uarch.compiled_timing.timing_meta_for` (timing engine),
+    so pool workers that simulate many jobs on one memoized program
+    (:mod:`repro.eval.jobs`) pay each derivation once per process.
     """
-    key = id(program)
-    entry = _ENGINES.get(key)
-    if entry is not None and entry[0]() is program:
-        return entry[1]
-    engine = CompiledProgram(program)
+    registry: Dict[int, Tuple["weakref.ref[Program]", object]] = {}
 
-    # The dict is bound as a default so the finalizer still works at
-    # interpreter shutdown, after module globals have been cleared.
-    def _evict(_ref: object, _key: int = key, _engines=_ENGINES) -> None:
-        _engines.pop(_key, None)
+    def lookup(program: Program) -> object:
+        key = id(program)
+        entry = registry.get(key)
+        if entry is not None and entry[0]() is program:
+            return entry[1]
+        value = build(program)
 
-    _ENGINES[key] = (weakref.ref(program, _evict), engine)
-    return engine
+        # The dict is bound as a default so the finalizer still works
+        # at interpreter shutdown, after module globals are cleared.
+        def _evict(_ref: object, _key: int = key, _registry=registry) -> None:
+            _registry.pop(_key, None)
+
+        registry[key] = (weakref.ref(program, _evict), value)
+        return value
+
+    return lookup
+
+
+#: The (memoized) compiled engine for a program.  Compilation is pure
+#: pre-decoding: one engine per program instance is always valid.
+compiled_for: Callable[[Program], CompiledProgram] = program_keyed_memo(CompiledProgram)

@@ -13,6 +13,13 @@ The default split gives the R-stream the wider partition — it retires
 the whole program, so its width bounds the machine — and the A-stream
 the remainder: 3-wide A + 5-wide R, each with half the 128-entry ROB
 windows scaled to their share of in-flight work.
+
+Because the partition is expressed purely as ``CoreConfig`` values fed
+through :class:`~repro.core.slipstream.SlipstreamConfig`, the SMT model
+inherits the fast paths transparently: the compiled execution engine
+and the memoized timing model (:mod:`repro.uarch.compiled_timing`) key
+their caches on the program and per-stream core config, never on which
+topology (CMP or SMT) wraps them.
 """
 
 from __future__ import annotations

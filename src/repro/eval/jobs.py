@@ -220,8 +220,10 @@ def chaos_spec(name: str, plan: ChaosPlan) -> JobSpec:
 #: one build per process suffices.  Programs are read-only during
 #: simulation (the two slipstream streams already share one), and a
 #: stable object identity also lets the compiled execution engine
-#: (:func:`repro.arch.compiled.compiled_for`, an id-keyed memo) reuse
-#: its pre-decoded closures across every job on the same program.
+#: (:func:`repro.arch.compiled.compiled_for`, an id-keyed memo) and the
+#: memoized timing model (:func:`repro.uarch.compiled_timing.timing_meta_for`)
+#: reuse their pre-decoded closures and per-PC timing metadata across
+#: every job on the same program.
 _PROGRAM_MEMO: Dict[Tuple[str, int], object] = {}
 
 

@@ -25,6 +25,7 @@ import json
 import os
 from hashlib import sha256
 from pathlib import Path
+from dataclasses import replace
 from statistics import median
 from typing import Dict, Optional, Union
 
@@ -48,6 +49,20 @@ ORACLE_FILENAME = "durations.json"
 def job_digest(key: JobKey) -> str:
     """Stable identity of one job for duration bookkeeping."""
     return sha256(repr(canonical(key)).encode("utf-8")).hexdigest()[:16]
+
+
+def family_digest(key: JobKey) -> str:
+    """Identity of the job *family*: the key stripped of its config
+    fingerprint.  A config tweak re-fingerprints the job (cold cache)
+    but barely moves its cost; family entries let the re-fingerprinted
+    job inherit the old configuration's learned duration instead of
+    dropping back to the static weights.  The ``f:`` prefix keeps
+    family entries disjoint from exact digests in the persisted file
+    (old files simply have none)."""
+    stripped = replace(key, config_fingerprint="")
+    return "f:" + sha256(
+        repr(canonical(stripped)).encode("utf-8")
+    ).hexdigest()[:16]
 
 
 class DurationOracle:
@@ -85,7 +100,8 @@ class DurationOracle:
         return cls(Path(root) / ORACLE_FILENAME)
 
     def __len__(self) -> int:
-        return len(self._durations)
+        """Number of exactly-learned jobs (family entries excluded)."""
+        return sum(1 for k in self._durations if not k.startswith("f:"))
 
     # ------------------------------------------------------------------
 
@@ -96,24 +112,29 @@ class DurationOracle:
         median learned duration, so a never-seen heavyweight model still
         sorts ahead of measured lightweights.
         """
-        learned = self._durations.get(job_digest(key))
+        durations = self._durations
+        learned = durations.get(job_digest(key))
         if learned is not None:
             return learned
-        scale = median(self._durations.values()) if self._durations else 1.0
+        learned = durations.get(family_digest(key))
+        if learned is not None:
+            return learned
+        exact = [v for k, v in durations.items() if not k.startswith("f:")]
+        scale = median(exact) if exact else 1.0
         return MODEL_WEIGHT.get(key.model, 1.0) * scale
 
     def observe(self, key: JobKey, cpu_seconds: float) -> None:
         """Fold one fresh simulation's measured CPU time into the EWMA."""
         if cpu_seconds <= 0.0:
             return
-        digest = job_digest(key)
-        previous = self._durations.get(digest)
-        if previous is None:
-            self._durations[digest] = cpu_seconds
-        else:
-            self._durations[digest] = (
-                EWMA_ALPHA * cpu_seconds + (1.0 - EWMA_ALPHA) * previous
-            )
+        for digest in (job_digest(key), family_digest(key)):
+            previous = self._durations.get(digest)
+            if previous is None:
+                self._durations[digest] = cpu_seconds
+            else:
+                self._durations[digest] = (
+                    EWMA_ALPHA * cpu_seconds + (1.0 - EWMA_ALPHA) * previous
+                )
         self._dirty = True
 
     def save(self) -> None:
@@ -137,4 +158,4 @@ class DurationOracle:
 
 
 __all__ = ["DurationOracle", "EWMA_ALPHA", "MODEL_WEIGHT", "ORACLE_FILENAME",
-           "job_digest"]
+           "job_digest", "family_digest"]

@@ -24,6 +24,11 @@ from repro.trace.predictor import TracePredictor, TracePredictorConfig
 from repro.trace.selection import CompletedTrace, TraceSelector, TRACE_LENGTH
 from repro.uarch.branch import BranchTargetBuffer, HybridPredictor
 from repro.uarch.cache import Cache
+from repro.uarch.compiled_timing import (
+    TraceTimingEngine,
+    compiled_timing_enabled,
+    timing_meta_for,
+)
 from repro.uarch.config import CoreConfig
 from repro.uarch.fetch import BlockFormer
 from repro.uarch.latencies import latency_of
@@ -87,6 +92,11 @@ class SuperscalarCore:
         self._former = BlockFormer(config.fetch_width)
         self._mispredictions = 0
         self._last_complete = 0
+        # Compiled-timing engine (repro.uarch.compiled_timing), bound
+        # lazily at run(): timeline tracing may replace self.scheduler
+        # with a recording proxy after construction.
+        self._timing: Optional[TraceTimingEngine] = None
+        self._timing_cb = None
         #: Observability handle (:mod:`repro.obs`); behavior-neutral.
         self._obs = obs
 
@@ -96,6 +106,7 @@ class SuperscalarCore:
         """Run the program to completion; returns timing results."""
         if self.control == "hybrid":
             return self._run_conventional()
+        self._ensure_timing()
         obs = self._obs
         if obs is not None:
             obs.emit("start", benchmark=self.program.name,
@@ -179,6 +190,25 @@ class SuperscalarCore:
 
     # ------------------------------------------------------------------
 
+    def _ensure_timing(self) -> None:
+        """Bind the compiled-timing engine (if enabled) to the *real*
+        scheduler, reaching through a timeline recording proxy when one
+        was installed (its per-instruction callback keeps the captured
+        timeline identical to the scalar path's)."""
+        self._timing = None
+        self._timing_cb = None
+        if not compiled_timing_enabled():
+            return
+        sched = self.scheduler
+        target = getattr(sched, "timing_target", None)
+        if target is not None:
+            self._timing_cb = sched.record_stamps
+            sched = target
+        self._timing = TraceTimingEngine(
+            sched, self.icache, self.dcache,
+            timing_meta_for(self.program), self.config,
+        )
+
     def _schedule_trace(self, trace: CompletedTrace, divergence: Optional[Divergence]) -> None:
         if divergence is not None:
             self._mispredictions += 1
@@ -192,6 +222,25 @@ class SuperscalarCore:
             if divergence is not None and divergence.kind == "outcome"
             else -1
         )
+        engine = self._timing
+        if engine is not None:
+            dyns = trace.instructions
+            n = len(dyns)
+            if n:
+                former = self._former
+                # The id + divergence point determine the whole static
+                # schedule shape (indirect jumps terminate traces, so
+                # the id walks to a unique PC sequence).
+                last_c, _retires, count, pending, new_blocks = engine.schedule(
+                    (trace.trace_id, outcome_index), dyns, n,
+                    former._count, former._pending_break,
+                    redirect_at=outcome_index, cb=self._timing_cb,
+                )
+                former._count = count
+                former._pending_break = pending
+                former.blocks += new_blocks
+                self._last_complete = last_c
+            return
         sched_add = self.scheduler.add
         timing_of = self._timing_of
         for index, dyn in enumerate(trace.instructions):

@@ -4,6 +4,11 @@ The I-cache supplies up to ``fetch_width`` sequential instructions per
 cycle, fetching past multiple not-taken branches; a taken control
 transfer ends the block (paper, Table 2).  Drivers also force breaks at
 redirects, trace boundaries and I-cache misses.
+
+``_count``/``_pending_break`` are part of the entry-state signature of
+the memoized timing engine (:mod:`repro.uarch.compiled_timing`): a
+replayed delta restores them exactly as the scalar walk would have
+left them, and cores hand them to the engine before each trace.
 """
 
 from __future__ import annotations

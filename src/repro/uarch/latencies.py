@@ -3,6 +3,12 @@
 Integer ALU ops take 1 cycle; memory ops take 1 cycle of address
 generation plus a 2-cycle cache access on a hit; complex ops follow MIPS
 R10000 latencies (integer multiply 5, divide 35).
+
+The memoized timing engine (:mod:`repro.uarch.compiled_timing`) folds
+:func:`latency_of` into per-static-PC metadata once per program
+(``timing_meta_for``), so a latency change here propagates to both the
+scalar and memoized paths from the same table — there is no second
+copy to keep in sync.
 """
 
 from __future__ import annotations

@@ -105,6 +105,9 @@ class OoOScheduler:
         "retired",
         "redirects",
         "merge_stalls",
+        "timing_block_hit",
+        "timing_block_miss",
+        "timing_fallback",
     )
 
     def __init__(
@@ -148,6 +151,14 @@ class OoOScheduler:
         #: buffer merge ports (``merge_width``) were saturated — the
         #: R-stream merge stall the paper's §2.2 transfer path implies.
         self.merge_stalls = 0
+        #: Compiled-timing engine tallies (:mod:`repro.uarch.compiled_timing`):
+        #: traces replayed from a memoized delta, traces scheduled
+        #: scalar-and-recorded, and traces that bypassed memoization
+        #: entirely.  All zero when the engine is disabled
+        #: (``REPRO_COMPILED_TIMING=0``).  Observers only.
+        self.timing_block_hit = 0
+        self.timing_block_miss = 0
+        self.timing_fallback = 0
 
     # ------------------------------------------------------------------
     # External timing events.
@@ -324,4 +335,7 @@ class OoOScheduler:
             "cycles": self._retire_cycle,
             "redirects": self.redirects,
             "merge_stalls": self.merge_stalls,
+            "timing_block_hit": self.timing_block_hit,
+            "timing_block_miss": self.timing_block_miss,
+            "timing_fallback": self.timing_fallback,
         }

@@ -92,11 +92,24 @@ class _RecordingScheduler:
         self._limit = limit
         self._count = 0
 
-    def add(self, timing):
-        stamps = self._scheduler.add(timing)
+    @property
+    def timing_target(self):
+        """The wrapped scheduler.  The compiled-timing engine
+        (:mod:`repro.uarch.compiled_timing`) must mutate the *real*
+        scheduler's state; cores bind to this and feed the proxy
+        through :meth:`record_stamps` so timeline capture composes with
+        memoized scheduling instead of silently bypassing it."""
+        return self._scheduler
+
+    def record_stamps(self, stamps):
+        """Record one instruction's stamps (first ``limit`` only)."""
         if self._count < self._limit:
             self._timeline.record(f"#{self._count}", stamps)
             self._count += 1
+
+    def add(self, timing):
+        stamps = self._scheduler.add(timing)
+        self.record_stamps(stamps)
         return stamps
 
     def __getattr__(self, name):

@@ -312,3 +312,21 @@ class TestSchedulingOverhaul:
         oracle.observe(key, 2.0)
         oracle.save()
         assert DurationOracle(path).estimate(key) == 2.0
+
+    def test_oracle_family_fallback_survives_refingerprint(self, tmp_path):
+        from dataclasses import replace
+
+        from repro.eval.oracle import DurationOracle
+
+        oracle = DurationOracle(tmp_path / "durations.json")
+        key = replace(slipstream_spec(BENCH).key, config_fingerprint="aaaa")
+        oracle.observe(key, 5.0)
+        # A config tweak re-fingerprints the job: the exact digest is
+        # unknown but the family estimate carries the learned cost.
+        tweaked = replace(key, config_fingerprint="bbbb")
+        assert oracle.estimate(tweaked) == 5.0
+        # A different benchmark is a different family: static weights.
+        other = replace(tweaked, benchmark="other-bench")
+        assert oracle.estimate(other) != 5.0
+        oracle.save()
+        assert DurationOracle(oracle.path).estimate(tweaked) == 5.0
