@@ -7,6 +7,17 @@ Usage::
     python -m repro.analysis path/to/prog.s        # lint an assembly file
     python -m repro.analysis --all-workloads --cross-check --format json
 
+Two subcommands share the front end:
+
+    python -m repro.analysis ceiling --all-workloads --format json
+        The static ineffectuality ceiling (interval abstract
+        interpretation + dynamic profile weighting) per workload;
+        deterministic, used as a golden CI artifact.
+
+    python -m repro.analysis selfcheck [paths...]
+        The self-determinism lint over the repro *Python* sources
+        themselves (default: the installed package).
+
 Exit status is 0 when every target is clean — no unsuppressed lint
 diagnostics and (with ``--cross-check``) no soundness violations — and
 1 otherwise.
@@ -88,6 +99,7 @@ def _xcheck_json(result: CrossCheckResult) -> dict:
     out = dataclasses.asdict(result)
     out["instance_agreement"] = result.instance_agreement
     out["pc_coverage"] = result.pc_coverage
+    out["silent_agreement"] = result.silent_agreement
     out["sound"] = result.sound
     return out
 
@@ -131,7 +143,141 @@ def _render_text(program, diagnostics, static, xcheck) -> List[str]:
     return lines
 
 
+def _ceiling_main(argv: List[str]) -> int:
+    from repro.analysis.ceiling import ceiling_report, report_json
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis ceiling",
+        description="Static ineffectuality ceiling per workload.",
+    )
+    parser.add_argument(
+        "targets",
+        nargs="*",
+        help="benchmark names (see repro.workloads.suite) or .s file paths",
+    )
+    parser.add_argument(
+        "--all-workloads", action="store_true", help="analyze every bundled workload"
+    )
+    parser.add_argument(
+        "--scale", type=int, default=1, help="workload scale factor (default 1)"
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="fmt"
+    )
+    parser.add_argument(
+        "--max-instructions",
+        type=int,
+        default=5_000_000,
+        help="dynamic instruction budget for the execution profile",
+    )
+    args = parser.parse_args(argv)
+    if not args.targets and not args.all_workloads:
+        parser.error("no targets given (names, files, or --all-workloads)")
+
+    try:
+        programs = _load_targets(args)
+    except (AssemblerError, KeyError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    ok = True
+    entries = []
+    text_lines: List[str] = []
+    for program in programs:
+        report = ceiling_report(program, max_instructions=args.max_instructions)
+        if report.truncated:
+            ok = False
+        if args.fmt == "json":
+            entries.append(report_json(report))
+        else:
+            static = report.static
+            text_lines.append(
+                f"== {static.name} ({static.instructions} instructions, "
+                f"{static.reachable} reachable) =="
+            )
+            text_lines.append(
+                "  proven facts: "
+                f"{len(static.dead_write_pcs)} dead write(s), "
+                f"{len(static.dead_store_pcs)} dead store(s), "
+                f"{len(static.silent_store_pcs)} silent store(s), "
+                f"{len(static.branch_always_pcs)} always-taken, "
+                f"{len(static.branch_never_pcs)} never-taken, "
+                f"{len(static.monotone_exit_pcs)} monotone-exit "
+                f"({len(static.range_refined_dead_pcs)} range-refined)"
+            )
+            text_lines.append(
+                f"  loops: {len(static.loop_header_pcs)} "
+                f"({len(static.loop_trip_bounds)} with trip bounds); "
+                f"jalr {static.jalr_resolved}/{static.jalr_total} resolved, "
+                f"{static.pruned_edges} edge(s) pruned, "
+                f"cfg {'exact' if static.indirect_exact else 'over-approximated'}"
+            )
+            text_lines.append(
+                f"  profile: retired {report.retired}"
+                + (" (truncated)" if report.truncated else "")
+                + f", proven floor {report.proven_fraction:.2%}, "
+                f"upper ceiling {report.ceiling_fraction:.2%}"
+            )
+    if args.fmt == "json":
+        json.dump({"ok": ok, "programs": entries}, sys.stdout, indent=2,
+                  sort_keys=True)
+        print()
+    else:
+        text_lines.append("OK" if ok else "FAILED")
+        print("\n".join(text_lines))
+    return 0 if ok else 1
+
+
+def _selfcheck_main(argv: List[str]) -> int:
+    from pathlib import Path
+
+    from repro.analysis.selfcheck import active, check_file, check_tree, summarize
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis selfcheck",
+        description="Self-determinism lint over the repro Python sources.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the repro package)",
+    )
+    parser.add_argument(
+        "--allow",
+        action="append",
+        default=[],
+        metavar="RULE",
+        help="globally disable a selfcheck rule (repeatable)",
+    )
+    args = parser.parse_args(argv)
+    diagnostics = []
+    if not args.paths:
+        diagnostics = check_tree(allow=args.allow)
+    else:
+        for raw in args.paths:
+            path = Path(raw)
+            if path.is_dir():
+                diagnostics.extend(check_tree(path, allow=args.allow))
+            else:
+                diagnostics.extend(check_file(path, allow=args.allow))
+    for diag in diagnostics:
+        print(diag.render())
+    unsuppressed = active(diagnostics)
+    counts = summarize(diagnostics)
+    per_rule = ", ".join(f"{rule}: {counts[rule]}" for rule in sorted(counts))
+    print(
+        f"selfcheck: {len(unsuppressed)} finding(s) "
+        f"({len(diagnostics) - len(unsuppressed)} suppressed) — {per_rule}"
+    )
+    return 1 if unsuppressed else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "ceiling":
+        return _ceiling_main(argv[1:])
+    if argv and argv[0] == "selfcheck":
+        return _selfcheck_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
         description="Lint and statically analyze mini-RISC programs.",

@@ -1,0 +1,772 @@
+"""Interval/constant abstract interpretation over the CFG.
+
+The domain is intervals of signed 32-bit two's-complement values; a
+singleton interval *is* a constant, so this strictly subsumes the
+constant propagation in :mod:`repro.analysis.dataflow`.  The abstract
+semantics reuse the executor's ALU tables (:data:`_ALU_RRR` /
+:data:`_ALU_RRI` and ``wrap32``) whenever both operands are singletons,
+so singleton transfer is *bit-exact* with dynamic execution; interval
+rules are applied otherwise and fall back to TOP whenever 32-bit wrap
+could occur, keeping every bound sound.
+
+Soundness invariant (checked by the hypothesis property suite): for
+every execution of the program, every value a reachable instruction
+reads or writes lies inside the abstract interval computed at that
+program point.  This holds regardless of the ``jalr``
+over-approximation, because extra CFG edges only add abstract states
+(may-analysis); it is the basis for the *must* facts derived here:
+
+* a **singleton** interval at a point means the value is that constant
+  in every execution — so a branch whose condition is decided by the
+  operand intervals is *always*/*never* taken in every execution, and a
+  store whose value interval equals the target cell's interval as the
+  same singleton is a *silent store* in every execution.
+
+Fixpoint engineering: widening at natural-loop header instructions
+(:mod:`repro.analysis.loops`) after a short join budget, plus a global
+widening backstop for irreducible cycles introduced by ``jalr`` edges;
+then a few Jacobi narrowing sweeps (sound: applying the monotone global
+transfer to a post-fixpoint stays a post-fixpoint) to recover bounded
+counter ranges inside widened loops — which is what makes trip-count
+bounds derivable.
+
+Abstract memory is word-granular over a bounded *tracked* cell set (the
+data image plus every constant-resolved effective address); absent or
+untracked cells read as TOP.  A store through an unresolved address
+joins the stored interval into every tracked cell the address interval
+may alias — never a strong update — so memory facts stay sound.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.analysis.cfg import CFG, build_cfg
+from repro.analysis.loops import NaturalLoop, loop_header_indices, natural_loops
+from repro.arch.executor import _ALU_RRI, _ALU_RRR, _BRANCH_COND, wrap32
+from repro.isa.instructions import Opcode, REG_COUNT, WORD
+from repro.isa.program import Program
+
+_U32 = 0xFFFFFFFF
+INT_MIN = -(1 << 31)
+INT_MAX = (1 << 31) - 1
+
+#: An interval is an inclusive ``(lo, hi)`` pair of signed-32 values.
+Interval = Tuple[int, int]
+TOP: Interval = (INT_MIN, INT_MAX)
+ZERO: Interval = (0, 0)
+
+#: One abstract state: a 64-tuple of register intervals plus a tracked
+#: memory map (absent tracked cell = TOP).
+State = Tuple[Tuple[Interval, ...], Dict[int, Interval]]
+
+
+def is_const(iv: Interval) -> bool:
+    return iv[0] == iv[1]
+
+
+def hull(a: Interval, b: Interval) -> Interval:
+    return (a[0] if a[0] <= b[0] else b[0], a[1] if a[1] >= b[1] else b[1])
+
+
+def _widen_iv(old: Interval, new: Interval) -> Interval:
+    return (
+        old[0] if new[0] >= old[0] else INT_MIN,
+        old[1] if new[1] <= old[1] else INT_MAX,
+    )
+
+
+def _widen_iv_landmarks(
+    old: Interval, new: Interval, landmarks: Tuple[int, ...]
+) -> Interval:
+    """Widen an unstable bound to the nearest program landmark instead
+    of straight to infinity ("widening with thresholds").  Loop
+    counters then stabilize at the constants they are compared against,
+    without a transient overflow poisoning the other bound."""
+    lo, hi = old
+    if new[0] < lo:
+        k = bisect.bisect_right(landmarks, new[0]) - 1
+        lo = landmarks[k] if k >= 0 else INT_MIN
+    if new[1] > hi:
+        k = bisect.bisect_left(landmarks, new[1])
+        hi = landmarks[k] if k < len(landmarks) else INT_MAX
+    return (lo, hi)
+
+
+def _rng(lo: int, hi: int) -> Interval:
+    """Interval from exact bounds, TOP when 32-bit wrap is possible."""
+    if lo < INT_MIN or hi > INT_MAX:
+        return TOP
+    return (lo, hi)
+
+
+def _exact_rrr(op: Opcode, a: int, b: int) -> Interval:
+    v = wrap32(_ALU_RRR[op](a, b))
+    return (v, v)
+
+
+def _interval_rrr(op: Opcode, a: Interval, b: Interval) -> Interval:
+    if is_const(a) and is_const(b):
+        return _exact_rrr(op, a[0], b[0])
+    al, ah = a
+    bl, bh = b
+    if op is Opcode.ADD:
+        return _rng(al + bl, ah + bh)
+    if op is Opcode.SUB:
+        return _rng(al - bh, ah - bl)
+    if op is Opcode.MUL:
+        products = (al * bl, al * bh, ah * bl, ah * bh)
+        return _rng(min(products), max(products))
+    if op is Opcode.AND:
+        # With one provably non-negative operand the result is masked
+        # non-negative and bounded by that operand.
+        hi_bounds = [x for x, lo in ((ah, al), (bh, bl)) if lo >= 0]
+        if hi_bounds:
+            return (0, min(hi_bounds))
+        return TOP
+    if op is Opcode.OR:
+        if al >= 0 and bl >= 0:
+            bits = max(ah.bit_length(), bh.bit_length())
+            return (max(al, bl), (1 << bits) - 1)
+        return TOP
+    if op is Opcode.XOR:
+        if al >= 0 and bl >= 0:
+            bits = max(ah.bit_length(), bh.bit_length())
+            return (0, (1 << bits) - 1)
+        return TOP
+    if op is Opcode.SLT:
+        if ah < bl:
+            return (1, 1)
+        if al >= bh:
+            return (0, 0)
+        return (0, 1)
+    if op is Opcode.SLTU:
+        if al >= 0 and bl >= 0:
+            if ah < bl:
+                return (1, 1)
+            if al >= bh:
+                return (0, 0)
+        return (0, 1)
+    if op is Opcode.SLL:
+        if is_const(b):
+            s = b[0] & 31
+            return _rng(al << s, ah << s)
+        return TOP
+    if op is Opcode.SRL:
+        if al >= 0:
+            if is_const(b):
+                s = b[0] & 31
+                return (al >> s, ah >> s)
+            return (0, ah)
+        return TOP
+    if op is Opcode.SRA:
+        if is_const(b):
+            s = b[0] & 31
+            return (al >> s, ah >> s)
+        # a >> s is monotone in a and reaches its extremes at s in {0, 31}.
+        candidates = (al, ah, al >> 31, ah >> 31)
+        return (min(candidates), max(candidates))
+    return TOP  # NOR and anything else: singleton-only
+
+
+def _interval_rri(op: Opcode, a: Interval, imm: int) -> Interval:
+    if is_const(a):
+        v = wrap32(_ALU_RRI[op](a[0], imm))
+        return (v, v)
+    al, ah = a
+    if op is Opcode.ADDI:
+        return _rng(al + imm, ah + imm)
+    if op is Opcode.ANDI:
+        if imm >= 0:
+            return (0, min(ah, imm) if al >= 0 else imm)
+        if al >= 0:
+            return (0, ah)
+        return TOP
+    if op in (Opcode.ORI, Opcode.XORI):
+        return _interval_rrr(
+            Opcode.OR if op is Opcode.ORI else Opcode.XOR, a, (imm, imm)
+        )
+    if op is Opcode.SLLI:
+        s = imm & 31
+        return _rng(al << s, ah << s)
+    if op is Opcode.SRLI:
+        if al >= 0:
+            s = imm & 31
+            return (al >> s, ah >> s)
+        return TOP
+    if op is Opcode.SRAI:
+        s = imm & 31
+        return (al >> s, ah >> s)
+    if op is Opcode.SLTI:
+        return _interval_rrr(Opcode.SLT, a, (imm, imm))
+    return TOP
+
+
+def _interval_divrem(op: Opcode, a: Interval, b: Interval) -> Interval:
+    al, ah = a
+    bl, bh = b
+    if is_const(a) and is_const(b) and bl != 0:
+        quotient = abs(al) // abs(bl)
+        if (al < 0) != (bl < 0):
+            quotient = -quotient
+        v = wrap32(quotient if op is Opcode.DIV else al - quotient * bl)
+        return (v, v)
+    if al >= 0 and bl > 0:
+        if op is Opcode.DIV:
+            return (al // bh, ah // bl)
+        return (0, min(bh - 1, ah))
+    return TOP
+
+
+def _refine_branch(
+    op: Opcode, a: Interval, b: Interval, taken: bool
+) -> Optional[Tuple[Interval, Interval]]:
+    """Refine operand intervals along one branch edge; None = infeasible.
+
+    Unsigned comparisons refine only when both operands are provably
+    non-negative (where unsigned order coincides with signed order).
+    """
+    if op is Opcode.BLTU:
+        if a[0] >= 0 and b[0] >= 0:
+            op = Opcode.BLT
+        else:
+            return (a, b)
+    elif op is Opcode.BGEU:
+        if a[0] >= 0 and b[0] >= 0:
+            op = Opcode.BGE
+        else:
+            return (a, b)
+    if op is Opcode.BNE:
+        op, taken = Opcode.BEQ, not taken
+    elif op is Opcode.BGE:
+        op, taken = Opcode.BLT, not taken
+
+    al, ah = a
+    bl, bh = b
+    if op is Opcode.BEQ:
+        if taken:
+            lo, hi = max(al, bl), min(ah, bh)
+            if lo > hi:
+                return None
+            return ((lo, hi), (lo, hi))
+        # Not equal: trim only when one side is a singleton at an edge.
+        if is_const(a) and is_const(b) and al == bl:
+            return None
+        if is_const(b):
+            if al == bl:
+                al += 1
+            if ah == bl:
+                ah -= 1
+            if al > ah:
+                return None
+        if is_const(a):
+            if bl == a[0]:
+                bl += 1
+            if bh == a[0]:
+                bh -= 1
+            if bl > bh:
+                return None
+        return ((al, ah), (bl, bh))
+    # BLT from here on.
+    if taken:  # a < b
+        ah2 = min(ah, bh - 1)
+        bl2 = max(bl, al + 1)
+        if al > ah2 or bl2 > bh:
+            return None
+        return ((al, ah2), (bl2, bh))
+    # a >= b
+    al2 = max(al, bl)
+    bh2 = min(bh, ah)
+    if al2 > ah or bl > bh2:
+        return None
+    return ((al2, ah), (bl, bh2))
+
+
+def _join_state(a: State, b: State) -> State:
+    regs = tuple(
+        ra if ra == rb else hull(ra, rb) for ra, rb in zip(a[0], b[0])
+    )
+    mem_a, mem_b = a[1], b[1]
+    mem: Dict[int, Interval] = {}
+    if mem_a and mem_b:
+        for addr, iv in mem_a.items():
+            other = mem_b.get(addr)
+            if other is not None:
+                mem[addr] = iv if iv == other else hull(iv, other)
+    return (regs, mem)
+
+
+def _widen_state(
+    old: State, new: State, landmarks: Optional[Tuple[int, ...]] = None
+) -> State:
+    if landmarks:
+        def widen(o: Interval, n: Interval) -> Interval:
+            return _widen_iv_landmarks(o, n, landmarks)
+    else:
+        widen = _widen_iv
+    regs = tuple(
+        ro if ro == rn else widen(ro, rn) for ro, rn in zip(old[0], new[0])
+    )
+    mem: Dict[int, Interval] = {}
+    for addr, rn in new[1].items():
+        ro = old[1].get(addr)
+        if ro is None:
+            continue
+        widened = ro if ro == rn else widen(ro, rn)
+        if widened != TOP:
+            mem[addr] = widened
+    return (regs, mem)
+
+
+def _program_landmarks(program: Program) -> Tuple[int, ...]:
+    """Constants a loop bound plausibly stabilizes at: zero plus every
+    immediate (and ``lui`` value) in the text — each with ±1 slack,
+    because a counter compared against ``c`` by an exclusive test
+    stabilizes at ``c-1`` or ``c+1`` (the canonical countdown loop
+    ``addi r, r, -1; bne r, r0`` rests at 1, one above the tested 0 —
+    which is why the slack also surrounds the base zero, the value
+    every ``rX vs r0`` branch compares against) — capped
+    deterministically by absolute value so widening stays
+    near-linear."""
+    values = {-1, 0, 1}
+    for instr in program.instructions:
+        if instr.opcode in _ALU_RRI or instr.opcode in (Opcode.LW, Opcode.SW):
+            values.update((instr.imm - 1, instr.imm, instr.imm + 1))
+        elif instr.opcode is Opcode.LUI:
+            values.add(wrap32(instr.imm << 16))
+    ranked = sorted(values, key=lambda v: (abs(v), v))[:128]
+    return tuple(sorted(ranked))
+
+
+@dataclass
+class AbsintResult:
+    """Per-instruction abstract states at fixpoint.
+
+    ``env_in[i]`` / ``env_out[i]`` are the abstract states before /
+    after instruction ``i`` (None = statically unreachable).
+    ``tracked_cells`` is the abstract memory footprint;
+    ``widen_points`` the loop-header instruction indices used.
+    """
+
+    cfg: CFG
+    env_in: List[Optional[State]]
+    env_out: List[Optional[State]]
+    tracked_cells: FrozenSet[int]
+    widen_points: FrozenSet[int]
+    loops: Tuple[NaturalLoop, ...]
+
+    def reg_interval(self, index: int, reg: int) -> Optional[Interval]:
+        env = self.env_in[index]
+        return None if env is None else env[0][reg]
+
+    def mem_interval(self, index: int, addr: int) -> Optional[Interval]:
+        """Abstract interval of a tracked cell before instruction
+        ``index``; None when the point is unreachable, TOP when the
+        cell is untracked or havocked."""
+        env = self.env_in[index]
+        if env is None:
+            return None
+        if addr not in self.tracked_cells:
+            return TOP
+        return env[1].get(addr, TOP)
+
+
+def _tracked_cells(program: Program, cfg: CFG, cap: int) -> FrozenSet[int]:
+    from repro.analysis.dataflow import constant_propagation
+
+    resolved = sorted(
+        {a for a in constant_propagation(cfg).mem_addr if a is not None}
+    )
+    image = sorted(a for a in program.data if a % WORD == 0)
+    cells: List[int] = []
+    seen = set()
+    for addr in resolved + image:
+        # Cells whose image value falls outside the signed-32 domain are
+        # untracked: the executor's signed model makes no claim there.
+        if addr not in seen and INT_MIN <= program.data.get(addr, 0) <= INT_MAX:
+            seen.add(addr)
+            cells.append(addr)
+        if len(cells) >= cap:
+            break
+    return frozenset(cells)
+
+
+def interpret(
+    program: Program,
+    cfg: Optional[CFG] = None,
+    *,
+    loop_widen_threshold: int = 2,
+    global_widen_threshold: int = 24,
+    max_tracked_cells: int = 1024,
+    narrow_passes: int = 2,
+) -> AbsintResult:
+    """Run the interval interpreter to fixpoint over ``cfg``."""
+    if cfg is None:
+        cfg = build_cfg(program)
+    n = len(program.instructions)
+    loops = natural_loops(cfg)
+    widen_points = loop_header_indices(cfg)
+    tracked = _tracked_cells(program, cfg, max_tracked_cells)
+    landmarks = _program_landmarks(program)
+    # Landmark widening consumes at most one landmark per changing
+    # join; past this budget, widen straight to infinity.
+    hard_widen_threshold = global_widen_threshold + 2 * len(landmarks) + 8
+
+    env_in: List[Optional[State]] = [None] * n
+    env_out: List[Optional[State]] = [None] * n
+    if cfg.entry_index is None:
+        return AbsintResult(cfg, env_in, env_out, tracked, widen_points, loops)
+
+    instrs = program.instructions
+
+    def transfer(i: int, state: State) -> State:
+        instr = instrs[i]
+        op = instr.opcode
+        regs, mem = state
+        dest = instr.dest
+        if op is Opcode.SW:
+            value = regs[instr.rs2]
+            base = regs[instr.rs1]
+            addr_iv = _rng(base[0] + instr.imm, base[1] + instr.imm)
+            if is_const(addr_iv):
+                addr = wrap32(addr_iv[0]) & _U32
+                if addr in tracked:
+                    mem = dict(mem)
+                    mem[addr] = value
+                return (regs, mem)
+            # Weak update over every tracked cell the address may alias.
+            # Negative signed addresses map above 2**31 unsigned, where
+            # no tracked cell lives, so the overlap window is
+            # [max(lo, 0), hi] (empty when hi < 0).
+            lo = max(addr_iv[0], 0)
+            hi = addr_iv[1]
+            if hi < lo:
+                return (regs, mem)
+            mem = {
+                addr: iv if not (lo <= addr <= hi) else hull(iv, value)
+                for addr, iv in mem.items()
+                if not (lo <= addr <= hi) or hull(iv, value) != TOP
+            }
+            return (regs, mem)
+        if dest is None:
+            return state
+        value_iv: Interval
+        if op in _ALU_RRR:
+            value_iv = _interval_rrr(op, regs[instr.rs1], regs[instr.rs2])
+        elif op in _ALU_RRI:
+            value_iv = _interval_rri(op, regs[instr.rs1], instr.imm)
+        elif op in (Opcode.DIV, Opcode.REM):
+            value_iv = _interval_divrem(op, regs[instr.rs1], regs[instr.rs2])
+        elif op is Opcode.LUI:
+            v = wrap32(instr.imm << 16)
+            value_iv = (v, v)
+        elif op in (Opcode.JAL, Opcode.JALR):
+            v = program.pc_of(i) + WORD
+            value_iv = (v, v)
+        elif op is Opcode.LW:
+            base = regs[instr.rs1]
+            addr_iv = _rng(base[0] + instr.imm, base[1] + instr.imm)
+            if is_const(addr_iv):
+                addr = wrap32(addr_iv[0]) & _U32
+                value_iv = mem.get(addr, TOP) if addr in tracked else TOP
+            else:
+                value_iv = TOP
+        else:
+            value_iv = TOP
+        new_regs = list(regs)
+        new_regs[dest] = value_iv
+        new_regs[0] = ZERO
+        return (tuple(new_regs), mem)
+
+    def edge_states(i: int, out: State) -> List[Tuple[int, State]]:
+        """Successor states, refined along branch / resolved-jalr edges."""
+        instr = instrs[i]
+        succs = cfg.instr_succs[i]
+        if not succs:
+            return []
+        if instr.is_branch:
+            regs, mem = out
+            a, b = regs[instr.rs1], regs[instr.rs2]
+            target = program.index_of(instr.target)
+            results: Dict[int, State] = {}
+            degenerate = target == i + 1  # both outcomes land on the same succ
+            for succ in dict.fromkeys(succs):
+                refined = (
+                    (a, b)
+                    if degenerate
+                    else _refine_branch(instr.opcode, a, b, succ == target)
+                )
+                if refined is None:
+                    continue
+                ra, rb = refined
+                new_regs = list(regs)
+                if instr.rs1:
+                    new_regs[instr.rs1] = ra
+                if instr.rs2:
+                    new_regs[instr.rs2] = rb
+                st = (tuple(new_regs), mem)
+                results[succ] = (
+                    st if succ not in results else _join_state(results[succ], st)
+                )
+            return list(results.items())
+        if instr.opcode is Opcode.JALR:
+            # env_out already has the link value; the *incoming* rs1
+            # decides the target, so read it from env_in via out unless
+            # rs1 was the link register itself.
+            in_env = env_in[i]
+            assert in_env is not None
+            t_iv = in_env[0][instr.rs1]
+            if is_const(t_iv):
+                addr = wrap32(t_iv[0]) & _U32
+                if program.contains_pc(addr):
+                    idx = program.index_of(addr)
+                    if idx in succs:
+                        return [(idx, out)]
+            return [(s, out) for s in succs]
+        return [(s, out) for s in succs]
+
+    entry_mem = {addr: (program.data.get(addr, 0),) * 2 for addr in tracked}
+    entry_state: State = ((ZERO,) * REG_COUNT, entry_mem)
+    entry = cfg.entry_index
+    env_in[entry] = entry_state
+    join_counts = [0] * n
+    worklist: List[int] = [entry]
+    on_list = [False] * n
+    on_list[entry] = True
+    while worklist:
+        i = worklist.pop()
+        on_list[i] = False
+        state = env_in[i]
+        assert state is not None
+        out = transfer(i, state)
+        env_out[i] = out
+        for succ, st in edge_states(i, out):
+            current = env_in[succ]
+            if current is None:
+                env_in[succ] = st
+            else:
+                joined = _join_state(current, st)
+                if joined == current:
+                    continue
+                join_counts[succ] += 1
+                if join_counts[succ] >= hard_widen_threshold:
+                    joined = _widen_state(current, joined)
+                elif (
+                    succ in widen_points
+                    and join_counts[succ] >= loop_widen_threshold
+                ) or join_counts[succ] >= global_widen_threshold:
+                    joined = _widen_state(current, joined, landmarks)
+                if joined == current:
+                    continue
+                env_in[succ] = joined
+            if not on_list[succ]:
+                on_list[succ] = True
+                worklist.append(succ)
+
+    # Jacobi narrowing sweeps: recompute every in-state from the old
+    # environment.  Starting from a post-fixpoint of a monotone global
+    # transfer, each sweep stays a post-fixpoint, so this only tightens.
+    for _ in range(narrow_passes):
+        incoming: List[Optional[State]] = [None] * n
+        incoming[entry] = entry_state
+        for i in range(n):
+            state = env_in[i]
+            if state is None:
+                continue
+            out = transfer(i, state)
+            env_out[i] = out
+            for succ, st in edge_states(i, out):
+                incoming[succ] = (
+                    st if incoming[succ] is None else _join_state(incoming[succ], st)
+                )
+        env_in = incoming
+        # A final out-state recompute keeps env_out consistent.
+        for i in range(n):
+            state = env_in[i]
+            env_out[i] = None if state is None else transfer(i, state)
+
+    return AbsintResult(cfg, env_in, env_out, tracked, widen_points, loops)
+
+
+# -- derived analyses -------------------------------------------------
+
+
+def classify_branches(result: AbsintResult) -> Dict[int, str]:
+    """Per reachable conditional branch: ``"always"``, ``"never"`` or
+    ``"mixed"`` (undecided) from the operand intervals."""
+    program = result.cfg.program
+    out: Dict[int, str] = {}
+    for i, instr in enumerate(program.instructions):
+        if not instr.is_branch:
+            continue
+        env = result.env_in[i]
+        if env is None:
+            continue
+        a, b = env[0][instr.rs1], env[0][instr.rs2]
+        out[i] = _decide_branch(instr.opcode, a, b)
+    return out
+
+
+def _decide_branch(op: Opcode, a: Interval, b: Interval) -> str:
+    if is_const(a) and is_const(b):
+        return "always" if _BRANCH_COND[op](a[0], b[0]) else "never"
+    if op in (Opcode.BLTU, Opcode.BGEU):
+        if a[0] >= 0 and b[0] >= 0:
+            op = Opcode.BLT if op is Opcode.BLTU else Opcode.BGE
+        else:
+            return "mixed"
+    if op is Opcode.BEQ:
+        if a[1] < b[0] or b[1] < a[0]:
+            return "never"
+    elif op is Opcode.BNE:
+        if a[1] < b[0] or b[1] < a[0]:
+            return "always"
+    elif op is Opcode.BLT:
+        if a[1] < b[0]:
+            return "always"
+        if a[0] >= b[1]:
+            return "never"
+    elif op is Opcode.BGE:
+        if a[0] >= b[1]:
+            return "always"
+        if a[1] < b[0]:
+            return "never"
+    return "mixed"
+
+
+def silent_store_indices(result: AbsintResult) -> Tuple[int, ...]:
+    """Stores proven silent: the stored interval and the target cell's
+    interval are the *same singleton*, so every executed instance
+    rewrites the value already in memory."""
+    program = result.cfg.program
+    out: List[int] = []
+    for i, instr in enumerate(program.instructions):
+        if not instr.is_store:
+            continue
+        env = result.env_in[i]
+        if env is None:
+            continue
+        regs, mem = env
+        base = regs[instr.rs1]
+        addr_iv = _rng(base[0] + instr.imm, base[1] + instr.imm)
+        if not is_const(addr_iv):
+            continue
+        addr = wrap32(addr_iv[0]) & _U32
+        if addr not in result.tracked_cells:
+            continue
+        value = regs[instr.rs2]
+        cell = mem.get(addr, TOP)
+        if is_const(value) and value == cell:
+            out.append(i)
+    return tuple(out)
+
+
+def resolved_jalr_targets(result: AbsintResult) -> Dict[int, int]:
+    """``jalr`` instruction index -> unique target instruction index,
+    for every indirect jump whose register interval is a singleton
+    landing on a text address."""
+    program = result.cfg.program
+    out: Dict[int, int] = {}
+    for i, instr in enumerate(program.instructions):
+        if instr.opcode is not Opcode.JALR:
+            continue
+        env = result.env_in[i]
+        if env is None:
+            continue
+        t_iv = env[0][instr.rs1]
+        if is_const(t_iv):
+            addr = wrap32(t_iv[0]) & _U32
+            if program.contains_pc(addr):
+                out[i] = program.index_of(addr)
+    return out
+
+
+@dataclass(frozen=True)
+class LoopBound:
+    """A derived per-entry trip-count bound for one natural loop.
+
+    ``counter`` is the single-increment induction register, ``step``
+    its per-execution delta, and ``bound`` the maximum number of
+    iterations per loop entry (the counter moves monotonically through
+    a proven-bounded interval).
+    """
+
+    header_index: int
+    header_pc: int
+    counter: int
+    step: int
+    bound: int
+
+
+def loop_bounds(result: AbsintResult) -> Tuple[LoopBound, ...]:
+    """Trip-count bounds for counted loops: a register incremented by a
+    single in-loop ``addi`` that dominates every latch, whose interval
+    at the increment is bounded."""
+    cfg = result.cfg
+    program = cfg.program
+    idom = cfg.dominators()
+    bounds: List[LoopBound] = []
+    for loop in result.loops:
+        indices = loop.instr_indices(cfg)
+        writes: Dict[int, List[int]] = {}
+        for i in indices:
+            dest = program.instructions[i].dest
+            if dest is not None:
+                writes.setdefault(dest, []).append(i)
+        best: Optional[LoopBound] = None
+        for reg, sites in writes.items():
+            if len(sites) != 1:
+                continue
+            i = sites[0]
+            instr = program.instructions[i]
+            if instr.opcode is not Opcode.ADDI or instr.rs1 != reg or instr.imm == 0:
+                continue
+            block = cfg.block_of[i]
+            if not all(_dominates_block(idom, block, la) for la in loop.latches):
+                continue
+            iv = result.reg_interval(i, reg)
+            if iv is None or iv[0] <= INT_MIN or iv[1] >= INT_MAX:
+                continue
+            bound = (iv[1] - iv[0]) // abs(instr.imm) + 1
+            if best is None or bound < best.bound:
+                best = LoopBound(
+                    header_index=loop.header_index,
+                    header_pc=program.pc_of(loop.header_index),
+                    counter=reg,
+                    step=instr.imm,
+                    bound=bound,
+                )
+        if best is not None:
+            bounds.append(best)
+    return tuple(bounds)
+
+
+def _dominates_block(idom: Dict[int, Optional[int]], a: int, b: int) -> bool:
+    node: Optional[int] = b
+    while node is not None:
+        if node == a:
+            return True
+        parent = idom.get(node)
+        if parent == node:
+            return a == node
+        node = parent
+    return False
+
+
+def monotone_exit_indices(result: AbsintResult) -> Tuple[int, ...]:
+    """Exit branches of bounded counted loops that test the loop's
+    induction register: not constant-direction, but guaranteed to flip
+    within the derived trip bound ("monotone exit")."""
+    program = result.cfg.program
+    bounded = {b.header_index: b for b in loop_bounds(result)}
+    out: List[int] = []
+    for loop in result.loops:
+        bound = bounded.get(loop.header_index)
+        if bound is None:
+            continue
+        for i in loop.exit_branches:
+            if bound.counter in program.instructions[i].srcs:
+                out.append(i)
+    return tuple(sorted(set(out)))

@@ -220,8 +220,21 @@ def indirect_target_indices(program: Program) -> Tuple[int, ...]:
     return tuple(sorted(targets))
 
 
-def build_cfg(program: Program) -> CFG:
-    """Construct the CFG (blocks, edges, per-instruction successors)."""
+def build_cfg(
+    program: Program,
+    succ_overrides: Optional[Dict[int, Tuple[int, ...]]] = None,
+    indirect_exact: Optional[bool] = None,
+) -> CFG:
+    """Construct the CFG (blocks, edges, per-instruction successors).
+
+    ``succ_overrides`` replaces the successor set of individual
+    instructions — used by :mod:`repro.analysis.absint` to prune edges
+    proven infeasible (constant-direction branches, ``jalr`` with a
+    singleton target).  Overrides must be a *subset refinement*: they
+    may only remove statically-infeasible edges, never invent new ones.
+    ``indirect_exact`` overrides the exactness flag when every ``jalr``
+    was resolved to a unique target.
+    """
     n = len(program.instructions)
     if n == 0:
         return CFG(program)
@@ -254,6 +267,8 @@ def build_cfg(program: Program) -> CFG:
                 out.append(i + 1)
             else:
                 falls_off.add(i)
+        if succ_overrides and i in succ_overrides:
+            out = [s for s in succ_overrides[i] if s in out]
         succs.append(tuple(dict.fromkeys(out)))
 
     # Leaders: entry, every control-transfer target, every instruction
@@ -301,7 +316,7 @@ def build_cfg(program: Program) -> CFG:
         instr_succs=succs,
         falls_off=frozenset(falls_off),
         entry_index=entry_index,
-        indirect_exact=not has_jalr,
+        indirect_exact=not has_jalr if indirect_exact is None else indirect_exact,
         indirect_targets=indirect,
     )
 

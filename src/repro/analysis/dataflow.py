@@ -314,7 +314,7 @@ def reaching_definitions(cfg: CFG) -> ReachingDefs:
     use_defs: Dict[Tuple[int, int], Tuple[int, ...]] = {}
     def_use: Dict[int, List[Tuple[int, int]]] = {d: [] for d in range(len(defs))}
     for i, instr in enumerate(program.instructions):
-        for reg in set(instr.srcs):
+        for reg in sorted(set(instr.srcs)):
             if not reg:
                 continue
             mask = rd_in[i] & defs_of_reg_mask.get(reg, 0)

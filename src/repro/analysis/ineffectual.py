@@ -27,6 +27,21 @@ and the two must relate:
 Statically-dead *stores* (resolved address never re-read) participate
 too, via a memory shadow keyed on effective address.
 
+The interval layer (:mod:`repro.analysis.absint`, packaged by
+:mod:`repro.analysis.ceiling`) adds three more must-fact families, each
+validated per executed instance:
+
+* **silent stores** — the stored value must equal the value already in
+  memory (checked against a concrete memory image maintained here);
+* **pinned branches** — an always-taken (never-taken) branch must
+  retire taken (not taken) every time;
+* **range-refined dead writes** — dead only on the interval-refined
+  CFG; they join ``dead_pcs`` and are validated by the same shadow
+  reference tracker.
+
+Violations land in ``silent_violation_pcs`` / ``branch_violation_pcs``
+/ ``static_unsound_pcs`` and break :attr:`CrossCheckResult.sound`.
+
 This module deliberately does not import :mod:`repro.workloads`
 (workload builders lint through :mod:`repro.analysis`, so an import
 here would be circular); callers hand in an assembled ``Program``.
@@ -39,6 +54,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.analysis.cfg import build_cfg
+from repro.analysis.ceiling import StaticRemovalReport, static_removal_report
 from repro.analysis.dataflow import Dataflow, WriteClass, analyze
 from repro.arch.functional import FunctionalSimulator, InstructionLimitExceeded
 from repro.core.ir_detector import ALL_TRIGGERS, DEFAULT_SCOPE_TRACES, IRDetector
@@ -112,10 +128,25 @@ class CrossCheckResult:
     dead_pc_stats: Tuple[DeadPCStat, ...]
     static_unsound_pcs: Tuple[int, ...]
     detector_contradiction_pcs: Tuple[int, ...]
+    #: Interval-layer facts (None when the absint pass was skipped).
+    removal_report: Optional[StaticRemovalReport] = None
+    silent_instances_executed: int = 0
+    silent_instances_selected: int = 0
+    #: Proven-silent stores observed writing a *different* value.
+    silent_violation_pcs: Tuple[int, ...] = ()
+    pinned_branch_instances: int = 0
+    pinned_branch_selected: int = 0
+    #: Proven-direction branches observed going the other way.
+    branch_violation_pcs: Tuple[int, ...] = ()
 
     @property
     def sound(self) -> bool:
-        return not self.static_unsound_pcs and not self.detector_contradiction_pcs
+        return (
+            not self.static_unsound_pcs
+            and not self.detector_contradiction_pcs
+            and not self.silent_violation_pcs
+            and not self.branch_violation_pcs
+        )
 
     @property
     def instance_agreement(self) -> float:
@@ -133,6 +164,14 @@ class CrossCheckResult:
         total = sum(1 for s in self.dead_pc_stats if s.executed)
         return hit / total if total else 1.0
 
+    @property
+    def silent_agreement(self) -> float:
+        """Fraction of executed proven-silent-store instances the
+        detector classified ineffectual (1.0 when none executed)."""
+        if not self.silent_instances_executed:
+            return 1.0
+        return self.silent_instances_selected / self.silent_instances_executed
+
 
 def cross_check(
     program: Program,
@@ -141,24 +180,46 @@ def cross_check(
     triggers: Iterable[str] = ALL_TRIGGERS,
     max_instructions: int = 5_000_000,
     dataflow: Optional[Dataflow] = None,
+    removal_report: Optional[StaticRemovalReport] = None,
+    include_absint: bool = True,
 ) -> CrossCheckResult:
     """Run a program once, feeding the IR-detector, while a shadow
     tracker records ground-truth reference behaviour; compare both
-    against the static classification."""
+    against the static classification (dataflow and, unless
+    ``include_absint`` is off, the interval layer's proven facts)."""
     if dataflow is None:
         dataflow = analyze(build_cfg(program))
     static = analyze_static(program, dataflow)
+    if removal_report is None and include_absint:
+        removal_report = static_removal_report(program)
     dead_pcs = frozenset(static.dead_pcs) | frozenset(static.dead_store_pcs)
+    silent_pcs: frozenset = frozenset()
+    always_pcs: frozenset = frozenset()
+    never_pcs: frozenset = frozenset()
+    if removal_report is not None:
+        dead_pcs |= frozenset(removal_report.dead_write_pcs)
+        dead_pcs |= frozenset(removal_report.dead_store_pcs)
+        silent_pcs = frozenset(removal_report.silent_store_pcs)
+        always_pcs = frozenset(removal_report.branch_always_pcs)
+        never_pcs = frozenset(removal_report.branch_never_pcs)
     must_live = frozenset(static.must_live_pcs)
 
     executed: Counter = Counter()
     selected: Counter = Counter()
     referenced: Counter = Counter()
     contradictions: set = set()
+    silent_executed = 0
+    silent_selected = 0
+    silent_violations: set = set()
+    pinned_instances = 0
+    pinned_selected = 0
+    branch_violations: set = set()
 
     # Shadow trackers: location -> [writer_pc, instance_referenced].
     reg_shadow: Dict[int, List] = {}
     mem_shadow: Dict[int, List] = {}
+    # Concrete memory image for silent-store validation.
+    mem_image: Dict[int, int] = dict(program.data)
 
     def reference(entry: Optional[List]) -> None:
         if entry is not None and not entry[1]:
@@ -166,9 +227,15 @@ def cross_check(
             referenced[entry[0]] += 1
 
     def consume(analysis) -> None:
+        nonlocal silent_selected, pinned_selected
         for i, pc in enumerate(analysis.pcs):
-            if pc in dead_pcs and analysis.ir_vec[i]:
-                selected[pc] += 1
+            if analysis.ir_vec[i]:
+                if pc in dead_pcs:
+                    selected[pc] += 1
+                if pc in silent_pcs:
+                    silent_selected += 1
+                if pc in always_pcs or pc in never_pcs:
+                    pinned_selected += 1
             kind = analysis.kinds[i]
             if (
                 kind & RemovalKind.WW
@@ -192,9 +259,18 @@ def cross_check(
                     reference(reg_shadow.get(reg))
             if instr.is_load and dyn.mem_addr is not None:
                 reference(mem_shadow.get(dyn.mem_addr))
+            if instr.is_branch and (dyn.pc in always_pcs or dyn.pc in never_pcs):
+                pinned_instances += 1
+                if dyn.taken != (dyn.pc in always_pcs):
+                    branch_violations.add(dyn.pc)
             if instr.is_store and dyn.mem_addr is not None:
                 if dyn.pc in dead_pcs:
                     executed[dyn.pc] += 1
+                if dyn.pc in silent_pcs:
+                    silent_executed += 1
+                    if mem_image.get(dyn.mem_addr, 0) != dyn.value:
+                        silent_violations.add(dyn.pc)
+                mem_image[dyn.mem_addr] = dyn.value
                 mem_shadow[dyn.mem_addr] = [dyn.pc, False]
             elif dyn.dest_reg is not None:
                 if dyn.pc in dead_pcs:
@@ -222,9 +298,16 @@ def cross_check(
         retired=retired,
         truncated=truncated,
         static=static,
-        dead_instances_executed=sum(executed[pc] for pc in dead_pcs),
-        dead_instances_selected=sum(selected[pc] for pc in dead_pcs),
+        dead_instances_executed=sum(executed[pc] for pc in sorted(dead_pcs)),
+        dead_instances_selected=sum(selected[pc] for pc in sorted(dead_pcs)),
         dead_pc_stats=stats,
         static_unsound_pcs=tuple(pc for pc in sorted(dead_pcs) if referenced[pc]),
         detector_contradiction_pcs=tuple(sorted(contradictions)),
+        removal_report=removal_report,
+        silent_instances_executed=silent_executed,
+        silent_instances_selected=silent_selected,
+        silent_violation_pcs=tuple(sorted(silent_violations)),
+        pinned_branch_instances=pinned_instances,
+        pinned_branch_selected=pinned_selected,
+        branch_violation_pcs=tuple(sorted(branch_violations)),
     )

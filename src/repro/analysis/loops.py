@@ -1,0 +1,111 @@
+"""Natural-loop detection over the block-level CFG.
+
+A *back edge* is a block edge ``latch -> header`` whose target
+dominates its source; the *natural loop* of a header is the union, over
+its back edges, of the header plus every block that reaches the latch
+without passing through the header.  Loops sharing a header are merged
+(standard treatment of multi-latch loops).
+
+The abstract interpreter (:mod:`repro.analysis.absint`) widens at loop
+header instructions, and derives per-loop trip-count bounds from the
+counter intervals at the loop's unique-increment instruction.  Note
+that irreducible cycles (possible only through the over-approximated
+``jalr`` edge set) have no back edge under this definition; the
+interpreter therefore keeps a global widening backstop and does not
+rely on loop detection for termination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.analysis.cfg import CFG
+
+
+@dataclass(frozen=True)
+class NaturalLoop:
+    """One natural loop, identified by its header block.
+
+    Attributes:
+        header: header block id.
+        header_index: first instruction index of the header block.
+        blocks: ids of every block in the loop (header included).
+        latches: back-edge source block ids.
+        exit_branches: instruction indices of conditional branches
+            inside the loop with at least one successor outside it.
+    """
+
+    header: int
+    header_index: int
+    blocks: FrozenSet[int]
+    latches: Tuple[int, ...]
+    exit_branches: Tuple[int, ...]
+
+    def instr_indices(self, cfg: CFG) -> List[int]:
+        """All instruction indices inside the loop, in text order."""
+        out: List[int] = []
+        for bid in sorted(self.blocks):
+            out.extend(cfg.blocks[bid].indices())
+        return out
+
+
+def _dominates(idom: Dict[int, Optional[int]], a: int, b: int) -> bool:
+    node: Optional[int] = b
+    while node is not None:
+        if node == a:
+            return True
+        parent = idom.get(node)
+        if parent == node:
+            return a == node
+        node = parent
+    return False
+
+
+def natural_loops(cfg: CFG) -> Tuple[NaturalLoop, ...]:
+    """Detect every natural loop; loops with the same header are merged."""
+    idom = cfg.dominators()
+    bodies: Dict[int, Set[int]] = {}
+    latches: Dict[int, Set[int]] = {}
+    for bid in idom:
+        for succ in cfg.blocks[bid].succs:
+            if succ in idom and _dominates(idom, succ, bid):
+                header = succ
+                latches.setdefault(header, set()).add(bid)
+                body = bodies.setdefault(header, {header})
+                # Backward closure from the latch, stopping at the header.
+                stack = [bid]
+                while stack:
+                    node = stack.pop()
+                    if node in body:
+                        continue
+                    body.add(node)
+                    stack.extend(p for p in cfg.blocks[node].preds if p not in body)
+
+    loops: List[NaturalLoop] = []
+    for header in sorted(bodies):
+        body = bodies[header]
+        exits: List[int] = []
+        for bid in body:
+            block = cfg.blocks[bid]
+            last = block.end - 1
+            instr = cfg.program.instructions[last]
+            if instr.is_branch and any(
+                cfg.block_of[s] not in body for s in cfg.instr_succs[last]
+            ):
+                exits.append(last)
+        loops.append(
+            NaturalLoop(
+                header=header,
+                header_index=cfg.blocks[header].start,
+                blocks=frozenset(body),
+                latches=tuple(sorted(latches[header])),
+                exit_branches=tuple(sorted(exits)),
+            )
+        )
+    return tuple(loops)
+
+
+def loop_header_indices(cfg: CFG) -> FrozenSet[int]:
+    """Instruction indices of every natural-loop header (widen points)."""
+    return frozenset(loop.header_index for loop in natural_loops(cfg))

@@ -1,0 +1,335 @@
+"""Self-determinism lint: AST checks over the ``repro`` sources.
+
+Every artifact this repository produces (golden suite results, bench
+JSON, ceiling reports) is asserted byte-deterministic in CI, so the
+*code* must avoid the classic Python nondeterminism hazards.  This
+module lints ``src/repro`` itself (not mini-RISC programs — that is
+:mod:`repro.analysis.lint`) for three of them:
+
+========================  ==============================================
+rule                      flags
+========================  ==============================================
+``unseeded-random``       module-level ``random.*`` draws (shared global
+                          RNG) and ``random.Random()`` constructed with
+                          no seed argument
+``wall-clock``            ``time.time``/``time.time_ns`` and
+                          ``datetime.now``/``utcnow``/``today`` calls —
+                          wall-clock values leaking into result paths
+                          (monotonic timers for *measuring* durations
+                          are fine and not flagged)
+``set-iteration``         ``for``/comprehension iteration directly over
+                          a set literal, ``set()``/``frozenset()`` call,
+                          set comprehension, or a same-scope variable
+                          assigned from one — unordered iteration that
+                          can leak into output ordering (wrap in
+                          ``sorted(...)`` instead)
+========================  ==============================================
+
+These are heuristics with an escape hatch: append
+``# selfcheck: ok(<rule>)`` to the flagged line to suppress a finding
+that is genuinely harmless (e.g. a wall-clock provenance timestamp that
+is deliberately excluded from golden comparisons).  Suppressed findings
+are still reported, marked, so they stay auditable.
+
+Run via ``python -m repro.analysis selfcheck`` (wired into the CI lint
+job next to ruff/mypy); exit status 1 on any unsuppressed finding.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+#: All selfcheck rule names, in report order.
+ALL_RULES = ("unseeded-random", "wall-clock", "set-iteration")
+
+_SUPPRESS_RE = re.compile(r"#\s*selfcheck:\s*ok\(([a-z-]+)\)")
+
+#: Module-level ``random`` functions that draw from the shared RNG.
+_GLOBAL_RNG_FNS = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "randbytes",
+        "getrandbits",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "uniform",
+        "triangular",
+        "gauss",
+        "normalvariate",
+        "lognormvariate",
+        "expovariate",
+        "vonmisesvariate",
+        "betavariate",
+        "gammavariate",
+        "paretovariate",
+        "weibullvariate",
+    }
+)
+
+_WALL_CLOCK_TIME_FNS = frozenset({"time", "time_ns"})
+_WALL_CLOCK_DATETIME_FNS = frozenset({"now", "utcnow", "today"})
+
+
+@dataclass(frozen=True)
+class SelfDiagnostic:
+    """One selfcheck finding."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+    suppressed: bool = False
+
+    def render(self) -> str:
+        mark = " (suppressed)" if self.suppressed else ""
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}{mark}"
+
+
+def active(diagnostics: Sequence[SelfDiagnostic]) -> List[SelfDiagnostic]:
+    """The unsuppressed findings."""
+    return [d for d in diagnostics if not d.suppressed]
+
+
+class _Scope:
+    """Tracks which local names are bound to set-valued expressions."""
+
+    def __init__(self) -> None:
+        self.set_names: Set[str] = set()
+
+
+class _Checker(ast.NodeVisitor):
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.findings: List[Tuple[int, str, str]] = []
+        #: aliases of the ``random`` module / ``time`` module /
+        #: ``datetime`` module or ``datetime.datetime`` class.
+        self.random_mods: Set[str] = set()
+        self.random_fns: Set[str] = set()
+        self.random_class: Set[str] = set()
+        self.time_mods: Set[str] = set()
+        self.datetime_names: Set[str] = set()
+        self.scopes: List[_Scope] = [_Scope()]
+
+    # -- imports ------------------------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            bound = alias.asname or alias.name.split(".")[0]
+            if alias.name == "random":
+                self.random_mods.add(bound)
+            elif alias.name == "time":
+                self.time_mods.add(bound)
+            elif alias.name == "datetime":
+                self.datetime_names.add(bound)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random":
+            for alias in node.names:
+                bound = alias.asname or alias.name
+                if alias.name in _GLOBAL_RNG_FNS:
+                    self.random_fns.add(bound)
+                elif alias.name == "Random":
+                    self.random_class.add(bound)
+        elif node.module == "datetime":
+            for alias in node.names:
+                if alias.name in ("datetime", "date"):
+                    self.datetime_names.add(alias.asname or alias.name)
+        self.generic_visit(node)
+
+    # -- scope handling for set-typed locals --------------------------
+
+    def _enter_scope(self) -> None:
+        self.scopes.append(_Scope())
+
+    def _exit_scope(self) -> None:
+        self.scopes.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._enter_scope()
+        self.generic_visit(node)
+        self._exit_scope()
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if self._is_set_expr(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self.scopes[-1].set_names.add(target.id)
+        else:
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self.scopes[-1].set_names.discard(target.id)
+        self.generic_visit(node)
+
+    # -- rules --------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            owner = func.value.id
+            if owner in self.random_mods:
+                if func.attr in _GLOBAL_RNG_FNS:
+                    self._flag(
+                        node.lineno,
+                        "unseeded-random",
+                        f"random.{func.attr}() draws from the shared global "
+                        "RNG; use a seeded random.Random instance",
+                    )
+                elif func.attr == "Random" and not node.args and not node.keywords:
+                    self._flag(
+                        node.lineno,
+                        "unseeded-random",
+                        "random.Random() without a seed argument is "
+                        "OS-entropy seeded; pass an explicit seed",
+                    )
+            if owner in self.time_mods and func.attr in _WALL_CLOCK_TIME_FNS:
+                self._flag(
+                    node.lineno,
+                    "wall-clock",
+                    f"time.{func.attr}() reads the wall clock; keep it "
+                    "out of result paths (monotonic timers are fine)",
+                )
+            if (
+                owner in self.datetime_names
+                and func.attr in _WALL_CLOCK_DATETIME_FNS
+            ):
+                self._flag(
+                    node.lineno,
+                    "wall-clock",
+                    f"datetime {func.attr}() reads the wall clock; keep "
+                    "it out of result paths",
+                )
+        elif isinstance(func, ast.Attribute) and isinstance(
+            func.value, ast.Attribute
+        ):
+            # datetime.datetime.now() / datetime.date.today()
+            inner = func.value
+            if (
+                isinstance(inner.value, ast.Name)
+                and inner.value.id in self.datetime_names
+                and func.attr in _WALL_CLOCK_DATETIME_FNS
+            ):
+                self._flag(
+                    node.lineno,
+                    "wall-clock",
+                    f"datetime {func.attr}() reads the wall clock; keep "
+                    "it out of result paths",
+                )
+        elif isinstance(func, ast.Name):
+            if func.id in self.random_fns:
+                self._flag(
+                    node.lineno,
+                    "unseeded-random",
+                    f"{func.id}() draws from the shared global RNG; use "
+                    "a seeded random.Random instance",
+                )
+            elif func.id in self.random_class and not node.args and not node.keywords:
+                self._flag(
+                    node.lineno,
+                    "unseeded-random",
+                    "Random() without a seed argument is OS-entropy "
+                    "seeded; pass an explicit seed",
+                )
+        self.generic_visit(node)
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+    def visit_comprehension(self, node: ast.comprehension) -> None:
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+    def _check_iter(self, expr: ast.expr) -> None:
+        if self._is_set_expr(expr):
+            self._flag(
+                expr.lineno,
+                "set-iteration",
+                "iterating a set has no deterministic order; wrap in "
+                "sorted(...) before it can affect output",
+            )
+        elif isinstance(expr, ast.Name) and any(
+            expr.id in scope.set_names for scope in self.scopes
+        ):
+            self._flag(
+                expr.lineno,
+                "set-iteration",
+                f"'{expr.id}' is set-valued here; iterate sorted"
+                f"({expr.id}) so ordering cannot leak into output",
+            )
+
+    @staticmethod
+    def _is_set_expr(expr: ast.expr) -> bool:
+        if isinstance(expr, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name):
+            return expr.func.id in ("set", "frozenset")
+        if isinstance(expr, ast.BinOp) and isinstance(
+            expr.op, (ast.BitOr, ast.BitAnd, ast.Sub)
+        ):
+            return _Checker._is_set_expr(expr.left) and _Checker._is_set_expr(
+                expr.right
+            )
+        return False
+
+    def _flag(self, line: int, rule: str, message: str) -> None:
+        self.findings.append((line, rule, message))
+
+
+def check_source(
+    source: str, path: str = "<string>", allow: Sequence[str] = ()
+) -> List[SelfDiagnostic]:
+    """Lint one Python source string; see the module docstring."""
+    tree = ast.parse(source, filename=path)
+    checker = _Checker(path)
+    checker.visit(tree)
+    lines = source.splitlines()
+    out: List[SelfDiagnostic] = []
+    for line, rule, message in sorted(checker.findings):
+        if rule in allow:
+            continue
+        text = lines[line - 1] if 0 < line <= len(lines) else ""
+        suppressed = any(
+            m.group(1) == rule for m in _SUPPRESS_RE.finditer(text)
+        )
+        out.append(SelfDiagnostic(path, line, rule, message, suppressed))
+    return out
+
+
+def check_file(path: Path, allow: Sequence[str] = ()) -> List[SelfDiagnostic]:
+    return check_source(
+        path.read_text(encoding="utf-8"), str(path), allow=allow
+    )
+
+
+def check_tree(
+    root: Optional[Path] = None, allow: Sequence[str] = ()
+) -> List[SelfDiagnostic]:
+    """Lint every ``.py`` file under ``root`` (default: the installed
+    ``repro`` package itself)."""
+    if root is None:
+        import repro
+
+        root = Path(repro.__file__).parent
+    findings: List[SelfDiagnostic] = []
+    for path in sorted(root.rglob("*.py")):
+        findings.extend(check_file(path, allow=allow))
+    return findings
+
+
+def summarize(diagnostics: Sequence[SelfDiagnostic]) -> Dict[str, int]:
+    """Unsuppressed finding count per rule (zero-filled)."""
+    counts = {rule: 0 for rule in ALL_RULES}
+    for diag in active(diagnostics):
+        counts[diag.rule] += 1
+    return counts

@@ -97,7 +97,7 @@ class Memory:
         Only addresses written in either overlay can differ (the image is
         shared), so this is cheap.  Used by recovery-sufficiency audits.
         """
-        candidates = set(self.writes) | set(other.writes)
+        candidates = sorted(set(self.writes) | set(other.writes))
         return {a for a in candidates if self.read(a) != other.read(a)}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

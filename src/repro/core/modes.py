@@ -67,6 +67,13 @@ def reliable_config(base: Optional[SlipstreamConfig] = None) -> SlipstreamConfig
     return replace(base or SlipstreamConfig(), removal_triggers=())
 
 
+def static_hint_config(base: Optional[SlipstreamConfig] = None) -> SlipstreamConfig:
+    """Slipstream with the static-analysis hints enabled: the per-PC
+    removal table is pre-warmed with the abstract interpreter's proven
+    facts (:mod:`repro.analysis.ceiling`) before execution."""
+    return replace(base or SlipstreamConfig(), static_hints=True)
+
+
 def run_mode(
     mode: OperatingMode,
     programs: Sequence[Program],

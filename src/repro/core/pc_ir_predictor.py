@@ -40,11 +40,13 @@ from repro.core.removal import RemovalKind
 
 
 class _PCEntry:
-    __slots__ = ("confidence", "kind")
+    __slots__ = ("confidence", "kind", "pinned")
 
     def __init__(self) -> None:
         self.confidence = 0
         self.kind = RemovalKind.NONE
+        #: Statically-proven entries never reset (see :meth:`seed`).
+        self.pinned = False
 
 
 @dataclass(frozen=True)
@@ -106,12 +108,35 @@ class PCIRPredictor:
             entry.confidence += 1
             if kind != RemovalKind.NONE:
                 entry.kind = kind
-        else:
+        elif not entry.pinned:
             if entry.confidence:
                 self.resets += 1
             entry.confidence = 0
 
+    def seed(self, pc: int, kind: RemovalKind) -> None:
+        """Pre-warm a PC from a statically-proven fact.
+
+        The entry starts at the confidence threshold (confident from the
+        first dynamic instance) and is *pinned*: a static proof holds in
+        every execution, so dynamic non-selection — which for a sound
+        detector can only be a detector limitation, never a
+        counter-example — must not reset it.
+        """
+        entry = self._table.get(pc)
+        if entry is None:
+            entry = _PCEntry()
+            self._table[pc] = entry
+        entry.confidence = max(entry.confidence,
+                               self.config.confidence_threshold)
+        if kind != RemovalKind.NONE:
+            entry.kind = kind
+        entry.pinned = True
+
     # ------------------------------------------------------------------
+
+    @property
+    def seeded_pcs(self) -> int:
+        return sum(1 for e in self._table.values() if e.pinned)
 
     @property
     def confident_pcs(self) -> int:

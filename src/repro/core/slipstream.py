@@ -131,6 +131,16 @@ class SlipstreamConfig:
     #: Delay-buffer data-flow read ports: at most this many merged
     #: (value-predicted) instructions dispatch per cycle in the R-stream.
     delay_merge_width: int = 3
+    #: Seed the per-PC removal table with the abstract interpreter's
+    #: proven facts (:mod:`repro.analysis.ceiling`) before execution:
+    #: proven-dead writes/stores arrive pinned at the confidence
+    #: threshold as WW, proven-silent stores as SV, and proven-direction
+    #: branches as BR (gated on ``removal_triggers``).  Statically
+    #: proven facts hold in *every* execution, so hint-removed
+    #: instructions skip the detector's ir-vec verification and the
+    #: pinned entries never reset.  Off by default: the golden suite is
+    #: bit-identical with this flag off.
+    static_hints: bool = False
     predictor: TracePredictorConfig = field(default_factory=TracePredictorConfig)
     max_instructions: int = 50_000_000
 
@@ -284,6 +294,16 @@ class SlipstreamProcessor:
         self.pc_ir = PCIRPredictor(
             PCIRPredictorConfig(confidence_threshold=cfg.confidence_threshold)
         )
+        #: Static-hint state (empty when ``static_hints`` is off, so the
+        #: hot paths below degrade to no-ops without a mode test).
+        #: ``_hint_branch_taken`` maps a proven branch PC to its proven
+        #: direction; ``_hint_pcs`` holds every seeded PC (their removal
+        #: is exempt from ir-vec verification — a static proof cannot be
+        #: contradicted by a sound detector, only missed by it).
+        self._hint_branch_taken: Dict[int, bool] = {}
+        self._hint_pcs: frozenset = frozenset()
+        if cfg.static_hints:
+            self._seed_static_hints()
         self.detector = IRDetector(cfg.ir_scope_traces, cfg.removal_triggers)
         self.delay_buffer = DelayBuffer(cfg.delay_buffer_capacity, cfg.transfer_latency)
         self.recovery = RecoveryController()
@@ -362,6 +382,74 @@ class SlipstreamProcessor:
         #: Co-simulation iteration index, used only to tag trace events.
         self._obs_seq = 0
 
+    def _seed_static_hints(self) -> None:
+        """Pre-warm the per-PC removal table from statically-proven
+        facts, gated on the configured removal triggers.  Imported
+        lazily: the core layer depends on the analysis layer only under
+        this opt-in mode."""
+        from repro.analysis.ceiling import static_removal_report
+
+        report = static_removal_report(self.program)
+        triggers = self.config.removal_triggers
+        seeded = set()
+        if "WW" in triggers:
+            for pc in report.dead_write_pcs + report.dead_store_pcs:
+                self.pc_ir.seed(pc, RemovalKind.WW)
+                seeded.add(pc)
+        if "SV" in triggers:
+            # Seeded after WW so a dead *and* silent store reports SV
+            # (the paper's priority, repro.core.removal).
+            for pc in report.silent_store_pcs:
+                self.pc_ir.seed(pc, RemovalKind.SV)
+                seeded.add(pc)
+        if "BR" in triggers:
+            for pc in report.branch_always_pcs:
+                self.pc_ir.seed(pc, RemovalKind.BR)
+                self._hint_branch_taken[pc] = True
+                seeded.add(pc)
+            for pc in report.branch_never_pcs:
+                self.pc_ir.seed(pc, RemovalKind.BR)
+                self._hint_branch_taken[pc] = False
+                seeded.add(pc)
+        self._hint_pcs = frozenset(seeded)
+
+    def _apply_hints(
+        self,
+        steps_static: List[PredictedStep],
+        removal: Optional[RemovalPrediction],
+    ) -> Optional[RemovalPrediction]:
+        """OR statically-proven removal bits into a trace prediction.
+
+        A proven branch is only removed when the predicted path agrees
+        with the proven direction — a contradicting path is already a
+        guaranteed deviation, and presuming the wrong outcome would turn
+        it into a recovery the static proof says is avoidable."""
+        pc_ir = self.pc_ir
+        directions = self._hint_branch_taken
+        vec = kinds = None
+        n_vec = len(removal.ir_vec) if removal is not None else 0
+        for i, st in enumerate(steps_static):
+            if i < n_vec and removal.ir_vec[i]:
+                continue
+            pc = st.pc
+            if pc not in self._hint_pcs or not pc_ir.removable(pc):
+                continue
+            direction = directions.get(pc)
+            if direction is not None and st.taken != direction:
+                continue
+            if vec is None:
+                n = len(steps_static)
+                vec = [False] * n
+                kinds = [RemovalKind.NONE] * n
+                for j in range(min(n_vec, n)):
+                    vec[j] = removal.ir_vec[j]
+                    kinds[j] = removal.kinds[j]
+            vec[i] = True
+            kinds[i] = pc_ir.kind_of(pc)
+        if vec is None:
+            return removal
+        return RemovalPrediction(tuple(vec), tuple(kinds))
+
     # ==================================================================
     # Top level.
     # ==================================================================
@@ -439,8 +527,11 @@ class SlipstreamProcessor:
                 steps_static = self._expand(prediction.trace_id)
                 if steps_static is not None:
                     if self.config.removal_mechanism == "pc":
+                        directions = self._hint_branch_taken
                         vec = tuple(
-                            self.pc_ir.removable(st.pc) for st in steps_static
+                            self.pc_ir.removable(st.pc)
+                            and directions.get(st.pc, st.taken) == st.taken
+                            for st in steps_static
                         )
                         if any(vec):
                             removal = RemovalPrediction(
@@ -450,6 +541,8 @@ class SlipstreamProcessor:
                             )
                     else:
                         removal = prediction.removal
+                        if self._hint_pcs:
+                            removal = self._apply_hints(steps_static, removal)
             else:
                 # Wrong next-trace start PC: a boundary misprediction,
                 # resolved when the previous trace's last instruction
@@ -1303,8 +1396,15 @@ class SlipstreamProcessor:
             actual_tid = trace_id_of(executed)
             self.ir_predictor.update_path(actual_tid)
             if record.applied_removal and deviation is None:
+                # Hint-removed instructions are exempt from the ir-vec
+                # verification: the dynamic detector can *miss* a
+                # statically-proven fact (bounded scope), never refute
+                # it, and a removed branch's presumed outcome is still
+                # checked architecturally in the R-phase.
+                hint_pcs = self._hint_pcs
                 self._pending_vec_checks[self._detector_seq] = [
-                    not s.executed for s in record.steps
+                    not s.executed and s.pc not in hint_pcs
+                    for s in record.steps
                 ]
             analyses = self.detector.feed_trace(CompletedTrace(executed, actual_tid))
             self._detector_seq += 1

@@ -19,6 +19,7 @@ from repro.eval.models import (
     run_all_models,
     run_baseline,
     run_big_core,
+    run_ceiling,
     run_crosscheck,
     run_fault_study,
     run_instruction_count,
@@ -257,6 +258,83 @@ def ineffectuality_crosscheck(
                 "contradictions": len(result.static_unsound_pcs)
                 + len(result.detector_contradiction_pcs),
                 "sound": result.sound,
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Static ineffectuality ceiling (repro.analysis.absint/ceiling; no paper
+# analog — bounds the removal opportunity the dynamic machinery chases).
+# ----------------------------------------------------------------------
+
+def static_ceiling(
+    scale: int = 1, benchmarks: Optional[Sequence[str]] = None
+) -> List[Dict]:
+    """Per-benchmark static removal bounds vs measured dynamic removal.
+
+    ``proven_fraction`` is the *floor*: dynamic instances at PCs the
+    abstract interpreter proved ineffectual (removable in every
+    execution).  ``ceiling_fraction`` is the *upper bound*: everything
+    except the never-removable classes (indirect jumps, OUT, HALT).
+    The default slipstream run's ``removal_fraction`` must land inside
+    ``[0, ceiling]`` — ``in_bounds`` False is a soundness bug.
+    """
+    rows = []
+    for name in benchmarks or BENCHMARKS:
+        report = run_ceiling(name, scale)
+        slip = run_slipstream_model(name, scale)
+        static = report.static
+        proven = len(static.proven_pcs)
+        rows.append(
+            {
+                "benchmark": name,
+                "retired": report.retired,
+                "proven_pcs": proven,
+                "dead_write_pcs": len(static.dead_write_pcs)
+                + len(static.dead_store_pcs),
+                "silent_store_pcs": len(static.silent_store_pcs),
+                "pinned_branch_pcs": len(static.branch_always_pcs)
+                + len(static.branch_never_pcs),
+                "loop_bounds": len(static.loop_trip_bounds),
+                "proven_fraction": report.proven_fraction,
+                "ceiling_fraction": report.ceiling_fraction,
+                "dynamic_removal": slip.removal_fraction,
+                "in_bounds": slip.removal_fraction
+                <= report.ceiling_fraction + 1e-9,
+            }
+        )
+    return rows
+
+
+def ablation_static_hints(
+    benchmarks: Optional[Sequence[str]] = None,
+    scale: int = 1,
+) -> List[Dict]:
+    """Default slipstream vs the statically-seeded removal table
+    (``SlipstreamConfig(static_hints=True)``): removal-rate and IPC
+    deltas from pre-warming the per-PC predictor with proven facts."""
+    from repro.eval.jobs import STATIC_HINT_BENCHMARKS
+
+    rows = []
+    for name in benchmarks or STATIC_HINT_BENCHMARKS:
+        base = run_slipstream_model(name, scale)
+        hinted = run_slipstream_model(
+            name, scale, config=SlipstreamConfig(static_hints=True)
+        )
+        rows.append(
+            {
+                "benchmark": name,
+                "base_removal": base.removal_fraction,
+                "hint_removal": hinted.removal_fraction,
+                "removal_delta": hinted.removal_fraction
+                - base.removal_fraction,
+                "base_ipc": base.ipc,
+                "hint_ipc": hinted.ipc,
+                "ipc_delta_pct": 100.0 * (hinted.ipc / base.ipc - 1.0)
+                if base.ipc else 0.0,
+                "base_ir_misp": base.ir_mispredictions,
+                "hint_ir_misp": hinted.ir_mispredictions,
             }
         )
     return rows

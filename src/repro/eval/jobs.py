@@ -36,6 +36,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import repro
+from repro.analysis.ceiling import ceiling_report
 from repro.analysis.ineffectual import cross_check
 from repro.arch.functional import FunctionalSimulator
 from repro.core.slipstream import SlipstreamConfig, SlipstreamProcessor
@@ -84,6 +85,7 @@ class JobKey:
     """
 
     #: "count" | "ss64" | "ss128" | "cmp" | "fault" | "xcheck" |
+    #: "ceiling" (static ineffectuality ceiling; repro.analysis.ceiling) |
     #: "finj" (one fault-campaign injection point) | "chaos" (synthetic
     #: runner-resilience job; see :mod:`repro.eval.resilience`).
     model: str
@@ -157,6 +159,13 @@ def slipstream_spec(
         config_fingerprint=cfg.fingerprint(),
     )
     return JobSpec(key, config=cfg)
+
+
+def ceiling_spec(benchmark: str, scale: int = 1) -> JobSpec:
+    """The static ineffectuality ceiling job: abstract interpretation of
+    the workload plus an execution profile weighting the proven facts
+    (see :mod:`repro.analysis.ceiling`)."""
+    return JobSpec(JobKey("ceiling", benchmark, scale))
 
 
 def crosscheck_spec(benchmark: str, scale: int = 1) -> JobSpec:
@@ -268,6 +277,9 @@ def simulate(spec: JobSpec, obs: Optional[Observability] = None):
     if model == "xcheck":
         program = benchmark_program(key.benchmark, key.scale)
         return cross_check(program)
+    if model == "ceiling":
+        program = benchmark_program(key.benchmark, key.scale)
+        return ceiling_report(program)
     if model == "chaos":
         assert spec.chaos is not None
         return execute_chaos(spec.chaos)
@@ -397,6 +409,9 @@ ABLATION_DELAY_CAPACITIES = (32, 256, 1024)
 ABLATION_IR_SCOPES = (1, 8, 16)
 FAULT_STUDY_BENCHMARK = "jpeg"
 FAULT_STUDY_POINTS = 4
+#: Benchmarks measured with the statically-seeded removal table
+#: (``SlipstreamConfig(static_hints=True)``) next to their default runs.
+STATIC_HINT_BENCHMARKS = ("li", "m88ksim", "vortex")
 
 
 def enumerate_artifact_jobs(
@@ -427,6 +442,11 @@ def enumerate_artifact_jobs(
         add(slipstream_spec(name, scale))       # Figures 6/8, Table 3
         add(slipstream_spec(name, scale, removal_triggers=("BR",)))  # Fig 8 bottom
         add(crosscheck_spec(name, scale))       # static/dynamic cross-check
+        add(ceiling_spec(name, scale))          # static ineffectuality ceiling
+    for name in STATIC_HINT_BENCHMARKS:
+        if name in names:
+            add(slipstream_spec(
+                name, scale, config=SlipstreamConfig(static_hints=True)))
     add(fault_spec(FAULT_STUDY_BENCHMARK, points=FAULT_STUDY_POINTS))
     for threshold in ABLATION_CONFIDENCE_THRESHOLDS:
         add(slipstream_spec(

@@ -26,6 +26,7 @@ import os
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
+from repro.analysis.ceiling import CeilingReport
 from repro.analysis.ineffectual import CrossCheckResult
 from repro.core.slipstream import SlipstreamConfig, SlipstreamResult
 from repro.eval.jobs import (
@@ -35,6 +36,7 @@ from repro.eval.jobs import (
     JobSpec,
     baseline_spec,
     big_core_spec,
+    ceiling_spec,
     count_spec,
     crosscheck_spec,
     fault_spec,
@@ -130,6 +132,13 @@ def run_crosscheck(benchmark: str, scale: int = 1) -> CrossCheckResult:
     """Static/dynamic ineffectuality cross-check of one benchmark:
     static write classification vs IR-detector verdicts."""
     return run_cached(crosscheck_spec(benchmark, scale))  # type: ignore[return-value]
+
+
+def run_ceiling(benchmark: str, scale: int = 1) -> CeilingReport:
+    """Static ineffectuality ceiling of one benchmark: abstract
+    interpretation plus a dynamic execution profile weighting the
+    proven facts (see :mod:`repro.analysis.ceiling`)."""
+    return run_cached(ceiling_spec(benchmark, scale))  # type: ignore[return-value]
 
 
 def run_fault_study(

@@ -58,7 +58,8 @@ def stats_payload(stats: RunnerStats, scale: int,
         records.append(record)
     directory = trace_dir()
     payload = {
-        "generated_unix": int(time.time()),
+        # Provenance only; excluded from every golden comparison.
+        "generated_unix": int(time.time()),  # selfcheck: ok(wall-clock)
         "python": platform.python_version(),
         "code_fingerprint": code_fingerprint(),
         "scale": scale,

@@ -1,0 +1,407 @@
+"""Unit tests for the interval abstract interpreter and its derived
+analyses (repro.analysis.absint / loops / ceiling).
+
+The soundness contract under test: every fact emitted (constant value,
+branch direction, silent store, trip bound, resolved jalr target) must
+hold in *every* concrete execution.  The hypothesis suite
+(tests/test_analysis_properties.py) checks the interval containment
+property against generated programs; these tests pin down the derived
+analyses on crafted ones.
+"""
+
+from repro.analysis.absint import (
+    INT_MAX,
+    INT_MIN,
+    TOP,
+    classify_branches,
+    interpret,
+    loop_bounds,
+    monotone_exit_indices,
+    resolved_jalr_targets,
+    silent_store_indices,
+)
+from repro.analysis.ceiling import (
+    ceiling_report,
+    refine_cfg,
+    report_json,
+    static_removal_report,
+)
+from repro.analysis.cfg import build_cfg
+from repro.analysis.dataflow import analyze
+from repro.analysis.loops import natural_loops
+from repro.isa.assembler import assemble
+from repro.isa.program import TEXT_BASE
+
+
+def _interp(source, name="t"):
+    program = assemble(source, name=name)
+    return program, interpret(program)
+
+
+class TestIntervals:
+    def test_constants_propagate(self):
+        program, res = _interp(
+            """
+            main:
+                addi r1, r0, 5
+                addi r2, r1, 3
+                add  r3, r1, r2
+                halt
+            """
+        )
+        assert res.reg_interval(3, 1) == (5, 5)
+        assert res.reg_interval(3, 2) == (8, 8)
+        assert res.reg_interval(3, 3) == (13, 13)
+
+    def test_r0_pinned_zero(self):
+        _, res = _interp("main:\n addi r0, r0, 7\n halt")
+        assert res.reg_interval(1, 0) == (0, 0)
+
+    def test_join_of_two_paths_is_hull(self):
+        # Registers (and memory) provably start at zero, so the
+        # discriminator must be genuinely non-constant: a widened loop
+        # counter in [1, 10] compared against a mid-range constant.
+        program, res = _interp(
+            """
+            main:
+                addi r9, r0, 10
+                addi r8, r0, 5
+            loop:
+                beq  r9, r8, other  # mixed: r9 spans [1, 10]
+                addi r1, r0, 2
+                j next
+            other:
+                addi r1, r0, 10
+            next:
+                addi r9, r9, -1
+                bne  r9, r0, loop
+                halt
+            """
+        )
+        join = program.index_of(program.pc_of(6))
+        assert res.reg_interval(join, 1) == (2, 10)
+
+    def test_loop_counter_stays_bounded(self):
+        # The landmark-widening fixpoint must keep the counter in
+        # [0, 10] rather than widening its lower bound to -inf.
+        _, res = _interp(
+            """
+            main:
+                addi r1, r0, 10
+            loop:
+                addi r1, r1, -1
+                bne  r1, r0, loop
+                halt
+            """
+        )
+        lo, hi = res.reg_interval(1, 1)
+        assert lo >= 0 and hi <= 10
+
+    def test_unreachable_code_has_no_state(self):
+        _, res = _interp("main:\n halt\n addi r1, r0, 1")
+        assert res.reg_interval(1, 1) is None
+
+
+class TestBranchClassification:
+    def test_always_and_never(self):
+        program, res = _interp(
+            """
+            main:
+                addi r1, r0, 1
+                beq  r1, r0, dead     # never: 1 != 0
+                bne  r1, r0, live     # always: 1 != 0
+            dead:
+                out  r1
+            live:
+                halt
+            """
+        )
+        classes = classify_branches(res)
+        assert classes[1] == "never"
+        assert classes[2] == "always"
+
+    def test_data_dependent_branch_is_mixed(self):
+        _, res = _interp(
+            """
+            main:
+                addi r2, r0, 1
+            loop:
+                add  r2, r2, r2
+                blt  r2, r0, done     # flips when r2 wraps: mixed
+                bne  r2, r0, loop
+            done:
+                halt
+            """
+        )
+        classes = classify_branches(res)
+        assert "mixed" in classes.values()
+
+
+class TestSilentStores:
+    def test_store_of_held_value_is_silent(self):
+        program, res = _interp(
+            """
+            main:
+                addi r2, r0, 7
+                sw   r2, val(r0)
+                halt
+            .data
+            val: .word 7
+            """
+        )
+        assert silent_store_indices(res) == (1,)
+
+    def test_store_of_new_value_is_not_silent(self):
+        _, res = _interp(
+            """
+            main:
+                addi r2, r0, 8
+                sw   r2, val(r0)
+                halt
+            .data
+            val: .word 7
+            """
+        )
+        assert silent_store_indices(res) == ()
+
+    def test_second_store_after_update_is_silent(self):
+        _, res = _interp(
+            """
+            main:
+                addi r2, r0, 3
+                sw   r2, val(r0)     # not silent: cell held 0
+                sw   r2, val(r0)     # silent: cell now provably 3
+                halt
+            .data
+            val: .word 0
+            """
+        )
+        assert silent_store_indices(res) == (2,)
+
+
+class TestLoops:
+    SOURCE = """
+        main:
+            addi r1, r0, 0
+            addi r3, r0, 0
+        loop:
+            add  r3, r3, r1
+            addi r1, r1, 1
+            blt  r1, r2, loop
+            out  r3
+            halt
+    """
+
+    def test_natural_loop_detected(self):
+        program = assemble(
+            """
+            main:
+                addi r1, r0, 8
+            loop:
+                addi r1, r1, -1
+                bne  r1, r0, loop
+                halt
+            """,
+            name="t",
+        )
+        cfg = build_cfg(program)
+        loops = natural_loops(cfg)
+        assert len(loops) == 1
+        assert loops[0].header_index == 1
+
+    def test_counted_loop_trip_bound(self):
+        _, res = _interp(
+            """
+            main:
+                addi r1, r0, 10
+            loop:
+                addi r1, r1, -1
+                bne  r1, r0, loop
+                halt
+            """
+        )
+        bounds = loop_bounds(res)
+        assert len(bounds) == 1
+        bound = bounds[0]
+        assert bound.counter == 1
+        assert bound.step == -1
+        # Counter spans at most [0, 10]: at most 11 increment executions.
+        assert bound.bound <= 11
+
+    def test_monotone_exit_branch(self):
+        _, res = _interp(
+            """
+            main:
+                addi r1, r0, 10
+            loop:
+                addi r1, r1, -1
+                bne  r1, r0, loop
+                halt
+            """
+        )
+        # The bne tests the bounded counter: a monotone exit.
+        assert monotone_exit_indices(res) == (2,)
+
+    def test_unbounded_loop_has_no_bound(self):
+        _, res = _interp(
+            """
+            main:
+                lw r1, arr(r0)
+            loop:
+                add  r1, r1, r1     # not a single-addi counter
+                bne  r1, r0, loop
+                halt
+            .data
+            arr: .word 3
+            """
+        )
+        assert loop_bounds(res) == ()
+
+
+class TestJalrRefinement:
+    """Satellite: constant facts tighten the jalr successor
+    over-approximation (every indirect target) to the proven target."""
+
+    SOURCE = """
+        main:
+            addi r1, r0, fn     # fn's address, materialized
+            jalr r31, r1
+            halt
+        fn:
+            jalr r0, r31
+    """
+
+    def test_base_cfg_over_approximates(self):
+        program = assemble(self.SOURCE, name="t")
+        cfg = build_cfg(program)
+        assert not cfg.indirect_exact
+        # Both jalrs get every indirect target.
+        assert len(cfg.instr_succs[1]) >= 2
+        assert set(cfg.instr_succs[1]) == set(cfg.indirect_targets)
+
+    def test_absint_resolves_targets(self):
+        program, res = _interp(self.SOURCE)
+        resolved = resolved_jalr_targets(res)
+        assert resolved[1] == 3      # jalr r31, r1 -> fn
+        assert resolved[3] == 2      # jalr r0, r31 -> return site
+
+    def test_refined_cfg_prunes_edges_and_is_exact(self):
+        program, res = _interp(self.SOURCE)
+        base = build_cfg(program)
+        refined = refine_cfg(program, res)
+        assert refined.instr_succs[1] == (3,)
+        assert refined.instr_succs[3] == (2,)
+        assert refined.indirect_exact
+        base_edges = sum(len(s) for s in base.instr_succs)
+        refined_edges = sum(len(s) for s in refined.instr_succs)
+        assert refined_edges < base_edges
+
+    def test_refinement_enables_must_live_claims(self):
+        program, res = _interp(self.SOURCE)
+        base_df = analyze(build_cfg(program))
+        refined_df = analyze(refine_cfg(program, res))
+        # The over-approximated CFG makes no MUST claims; the proven
+        # one may (and the report records the exactness promotion).
+        assert not base_df.cfg.indirect_exact
+        assert refined_df.cfg.indirect_exact
+        report = static_removal_report(program)
+        assert report.indirect_exact
+        assert report.jalr_resolved == report.jalr_total == 2
+        assert report.pruned_edges > 0
+
+
+class TestStaticRemovalReport:
+    SOURCE = """
+        main:
+            addi r9, r0, 10
+        loop:
+            addi r3, r0, 1      # dead write: killed below, unreferenced
+            addi r3, r0, 2
+            add  r4, r4, r3
+            addi r2, r0, 7
+            sw   r2, val(r0)    # silent store: cell initialized to 7
+            addi r9, r9, -1
+            bne  r9, r0, loop
+            out  r4
+            halt
+        .data
+        val: .word 7
+    """
+
+    def test_fact_families_populated(self):
+        program = assemble(self.SOURCE, name="t")
+        report = static_removal_report(program)
+        dead = set(report.dead_write_pcs)
+        assert program.pc_of(1) in dead
+        assert program.pc_of(5) in set(report.silent_store_pcs)
+        assert len(report.loop_header_pcs) == 1
+        assert len(report.loop_trip_bounds) == 1
+        kinds = report.fact_kinds()
+        assert kinds[program.pc_of(1)] == ("dead-write",)
+        # The cell is never read back, so the store is both dead and
+        # silent — at minimum the silent-store proof must be present.
+        assert "silent-store" in kinds[program.pc_of(5)]
+
+    def test_proven_pcs_sorted_unique(self):
+        program = assemble(self.SOURCE, name="t")
+        report = static_removal_report(program)
+        proven = report.proven_pcs
+        assert list(proven) == sorted(set(proven))
+
+    def test_ceiling_invariants(self):
+        program = assemble(self.SOURCE, name="t")
+        report = ceiling_report(program)
+        assert not report.truncated
+        assert 0.0 <= report.proven_fraction
+        assert report.proven_fraction <= report.ceiling_fraction <= 1.0
+        # halt retires once: the ceiling excludes it.
+        assert report.never_removable_instances >= 1
+        assert report.ceiling_fraction < 1.0
+
+    def test_report_json_is_deterministic(self):
+        program = assemble(self.SOURCE, name="t")
+        a = report_json(ceiling_report(program))
+        b = report_json(ceiling_report(program))
+        assert a == b
+        assert a["name"] == "t"
+        profile = a["profile"]
+        assert profile["proven_fraction"] <= profile["ceiling_fraction"]
+
+
+class TestWideningTermination:
+    def test_nested_loops_converge(self):
+        _, res = _interp(
+            """
+            main:
+                addi r1, r0, 5
+            outer:
+                addi r2, r0, 5
+            inner:
+                add  r4, r4, r2
+                addi r2, r2, -1
+                bne  r2, r0, inner
+                addi r1, r1, -1
+                bne  r1, r0, outer
+                out  r4
+                halt
+            """
+        )
+        lo, hi = res.reg_interval(2, 1)
+        assert 0 <= lo and hi <= 5
+        lo2, hi2 = res.reg_interval(3, 2)
+        assert 0 <= lo2 and hi2 <= 5
+
+    def test_wrapping_add_goes_top(self):
+        _, res = _interp(
+            """
+            main:
+                addi r1, r0, 1
+            loop:
+                add  r1, r1, r1     # doubles forever: must hit TOP
+                beq  r1, r0, done
+                j    loop
+            done:
+                halt
+            """
+        )
+        assert res.reg_interval(1, 1) == TOP

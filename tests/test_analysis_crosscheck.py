@@ -102,6 +102,70 @@ class TestCrossCheck:
         assert result.instance_agreement > 0.9
 
 
+class TestAbsintCrossCheck:
+    """The interval-layer extension: proven silent stores and pinned
+    branch directions are checked against the dynamic run too."""
+
+    SOURCE = """
+        main:
+            addi r1, r0, 150
+            addi r2, r0, 7
+        loop:
+            sw   r2, slot(r0)   # provably silent: cell holds 7
+            addi r1, r1, -1
+            bne  r1, r0, loop
+            out  r2
+            halt
+        .data
+        slot: .word 7
+    """
+
+    def test_silent_stores_tracked_and_sound(self):
+        result = cross_check(_program(self.SOURCE))
+        assert result.removal_report is not None
+        assert result.removal_report.silent_store_pcs
+        assert result.silent_instances_executed == 150
+        assert result.silent_violation_pcs == ()
+        assert 0.0 <= result.silent_agreement <= 1.0
+        assert result.sound
+
+    def test_pinned_branches_tracked_and_sound(self):
+        # bne exits once and loops 149 times: mixed, so only provably
+        # single-direction branches count as pinned.
+        program = _program(
+            """
+            main:
+                addi r1, r0, 3
+                bne  r1, r0, skip   # always taken: pinned
+                out  r1
+            skip:
+                halt
+            """
+        )
+        result = cross_check(program)
+        assert result.removal_report is not None
+        assert result.removal_report.branch_always_pcs
+        assert result.pinned_branch_instances >= 1
+        assert result.branch_violation_pcs == ()
+        assert result.sound
+
+    def test_absint_opt_out(self):
+        result = cross_check(_program(self.SOURCE), include_absint=False)
+        assert result.removal_report is None
+        assert result.silent_instances_executed == 0
+        assert result.silent_agreement == 1.0
+        assert result.sound
+
+    def test_caller_supplied_report_reused(self):
+        from repro.analysis.ceiling import static_removal_report
+
+        program = _program(self.SOURCE)
+        report = static_removal_report(program)
+        result = cross_check(program, removal_report=report)
+        assert result.removal_report is report
+        assert result.sound
+
+
 class TestFullSuite:
     @pytest.mark.parametrize(
         "bench", benchmark_suite(), ids=lambda b: b.name

@@ -10,10 +10,12 @@ the property is: its soundness fields stay empty on arbitrary inputs.
 
 from hypothesis import given, settings, strategies as st
 
+from repro.analysis.absint import interpret
 from repro.analysis.cfg import build_cfg
 from repro.analysis.dataflow import WriteClass, analyze
 from repro.analysis.ineffectual import cross_check
 from repro.analysis.lint import lint_program
+from repro.arch.functional import FunctionalSimulator
 from repro.isa.assembler import assemble
 from repro.isa.program import DATA_BASE
 
@@ -62,6 +64,92 @@ def _render(items) -> str:
     lines.append("arr: .word " + " ".join(str((3 * k) & 0xFF)
                                           for k in range(_DATA_WORDS)))
     return "\n".join(lines) + "\n"
+
+
+def _render_looped(items, trips) -> str:
+    """Wrap the generated body in a counted outer loop (r7 is the
+    reserved counter), so widening at the loop header is exercised."""
+    n = len(items)
+    lines = [".text", "main:", f"addi r7, r0, {trips}", "outer:"]
+    for i, item in enumerate(items):
+        lines.append(f"L{i}:")
+        kind = item[0]
+        if kind == "rrr":
+            _, op, d, s1, s2 = item
+            lines.append(f"{op} r{d}, r{s1}, r{s2}")
+        elif kind == "rri":
+            _, op, d, s, imm = item
+            lines.append(f"{op} r{d}, r{s}, {imm}")
+        elif kind == "lw":
+            _, d, slot = item
+            lines.append(f"lw r{d}, {DATA_BASE + 4 * slot}(r0)")
+        elif kind == "sw":
+            _, s, slot = item
+            lines.append(f"sw r{s}, {DATA_BASE + 4 * slot}(r0)")
+        else:
+            _, op, a, b, skip = item
+            lines.append(f"{op} r{a}, r{b}, L{min(i + skip, n)}")
+    lines.append(f"L{n}:")
+    lines.append("addi r7, r7, -1")
+    lines.append("bne r7, r0, outer")
+    lines.append("halt")
+    lines.append(".data")
+    lines.append("arr: .word " + " ".join(str((3 * k) & 0xFF)
+                                          for k in range(_DATA_WORDS)))
+    return "\n".join(lines) + "\n"
+
+
+class TestIntervalContainment:
+    """The fundamental abstract-interpretation soundness property: on
+    every retired dynamic instruction, each concrete operand value lies
+    in the instruction's incoming abstract interval and each written
+    value lies in the outgoing one."""
+
+    @staticmethod
+    def _check_containment(program):
+        res = interpret(program)
+        for dyn in FunctionalSimulator(program, max_instructions=20_000).steps():
+            index = program.index_of(dyn.pc)
+            env_in = res.env_in[index]
+            env_out = res.env_out[index]
+            assert env_in is not None, (
+                f"retired pc {dyn.pc:#x} was marked unreachable"
+            )
+            for reg, val in zip(dyn.instr.src_regs(), dyn.src_values):
+                lo, hi = env_in[0][reg]
+                assert lo <= val <= hi, (
+                    f"pc {dyn.pc:#x}: src r{reg}={val} outside [{lo}, {hi}]"
+                )
+            if dyn.dest_reg is not None and env_out is not None:
+                lo, hi = env_out[0][dyn.dest_reg]
+                assert lo <= dyn.value <= hi, (
+                    f"pc {dyn.pc:#x}: dest r{dyn.dest_reg}={dyn.value} "
+                    f"outside [{lo}, {hi}]"
+                )
+            if (dyn.writes_memory and env_out is not None
+                    and dyn.mem_addr in env_out[1]):
+                lo, hi = env_out[1][dyn.mem_addr]
+                assert lo <= dyn.value <= hi, (
+                    f"pc {dyn.pc:#x}: mem[{dyn.mem_addr:#x}]={dyn.value} "
+                    f"outside [{lo}, {hi}]"
+                )
+
+    @given(st.lists(_ITEM, min_size=1, max_size=40))
+    @settings(max_examples=100, deadline=None)
+    def test_straightline_values_in_intervals(self, items):
+        self._check_containment(assemble(_render(items), name="prop"))
+
+    @given(
+        st.lists(_ITEM, min_size=1, max_size=25),
+        st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_looped_values_in_intervals(self, items, trips):
+        """A counted outer loop forces widening/narrowing at a real
+        loop header; containment must survive the precision loss."""
+        self._check_containment(
+            assemble(_render_looped(items, trips), name="prop-loop")
+        )
 
 
 class TestStaticSoundness:

@@ -1,0 +1,158 @@
+"""Unit tests for the self-determinism lint (repro.analysis.selfcheck).
+
+Each rule is pinned with a minimal positive and negative source, plus
+the ``# selfcheck: ok(rule)`` suppression contract and the clean sweep
+of the shipped package itself (the property CI relies on).
+"""
+
+import textwrap
+
+from repro.analysis.selfcheck import (
+    ALL_RULES,
+    active,
+    check_source,
+    check_tree,
+    summarize,
+)
+
+
+def _rules(source):
+    return [d.rule for d in check_source(textwrap.dedent(source))]
+
+
+class TestUnseededRandom:
+    def test_global_rng_draw_flagged(self):
+        assert "unseeded-random" in _rules(
+            """
+            import random
+            x = random.randint(0, 7)
+            """
+        )
+
+    def test_unseeded_constructor_flagged(self):
+        assert "unseeded-random" in _rules(
+            """
+            import random
+            rng = random.Random()
+            """
+        )
+
+    def test_seeded_constructor_clean(self):
+        assert "unseeded-random" not in _rules(
+            """
+            import random
+            rng = random.Random(1234)
+            x = rng.randint(0, 7)
+            """
+        )
+
+
+class TestWallClock:
+    def test_time_time_flagged(self):
+        assert "wall-clock" in _rules(
+            """
+            import time
+            stamp = time.time()
+            """
+        )
+
+    def test_datetime_now_flagged(self):
+        assert "wall-clock" in _rules(
+            """
+            import datetime
+            stamp = datetime.datetime.now()
+            """
+        )
+
+    def test_monotonic_clean(self):
+        assert "wall-clock" not in _rules(
+            """
+            import time
+            t0 = time.perf_counter()
+            elapsed = time.perf_counter() - t0
+            """
+        )
+
+
+class TestSetIteration:
+    def test_loop_over_set_call_flagged(self):
+        assert "set-iteration" in _rules(
+            """
+            def f(items):
+                for x in set(items):
+                    print(x)
+            """
+        )
+
+    def test_comprehension_over_set_literal_flagged(self):
+        assert "set-iteration" in _rules(
+            """
+            out = [x + 1 for x in {3, 1, 2}]
+            """
+        )
+
+    def test_loop_over_set_variable_flagged(self):
+        assert "set-iteration" in _rules(
+            """
+            def f(items):
+                pending = set(items)
+                for x in pending:
+                    print(x)
+            """
+        )
+
+    def test_sorted_set_clean(self):
+        assert "set-iteration" not in _rules(
+            """
+            def f(items):
+                for x in sorted(set(items)):
+                    print(x)
+            """
+        )
+
+
+class TestSuppression:
+    SOURCE = textwrap.dedent(
+        """
+        import time
+        stamp = time.time()  # selfcheck: ok(wall-clock)
+        """
+    )
+
+    def test_suppressed_finding_reported_but_inactive(self):
+        diags = check_source(self.SOURCE)
+        assert [d.rule for d in diags] == ["wall-clock"]
+        assert diags[0].suppressed
+        assert active(diags) == []
+        assert summarize(diags)["wall-clock"] == 0
+
+    def test_wrong_rule_suppression_stays_active(self):
+        diags = check_source(
+            textwrap.dedent(
+                """
+                import time
+                stamp = time.time()  # selfcheck: ok(set-iteration)
+                """
+            )
+        )
+        assert len(active(diags)) == 1
+
+    def test_render_marks_suppressed(self):
+        diags = check_source(self.SOURCE, path="mod.py")
+        assert diags[0].render().endswith("(suppressed)")
+        assert "mod.py:" in diags[0].render()
+
+
+class TestPackageSweep:
+    def test_shipped_package_is_clean(self):
+        """The invariant CI enforces: no unsuppressed findings in
+        src/repro itself."""
+        diags = check_tree()
+        assert active(diags) == [], "\n".join(
+            d.render() for d in active(diags)
+        )
+
+    def test_summary_covers_all_rules(self):
+        counts = summarize(check_tree())
+        assert set(counts) == set(ALL_RULES)
+        assert all(v == 0 for v in counts.values())

@@ -1,0 +1,79 @@
+"""Tests for statically-seeded IR prediction (SlipstreamConfig.static_hints).
+
+Contract under test:
+
+* mode off (the default) leaves the pipeline byte-identical — no hint
+  state, no seeded predictor entries;
+* mode on stays architecturally correct (outputs match the functional
+  reference) because seeded facts are *proofs*, and the removal
+  fraction may only benefit;
+* statically-seeded predictor entries are pinned: the dynamic training
+  reset path never evicts a proof.
+"""
+
+from repro.arch.functional import FunctionalSimulator
+from repro.core.modes import static_hint_config
+from repro.core.pc_ir_predictor import PCIRPredictor, PCIRPredictorConfig
+from repro.core.removal import RemovalKind
+from repro.core.slipstream import SlipstreamConfig, SlipstreamProcessor
+from repro.eval.jobs import benchmark_program
+
+
+class TestSeededPredictor:
+    def test_seed_makes_pc_removable(self):
+        pred = PCIRPredictor(PCIRPredictorConfig(confidence_threshold=8))
+        pred.seed(0x1000, RemovalKind.SV)
+        assert pred.removable(0x1000)
+        assert pred.kind_of(0x1000) == RemovalKind.SV
+        assert pred.seeded_pcs == 1
+
+    def test_pinned_entry_survives_reset_path(self):
+        pred = PCIRPredictor(PCIRPredictorConfig(confidence_threshold=4))
+        pred.seed(0x1000, RemovalKind.WW)
+        # A non-selected instance resets dynamic entries; a pinned
+        # (statically-proven) entry must ride through it.
+        pred.train(0x1000, selected=False, kind=RemovalKind.NONE)
+        assert pred.removable(0x1000)
+
+    def test_dynamic_entry_still_resets(self):
+        pred = PCIRPredictor(PCIRPredictorConfig(confidence_threshold=2))
+        pred.train(0x2000, True, RemovalKind.WW)
+        pred.train(0x2000, True, RemovalKind.WW)
+        assert pred.removable(0x2000)
+        pred.train(0x2000, False, RemovalKind.NONE)
+        assert not pred.removable(0x2000)
+
+    def test_seed_does_not_lower_existing_confidence(self):
+        pred = PCIRPredictor(PCIRPredictorConfig(confidence_threshold=2))
+        for _ in range(5):
+            pred.train(0x3000, True, RemovalKind.SV)
+        before = pred.removable(0x3000)
+        pred.seed(0x3000, RemovalKind.SV)
+        assert pred.removable(0x3000) == before is True
+
+
+class TestStaticHintMode:
+    def test_config_default_off(self):
+        assert SlipstreamConfig().static_hints is False
+        assert static_hint_config().static_hints is True
+
+    def test_mode_off_seeds_nothing(self):
+        prog = benchmark_program("li", scale=1)
+        proc = SlipstreamProcessor(prog, SlipstreamConfig())
+        assert proc.pc_ir.seeded_pcs == 0
+        assert proc._hint_pcs == frozenset()
+
+    def test_mode_on_seeds_proven_pcs(self):
+        prog = benchmark_program("li", scale=1)
+        proc = SlipstreamProcessor(prog, static_hint_config())
+        assert proc.pc_ir.seeded_pcs > 0
+        assert proc._hint_pcs
+
+    def test_output_identical_and_removal_no_worse(self):
+        prog = benchmark_program("li", scale=1)
+        base = SlipstreamProcessor(prog, SlipstreamConfig()).run()
+        hint = SlipstreamProcessor(prog, static_hint_config()).run()
+        ref = FunctionalSimulator(prog).run()
+        assert base.output == ref.output
+        assert hint.output == ref.output
+        assert hint.removal_fraction >= base.removal_fraction
