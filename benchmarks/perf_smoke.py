@@ -1,6 +1,6 @@
 """Perf smoke: the compiled paths must not be slower than the scalar ones.
 
-Two sections, selected by ``--timing``:
+Three sections, selected by ``--timing`` / ``--serve``:
 
 **ISA section** (default) runs the pinned ``cmp/li`` co-simulation (the
 sweep's heavyweight job shape) once per execution engine, ``--reps``
@@ -20,14 +20,28 @@ scalar path pays full per-instruction scheduler calls — gates strictly
 hand-inlined, so there the memoized path only has to stay within a
 small documented noise margin.
 
+**Serve section** (``--serve``) stress-tests the eval daemon
+(:mod:`repro.eval.serve`) with simulated many-client load: it
+self-hosts a daemon on a private cache root, races ``--clients``
+concurrent HTTP clients through one cold pass and one warm pass of
+overlapping batches, then replays the same grid inline and compares
+result digests.  The hard gates are correctness, chosen to hold even
+in the 1-CPU ``--jobs 1`` degradation mode: daemon results
+byte-identical to inline, the cold pass simulates each unique job
+exactly once (in-flight dedup), and the warm pass simulates nothing.
+Warm aggregate throughput is measured at 1, 2 and ``--clients``
+concurrent clients and reported in ``BENCH_serve.json`` — evidence of
+scaling on multi-core, informational on CI.
+
 Fails (exit 1) only when a compiled path is *slower* than its scalar
-reference (or results differ): the point is to catch a regression that
-silently turns the default path into a pessimization, not to enforce a
-specific speedup on unknown CI hardware.  The measured numbers are
-written as JSON for artifact upload; read a ratio with::
+reference (or results/digests differ): the point is to catch a
+regression that silently turns the default path into a pessimization,
+not to enforce a specific speedup on unknown CI hardware.  The measured
+numbers are written as JSON for artifact upload; read a ratio with::
 
     python -c "import json; print(json.load(open('BENCH_perf_smoke.json'))['speedup'])"
     python -c "import json; print(json.load(open('BENCH_timing.json'))['models']['ss64']['speedup'])"
+    python -c "import json; print(json.load(open('BENCH_serve.json'))['cold']['deduped'])"
 """
 
 from __future__ import annotations
@@ -159,6 +173,143 @@ def timing_main(args) -> int:
     return 0
 
 
+def _serve_clients(port: int, batches, timeout: float = 600.0):
+    """Race one ServeClient thread per batch; returns (wall seconds,
+    list of per-client result-line lists, in batch order)."""
+    import threading
+
+    from repro.eval.serve import ServeClient
+
+    results = [None] * len(batches)
+    errors = []
+
+    def tenant(slot, batch):
+        try:
+            client = ServeClient(port=port, timeout=timeout)
+            results[slot] = client.submit_all(batch)
+        except Exception as exc:  # noqa: BLE001 - surfaced below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=tenant, args=(slot, batch))
+               for slot, batch in enumerate(batches)]
+    w0 = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - w0
+    if errors:
+        raise errors[0]
+    return wall, results
+
+
+def serve_main(args) -> int:
+    import tempfile
+
+    from repro.eval import jobs as eval_jobs
+    from repro.eval import models
+    from repro.eval.models import run_cached
+    from repro.eval.serve import (
+        result_payload,
+        spec_from_json,
+        start_server_thread,
+    )
+    from repro.workloads.suite import benchmark_suite
+
+    benchmarks = [b.name for b in benchmark_suite()]
+    grid = [{"model": "count", "benchmark": name} for name in benchmarks]
+    # Overlapping batches: every client wants the whole grid, rotated so
+    # the same key is in flight from several tenants at once.
+    batches = [grid[i % len(grid):] + grid[:i % len(grid)]
+               for i in range(args.clients)]
+
+    saved = (models._DISK, models._DISK_ENABLED)
+    models.clear_cache()
+    eval_jobs.reset_simulation_count()
+    tmp = tempfile.mkdtemp(prefix="repro-serve-bench-")
+    models.configure_disk_cache(enabled=True, cache_dir=os.path.join(
+        tmp, "daemon-cache"))
+    handle = start_server_thread(jobs=args.jobs, backend=args.backend)
+    try:
+        cold_wall, cold_results = _serve_clients(handle.port, batches)
+        cold_stats = dict(handle.service.stats.__dict__)
+        warm_wall, _ = _serve_clients(handle.port, batches)
+        warm_stats = dict(handle.service.stats.__dict__)
+
+        # Warm aggregate throughput at increasing client counts.
+        throughput = {}
+        for clients in sorted({1, 2, args.clients}):
+            wall, outcomes = _serve_clients(handle.port, batches[:clients])
+            served = sum(len(lines) for lines in outcomes)
+            throughput[str(clients)] = round(served / wall, 1) if wall > 0 \
+                else float("inf")
+
+        # Inline reference on a fresh root: digests must match the
+        # daemon's line for every job of every client.
+        models.clear_cache()
+        models.configure_disk_cache(enabled=True, cache_dir=os.path.join(
+            tmp, "inline-cache"))
+        w0 = time.perf_counter()
+        inline_digests = {}
+        for job in grid:
+            spec = spec_from_json(job)
+            line = result_payload(0, spec.key, "inline", run_cached(spec))
+            inline_digests[line["job"]] = line["digest"]
+        inline_wall = time.perf_counter() - w0
+        identical = all(
+            line["ok"] and inline_digests[line["job"]] == line["digest"]
+            for lines in cold_results for line in lines
+        )
+    finally:
+        handle.stop()
+        models.clear_cache()
+        models._DISK, models._DISK_ENABLED = saved
+
+    warm_simulated = warm_stats["simulated"] - cold_stats["simulated"]
+    payload = {
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "backend": handle.service.backend.name,
+        "jobs": args.jobs,
+        "clients": args.clients,
+        "unique_jobs": len(grid),
+        "cold": {
+            "wall_seconds": round(cold_wall, 3),
+            "requested": len(grid) * args.clients,
+            "simulated": cold_stats["simulated"],
+            "deduped": cold_stats["deduped"],
+            "disk_hits": cold_stats["disk_hits"],
+            "memory_hits": cold_stats["memory_hits"],
+        },
+        "warm": {
+            "wall_seconds": round(warm_wall, 3),
+            "simulated": warm_simulated,
+        },
+        "warm_jobs_per_second_by_clients": throughput,
+        "inline_wall_seconds": round(inline_wall, 3),
+        "identical_to_inline": identical,
+    }
+    with open(args.out, "w", encoding="utf-8") as handle_out:
+        json.dump(payload, handle_out, indent=2)
+        handle_out.write("\n")
+    print(json.dumps(payload, indent=2))
+
+    if not identical:
+        print("FAIL: daemon results differ from inline execution",
+              file=sys.stderr)
+        return 1
+    if cold_stats["simulated"] != len(grid):
+        print(f"FAIL: cold pass simulated {cold_stats['simulated']} jobs "
+              f"for {len(grid)} unique keys (dedup broken)",
+              file=sys.stderr)
+        return 1
+    if warm_simulated != 0:
+        print(f"FAIL: warm pass simulated {warm_simulated} jobs "
+              "(cache broken)", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--reps", type=int, default=2,
@@ -168,10 +319,24 @@ def main(argv=None) -> int:
     parser.add_argument("--timing", action="store_true",
                         help="run the compiled-timing section instead of "
                              "the ISA-engine section")
+    parser.add_argument("--serve", action="store_true",
+                        help="run the eval-daemon stress section instead")
+    parser.add_argument("--clients", type=int, default=4,
+                        help="concurrent HTTP clients for --serve "
+                             "(default 4)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="daemon worker pool size for --serve "
+                             "(default 1: the CI degradation mode)")
+    parser.add_argument("--backend", default="thread",
+                        choices=("thread", "spawn", "inline"),
+                        help="daemon worker backend for --serve")
     args = parser.parse_args(argv)
     if args.timing:
         args.out = args.out or "BENCH_timing.json"
         return timing_main(args)
+    if args.serve:
+        args.out = args.out or "BENCH_serve.json"
+        return serve_main(args)
     args.out = args.out or "BENCH_perf_smoke.json"
 
     program = get_benchmark(BENCHMARK).program(1)

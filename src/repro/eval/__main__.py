@@ -1,16 +1,22 @@
 """Generate the full experiment report (EXPERIMENTS.md content).
 
 Run:  python -m repro.eval [scale] [--jobs N] [--bench-out PATH]
+Or:   python -m repro.eval serve [--port N] [--backend NAME] ...
 
 Regenerates every table and figure of the paper's evaluation plus the
 fault study and ablations, and prints a markdown report with
 paper-vs-measured columns.
 
 The underlying simulations are enumerated as jobs, deduplicated, fanned
-out over ``--jobs`` worker processes and cached persistently under
+out over ``--jobs`` workers and cached persistently under
 ``.cache/repro-eval/`` (see :mod:`repro.eval.runner`); a warm re-run
 performs zero simulations.  Timing of each pass is written to
 ``BENCH_runner.json``.
+
+The ``serve`` subcommand instead starts the eval-as-a-service daemon
+(:mod:`repro.eval.serve`): a local HTTP/JSON API over the same job
+machinery, sharing one cache root and one worker pool across many
+concurrent clients.
 """
 
 from __future__ import annotations
@@ -25,6 +31,7 @@ from repro.obs.session import ENV_ENABLE, ENV_TRACE_DIR
 
 from repro.core.removal import CATEGORIES
 from repro.eval import models
+from repro.eval.backends import BACKENDS
 from repro.eval.experiments import (
     ablation_confidence_threshold,
     ablation_delay_buffer,
@@ -74,6 +81,11 @@ def parse_args(argv: Optional[List[str]] = None) -> argparse.Namespace:
     parser.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
                         help="worker processes for the simulation sweep "
                              "(default 1: inline)")
+    parser.add_argument("--backend", choices=sorted(BACKENDS), default=None,
+                        metavar="NAME",
+                        help="worker backend for --jobs > 1: "
+                             f"{', '.join(sorted(BACKENDS))} "
+                             "(default spawn)")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the persistent result cache")
     parser.add_argument("--timeout", type=float, default=None, metavar="SEC",
@@ -360,6 +372,11 @@ def render_report(scale: int) -> str:
 
 
 def main(argv: Optional[List[str]] = None) -> None:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv[:1] == ["serve"]:
+        from repro.eval import serve
+
+        raise SystemExit(serve.main(argv[1:]))
     args = parse_args(argv)
     # Observability configuration travels through the environment so
     # that ProcessPoolExecutor workers inherit it.
@@ -379,7 +396,8 @@ def main(argv: Optional[List[str]] = None) -> None:
                          max_retries=args.retries)
     runner = ExperimentRunner(jobs=args.jobs,
                               use_disk_cache=not args.no_cache,
-                              policy=policy)
+                              policy=policy,
+                              backend=args.backend)
     stats = runner.run(specs)
     resilience = ""
     if stats.retried or stats.timeouts or stats.pool_rebuilds:

@@ -1,0 +1,242 @@
+"""Pluggable worker backends: where job attempts actually execute.
+
+The experiment runner (:mod:`repro.eval.runner`) and the eval daemon
+(:mod:`repro.eval.serve`) both fan :class:`~repro.eval.jobs.JobSpec`
+attempts out over a pool of workers.  Historically that pool was a
+hard-wired ``ProcessPoolExecutor``; this module abstracts it behind
+:class:`WorkerBackend` so the execution substrate is a deployment
+choice:
+
+* :class:`SpawnedBackend` — a ``ProcessPoolExecutor``.  True
+  parallelism, per-worker ``SIGALRM`` timeouts (each worker's main
+  thread runs the attempt), and worker death is a *recoverable* event
+  the runner's crash machinery handles (``can_crash``).
+* :class:`InProcessBackend` — a ``ThreadPoolExecutor``.  No pickling,
+  no process startup, shared in-process memos — the right degradation
+  on a 1-CPU box where ``BENCH_runner.json`` shows
+  ``speedup_vs_sequential < 1``: dedup and cache hits are the win, not
+  parallelism.  Attempts run off the main thread, so per-attempt
+  timeouts use :func:`repro.eval.jobs.run_attempt`'s monotonic
+  post-hoc deadline (a wedged job cannot be interrupted; see that
+  docstring), and workers cannot be killed (``can_kill_workers`` is
+  False — driver-side hard deadlines are disabled).
+* :class:`InlineBackend` — executes in the caller's thread at
+  ``submit`` time.  The degenerate reference backend: tests implement
+  the abstraction against it, and it proves any future backend — a
+  remote stub forwarding specs to another machine, say — only needs
+  the same five methods.
+
+Backends are deliberately *not* part of a job's identity: the same
+spec produces the same cached result whichever backend computed it.
+"""
+
+from __future__ import annotations
+
+import abc
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Dict, Optional, Type, Union
+
+from repro.eval.jobs import JobSpec, run_attempt
+
+
+class WorkerBackend(abc.ABC):
+    """One pool of workers executing bounded job attempts.
+
+    Lifecycle: :meth:`start` brings up ``workers`` workers,
+    :meth:`submit` hands one attempt to the pool and returns a
+    ``concurrent.futures.Future`` resolving to
+    :func:`repro.eval.jobs.timed_simulate`'s tuple (or raising what the
+    attempt raised), :meth:`shutdown` tears the pool down.  After a
+    crash (``broken()``), callers shut down and :meth:`start` again.
+    """
+
+    #: Registry/CLI name of the backend ("spawn", "thread", "inline").
+    name: str = "?"
+    #: Worker death is a distinct recoverable event (process pools):
+    #: futures may raise ``BrokenExecutor`` and the pool needs a rebuild.
+    can_crash: bool = False
+    #: :meth:`kill_workers` actually terminates workers, so a
+    #: driver-side hard deadline can be enforced against a wedged job.
+    can_kill_workers: bool = False
+
+    def __init__(self) -> None:
+        self._workers = 0
+
+    @property
+    def workers(self) -> int:
+        """Workers the running pool was started with (0 when stopped)."""
+        return self._workers
+
+    @property
+    @abc.abstractmethod
+    def running(self) -> bool:
+        """True between :meth:`start` and :meth:`shutdown`."""
+
+    @abc.abstractmethod
+    def start(self, workers: int) -> None:
+        """Bring up ``workers`` workers (must not be running)."""
+
+    @abc.abstractmethod
+    def submit(self, spec: JobSpec,
+               timeout_seconds: Optional[float] = None) -> "Future":
+        """One bounded attempt at ``spec``; resolves like
+        :func:`repro.eval.jobs.run_attempt`."""
+
+    def broken(self) -> bool:
+        """True when the pool died and must be shut down and restarted."""
+        return False
+
+    def kill_workers(self) -> None:
+        """Forcibly terminate every worker (no-op unless
+        ``can_kill_workers``); in-flight futures then resolve broken."""
+
+    @abc.abstractmethod
+    def shutdown(self, wait: bool = False) -> None:
+        """Tear the pool down; pending futures are cancelled."""
+
+
+class InlineBackend(WorkerBackend):
+    """Execute attempts synchronously in the calling thread.
+
+    ``submit`` returns an already-resolved future.  Exists as the
+    reference implementation of the abstraction (and as the cheapest
+    possible degradation: zero pool overhead, pure dedup + cache).
+    """
+
+    name = "inline"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._running = False
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def start(self, workers: int) -> None:
+        self._workers = 1
+        self._running = True
+
+    def submit(self, spec: JobSpec,
+               timeout_seconds: Optional[float] = None) -> "Future":
+        future: Future = Future()
+        future.set_running_or_notify_cancel()
+        try:
+            future.set_result(run_attempt(spec, timeout_seconds))
+        except BaseException as exc:  # noqa: BLE001 - future carries it
+            future.set_exception(exc)
+        return future
+
+    def shutdown(self, wait: bool = False) -> None:
+        self._workers = 0
+        self._running = False
+
+
+class _ExecutorBackend(WorkerBackend):
+    """Shared plumbing for ``concurrent.futures`` executor backends."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._executor: Optional[object] = None
+
+    @property
+    def running(self) -> bool:
+        return self._executor is not None
+
+    def _make_executor(self, workers: int):
+        raise NotImplementedError
+
+    def start(self, workers: int) -> None:
+        if self._executor is not None:
+            raise RuntimeError(f"{self.name} backend already running")
+        self._executor = self._make_executor(workers)
+        self._workers = workers
+
+    def submit(self, spec: JobSpec,
+               timeout_seconds: Optional[float] = None) -> "Future":
+        if self._executor is None:
+            raise RuntimeError(f"{self.name} backend is not running")
+        return self._executor.submit(run_attempt, spec, timeout_seconds)
+
+    def shutdown(self, wait: bool = False) -> None:
+        executor, self._executor = self._executor, None
+        self._workers = 0
+        if executor is not None:
+            executor.shutdown(wait=wait, cancel_futures=True)
+
+
+class InProcessBackend(_ExecutorBackend):
+    """A thread pool inside the calling process.
+
+    The attempt's per-job timeout degrades to the post-hoc monotonic
+    deadline (threads cannot receive ``SIGALRM``), and a wedged attempt
+    cannot be killed — callers needing a hard guarantee against hangs
+    use :class:`SpawnedBackend`.
+    """
+
+    name = "thread"
+
+    def _make_executor(self, workers: int):
+        return ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-eval-worker"
+        )
+
+
+class SpawnedBackend(_ExecutorBackend):
+    """A pool of spawned worker processes (the historical runner pool)."""
+
+    name = "spawn"
+    can_crash = True
+    can_kill_workers = True
+
+    def _make_executor(self, workers: int):
+        return ProcessPoolExecutor(max_workers=workers)
+
+    def broken(self) -> bool:
+        executor = self._executor
+        if executor is None:
+            return False
+        return getattr(executor, "_broken", False) is not False
+
+    def kill_workers(self) -> None:
+        processes = getattr(self._executor, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.kill()
+            except OSError:
+                pass
+
+
+#: Name → class, the CLI/registry surface.
+BACKENDS: Dict[str, Type[WorkerBackend]] = {
+    backend.name: backend
+    for backend in (SpawnedBackend, InProcessBackend, InlineBackend)
+}
+
+
+def resolve_backend(
+    backend: Union[str, WorkerBackend, None], default: str = "spawn"
+) -> WorkerBackend:
+    """A ready-to-start backend instance from a name, an instance, or
+    None (the default name).  Unknown names raise ``ValueError``."""
+    if backend is None:
+        backend = default
+    if isinstance(backend, WorkerBackend):
+        return backend
+    try:
+        return BACKENDS[backend]()
+    except KeyError:
+        raise ValueError(
+            f"unknown worker backend {backend!r}; "
+            f"expected one of {sorted(BACKENDS)}"
+        ) from None
+
+
+__all__ = [
+    "BACKENDS",
+    "InlineBackend",
+    "InProcessBackend",
+    "SpawnedBackend",
+    "WorkerBackend",
+    "resolve_backend",
+]

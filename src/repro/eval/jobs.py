@@ -16,7 +16,14 @@ Results are memoised at two levels:
   ``.cache/repro-eval/`` keyed by the JobKey **plus a code-version
   fingerprint** (a hash of every ``repro`` source file), so editing the
   simulator automatically invalidates stale entries.  Corrupt or
-  unreadable cache files are discarded, never fatal.
+  unreadable cache files are discarded, never fatal.  Entries are
+  **sharded** by key-digest prefix (``root/ab/…``) so many concurrent
+  clients — the eval service of :mod:`repro.eval.serve` multiplexes one
+  root across tenants — never contend on a single directory; the flat
+  pre-shard layout is still *read* (legacy entries keep hitting) while
+  all writes go to the sharded layout, and :meth:`DiskCache.clear` /
+  :meth:`DiskCache.prune_stale` walk both, sweeping orphaned ``*.tmp*``
+  files abandoned by crashed writers along the way.
 
 :func:`simulate` performs the actual simulation for a job and is a
 module-level function, so :mod:`repro.eval.runner` can ship jobs to
@@ -25,6 +32,7 @@ module-level function, so :mod:`repro.eval.runner` can ship jobs to
 
 from __future__ import annotations
 
+import itertools
 import os
 import pickle
 import signal
@@ -33,7 +41,7 @@ import time
 from dataclasses import dataclass
 from hashlib import sha256
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import repro
 from repro.analysis.ceiling import ceiling_report
@@ -340,14 +348,26 @@ def _simulate_fault_study(benchmark: str, scale: int, points: int,
     return run_campaign(program, sites=list(sites), target_seqs=targets)
 
 
+#: CPU clock for per-job cost measurement.  *Thread* CPU time, where
+#: the platform has it: with the in-process worker backend
+#: (:mod:`repro.eval.backends`) several attempts share one process, and
+#: ``time.process_time()`` would charge every concurrent sibling's
+#: cycles to each job.  In single-threaded pool workers and the inline
+#: path the two clocks agree.
+_cpu_clock = time.thread_time if hasattr(time, "thread_time") \
+    else time.process_time
+
+
 def timed_simulate(spec: JobSpec):
     """Worker entry point: ``(result, wall_seconds, cpu_seconds,
     started_monotonic, report)``.
 
     CPU seconds are the contention-independent cost of the job: on an
     oversubscribed machine the wall clock inside a worker is inflated by
-    scheduling, but process CPU time is not, so it is what sequential
-    cost estimates must sum.  ``started_monotonic`` is this process's
+    scheduling, but CPU time is not, so it is what sequential
+    cost estimates must sum.  Measured with the executing thread's CPU
+    clock so concurrent in-process attempts never bill each other's
+    cycles.  ``started_monotonic`` is this process's
     ``time.monotonic()`` at the moment the job started computing; on the
     supported platforms the monotonic clock is system-wide, so the
     runner subtracts its own submit-time reading to measure how long the
@@ -357,43 +377,61 @@ def timed_simulate(spec: JobSpec):
     """
     started = time.monotonic()
     w0 = time.perf_counter()
-    c0 = time.process_time()
+    c0 = _cpu_clock()
     result, report = simulate_with_report(spec)
-    return (result, time.perf_counter() - w0, time.process_time() - c0,
+    return (result, time.perf_counter() - w0, _cpu_clock() - c0,
             started, report)
 
 
 def run_attempt(spec: JobSpec, timeout_seconds: Optional[float] = None):
     """One *bounded* attempt at a job: :func:`timed_simulate` under an
-    optional wall-clock alarm.
+    optional wall-clock budget.
 
-    The timeout is enforced inside the executing process with a
-    ``SIGALRM`` itimer, so a stuck job dies with a
+    On the main thread the budget is enforced with a ``SIGALRM``
+    itimer, so a stuck job dies with a
     :class:`~repro.eval.resilience.JobTimeout` while the worker (and
-    the rest of the pool) survives.  On platforms without ``SIGALRM``,
-    or off the main thread, the attempt runs unbounded — the runner's
-    driver-side hard deadline still applies on the pool path.
+    the rest of the pool) survives.  ``signal.signal``/``setitimer``
+    raise ``ValueError`` off the main thread, so threaded callers — the
+    in-process worker backend (:mod:`repro.eval.backends`) behind the
+    eval daemon's request handlers — fall back to a **monotonic
+    post-hoc deadline**: the attempt runs to completion, and if it
+    exceeded the budget its (late) result is discarded and
+    ``JobTimeout`` is raised, so timeout classification and retry
+    accounting match the ``SIGALRM`` path exactly.  The documented
+    limitation of the fallback is that a *wedged* job cannot be
+    interrupted from another thread; a driver-side hard deadline (the
+    pool path) or process-level budget must cover true hangs.
+    Platforms without ``SIGALRM`` take the same fallback.
     """
+    if not timeout_seconds:
+        return timed_simulate(spec)
     if (
-        not timeout_seconds
-        or not hasattr(signal, "SIGALRM")
-        or threading.current_thread() is not threading.main_thread()
+        hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
     ):
-        return timed_simulate(spec)
+        def _expired(signum, frame):
+            raise JobTimeout(
+                f"{job_label(spec.key)}: attempt exceeded "
+                f"{timeout_seconds}s wall clock"
+            )
 
-    def _expired(signum, frame):
+        previous = signal.signal(signal.SIGALRM, _expired)
+        signal.setitimer(signal.ITIMER_REAL, timeout_seconds)
+        try:
+            return timed_simulate(spec)
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous)
+
+    deadline_start = time.monotonic()
+    out = timed_simulate(spec)
+    if time.monotonic() - deadline_start > timeout_seconds:
         raise JobTimeout(
-            f"{job_label(spec.key)}: attempt exceeded "
-            f"{timeout_seconds}s wall clock"
+            f"{job_label(spec.key)}: attempt exceeded {timeout_seconds}s "
+            "wall clock (monotonic deadline, checked post-hoc off the "
+            "main thread)"
         )
-
-    previous = signal.signal(signal.SIGALRM, _expired)
-    signal.setitimer(signal.ITIMER_REAL, timeout_seconds)
-    try:
-        return timed_simulate(spec)
-    finally:
-        signal.setitimer(signal.ITIMER_REAL, 0.0)
-        signal.signal(signal.SIGALRM, previous)
+    return out
 
 
 # ----------------------------------------------------------------------
@@ -485,14 +523,48 @@ def code_fingerprint() -> str:
     return _code_fingerprint
 
 
+#: Per-process monotonically-increasing component of temp-file names.
+#: ``os.getpid()`` alone is NOT unique across the threads of one
+#: process: two threads storing the same key would interleave writes
+#: into one temp file and rename a corrupt pickle into place.  pid +
+#: thread ident + counter is unique per call.
+_TMP_COUNTER = itertools.count()
+
+#: Orphaned temp files younger than this survive :meth:`DiskCache.prune_stale`
+#: (they may belong to a writer that is mid-``os.replace`` right now);
+#: older ones were abandoned by a crashed writer and are swept.
+TMP_SWEEP_AGE_SECONDS = 300.0
+
+
+def unique_tmp_path(path: Path) -> Path:
+    """A per-call-unique sibling temp path for atomic replace-writes.
+
+    Same directory as ``path`` (so ``os.replace`` stays atomic on one
+    filesystem), and unique across processes *and* threads: the name
+    embeds pid, thread ident and a per-process counter.  Shared by
+    :meth:`DiskCache.store` and :meth:`repro.eval.oracle.DurationOracle.save`.
+    """
+    return path.with_suffix(
+        f".tmp{os.getpid()}-{threading.get_ident()}-{next(_TMP_COUNTER)}"
+    )
+
+
 class DiskCache:
-    """Pickle-per-job persistent result cache.
+    """Pickle-per-job persistent result cache, sharded by digest prefix.
 
     File names embed a digest of (JobKey, code fingerprint): a changed
     key or changed code simply misses — stale files are never *read*,
     and :meth:`prune_stale` deletes them.  Loads are defensive: any
     unpicklable, truncated or mismatched file is discarded and treated
     as a miss.
+
+    Entries live under a two-hex-character shard directory derived from
+    the key digest (``root/ab/cmp-li-…pkl``), so the many clients of a
+    shared cache root (:mod:`repro.eval.serve`) spread their directory
+    traffic over 256 shards instead of contending on one.  The flat
+    pre-shard layout is still read as a fallback — old roots keep
+    hitting without migration — while every write goes to the sharded
+    layout; :meth:`clear` and :meth:`prune_stale` walk both.
     """
 
     def __init__(self, root: Optional[os.PathLike] = None,
@@ -502,34 +574,50 @@ class DiskCache:
         self.root = Path(root)
         self.code_version = code_version or code_fingerprint()
 
-    def path_for(self, key: JobKey) -> Path:
+    def _entry_name(self, key: JobKey) -> Tuple[str, str]:
+        """(shard directory, file name) of ``key``'s entry."""
         digest = sha256(
             repr((canonical(key), self.code_version)).encode("utf-8")
         ).hexdigest()[:24]
         name = f"{key.model}-{key.benchmark}-s{key.scale}-{digest}.pkl"
+        return digest[:2], name
+
+    def path_for(self, key: JobKey) -> Path:
+        """The sharded path of ``key``'s entry (the write target)."""
+        shard, name = self._entry_name(key)
+        return self.root / shard / name
+
+    def legacy_path_for(self, key: JobKey) -> Path:
+        """Where the flat pre-shard layout kept ``key``'s entry."""
+        _, name = self._entry_name(key)
         return self.root / name
 
     def load(self, key: JobKey):
-        """The cached result for ``key``, or :data:`MISS`."""
-        path = self.path_for(key)
-        try:
-            with open(path, "rb") as handle:
-                payload = pickle.load(handle)
-        except FileNotFoundError:
-            return MISS
-        except Exception:
-            # Corrupt/truncated/unreadable: discard, never fatal.
-            self._discard(path)
-            return MISS
-        if not isinstance(payload, dict) or payload.get("key") != key:
-            self._discard(path)
-            return MISS
-        return payload.get("result")
+        """The cached result for ``key``, or :data:`MISS`.
+
+        Probes the sharded path first, then the flat legacy path, so a
+        root populated before sharding keeps hitting.
+        """
+        for path in (self.path_for(key), self.legacy_path_for(key)):
+            try:
+                with open(path, "rb") as handle:
+                    payload = pickle.load(handle)
+            except FileNotFoundError:
+                continue
+            except Exception:
+                # Corrupt/truncated/unreadable: discard, never fatal.
+                self._discard(path)
+                continue
+            if not isinstance(payload, dict) or payload.get("key") != key:
+                self._discard(path)
+                continue
+            return payload.get("result")
+        return MISS
 
     def store(self, key: JobKey, result) -> None:
         path = self.path_for(key)
         payload = {"key": key, "code": self.code_version, "result": result}
-        tmp = path.with_suffix(f".tmp{os.getpid()}")
+        tmp = unique_tmp_path(path)
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
             with open(tmp, "wb") as handle:
@@ -539,21 +627,44 @@ class DiskCache:
             # An unwritable or full cache directory degrades to no-op.
             self._discard(tmp)
 
+    def _entry_files(self) -> Iterator[Path]:
+        """Every cache entry, sharded and flat-legacy, sorted."""
+        if not self.root.is_dir():
+            return
+        yield from sorted(self.root.glob("*.pkl"))
+        yield from sorted(self.root.glob("[0-9a-f][0-9a-f]/*.pkl"))
+
+    def _tmp_files(self) -> Iterator[Path]:
+        """Leftover ``*.tmp*`` files (crashed or in-flight writers)."""
+        if not self.root.is_dir():
+            return
+        yield from sorted(self.root.glob("*.tmp*"))
+        yield from sorted(self.root.glob("[0-9a-f][0-9a-f]/*.tmp*"))
+
     def clear(self) -> int:
-        """Delete every cache file; returns the number removed."""
+        """Delete every cache file (both layouts), plus any leftover
+        temp files; returns the number removed."""
         removed = 0
-        if self.root.is_dir():
-            for path in self.root.glob("*.pkl"):
-                self._discard(path)
-                removed += 1
+        for path in self._entry_files():
+            self._discard(path)
+            removed += 1
+        for tmp in self._tmp_files():
+            self._discard(tmp)
+            removed += 1
         return removed
 
-    def prune_stale(self) -> int:
-        """Delete entries written under a different code version."""
+    def prune_stale(
+        self, tmp_age_seconds: float = TMP_SWEEP_AGE_SECONDS
+    ) -> int:
+        """Delete entries written under a different code version (both
+        layouts) and temp files abandoned by crashed writers.
+
+        A temp file younger than ``tmp_age_seconds`` is left alone: it
+        may belong to a concurrent writer that has not reached its
+        atomic rename yet.
+        """
         removed = 0
-        if not self.root.is_dir():
-            return 0
-        for path in self.root.glob("*.pkl"):
+        for path in self._entry_files():
             try:
                 with open(path, "rb") as handle:
                     payload = pickle.load(handle)
@@ -563,6 +674,15 @@ class DiskCache:
                 stale = True
             if stale:
                 self._discard(path)
+                removed += 1
+        now = time.time()  # selfcheck: ok(wall-clock)
+        for tmp in self._tmp_files():
+            try:
+                age = now - tmp.stat().st_mtime
+            except OSError:
+                continue
+            if age >= tmp_age_seconds:
+                self._discard(tmp)
                 removed += 1
         return removed
 

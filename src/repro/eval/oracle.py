@@ -17,19 +17,33 @@ sweep after a code change is exactly when good ordering matters most.
 Jobs never seen before fall back to the static model weights, scaled by
 the median of the learned durations so unknown jobs sort amongst the
 known ones instead of all landing at one end of the queue.
+
+Many processes may share one cache root (parallel sweeps, the eval
+daemon's spawned workers, plain concurrent invocations), so
+:meth:`DurationOracle.save` is **read-merge-write**: it reloads the
+on-disk durations under an advisory file lock, folds in only the keys
+this oracle actually observed, and atomically replaces the file — a
+concurrent observer's learning is merged, never clobbered by
+last-writer-wins.
 """
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 from hashlib import sha256
 from pathlib import Path
 from dataclasses import replace
 from statistics import median
-from typing import Dict, Optional, Union
+from typing import Dict, Iterator, Optional, Set, Union
 
-from repro.eval.jobs import JobKey
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
+
+from repro.eval.jobs import JobKey, unique_tmp_path
 from repro.fingerprint import canonical
 
 #: Fallback relative cost of each job kind, used for jobs with no
@@ -78,17 +92,15 @@ class DurationOracle:
     def __init__(self, path: Optional[Union[str, os.PathLike]] = None):
         self.path = Path(path) if path is not None else None
         self._durations: Dict[str, float] = {}
-        self._dirty = False
+        #: Digests this oracle observed since the last save: the only
+        #: keys :meth:`save` is entitled to write back.
+        self._dirty_keys: Set[str] = set()
         if self.path is not None:
-            try:
-                raw = json.loads(self.path.read_text(encoding="utf-8"))
-                if isinstance(raw, dict):
-                    self._durations = {
-                        str(k): float(v) for k, v in raw.items()
-                        if isinstance(v, (int, float)) and v > 0
-                    }
-            except (OSError, ValueError):
-                pass
+            self._durations = _read_durations(self.path)
+        #: Per-key snapshot of what the file held when we last read or
+        #: wrote it; lets :meth:`save` tell "the disk still says what we
+        #: started from" apart from "another process learned meanwhile".
+        self._baseline: Dict[str, float] = dict(self._durations)
 
     @classmethod
     def for_cache_root(
@@ -135,26 +147,100 @@ class DurationOracle:
                 self._durations[digest] = (
                     EWMA_ALPHA * cpu_seconds + (1.0 - EWMA_ALPHA) * previous
                 )
-        self._dirty = True
+            self._dirty_keys.add(digest)
 
     def save(self) -> None:
-        """Persist atomically; no-op when unchanged, in-memory, or the
-        cache directory is unwritable (degrades like DiskCache.store)."""
-        if self.path is None or not self._dirty:
+        """Persist with read-merge-write; no-op when unchanged,
+        in-memory, or the cache directory is unwritable (degrades like
+        DiskCache.store).
+
+        Two processes finishing sweeps concurrently must both keep
+        their learning: under an advisory lock the on-disk durations
+        are reloaded, only *this* oracle's dirty keys are folded in
+        (a key another process updated meanwhile is EWMA-combined, not
+        overwritten), and the merge is atomically replaced.  The merged
+        view — including the other process's keys — is adopted
+        in-memory, so subsequent estimates benefit from it too.
+        """
+        if self.path is None or not self._dirty_keys:
             return
-        tmp = self.path.with_suffix(f".tmp{os.getpid()}")
         try:
             self.path.parent.mkdir(parents=True, exist_ok=True)
-            tmp.write_text(
-                json.dumps(self._durations, sort_keys=True), encoding="utf-8"
-            )
-            os.replace(tmp, self.path)
-            self._dirty = False
         except OSError:
+            return
+        with _locked(self.path):
+            on_disk = _read_durations(self.path)
+            merged = dict(on_disk)
+            for digest in sorted(self._dirty_keys):
+                ours = self._durations.get(digest)
+                if ours is None:
+                    continue
+                theirs = on_disk.get(digest)
+                if theirs is None or theirs == self._baseline.get(digest):
+                    # Nobody else touched the key: our EWMA stands.
+                    merged[digest] = ours
+                else:
+                    # A concurrent observer updated it after our read:
+                    # fold our estimate into theirs as one more
+                    # observation instead of clobbering it.
+                    merged[digest] = (
+                        EWMA_ALPHA * ours + (1.0 - EWMA_ALPHA) * theirs
+                    )
+            tmp = unique_tmp_path(self.path)
             try:
-                tmp.unlink()
+                tmp.write_text(
+                    json.dumps(merged, sort_keys=True), encoding="utf-8"
+                )
+                os.replace(tmp, self.path)
             except OSError:
-                pass
+                try:
+                    tmp.unlink()
+                except OSError:
+                    pass
+                return
+        self._durations = dict(merged)
+        self._baseline = dict(merged)
+        self._dirty_keys.clear()
+
+
+def _read_durations(path: Path) -> Dict[str, float]:
+    """Defensively read a durations file: {} on any corruption."""
+    try:
+        raw = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return {}
+    if not isinstance(raw, dict):
+        return {}
+    return {
+        str(k): float(v) for k, v in raw.items()
+        if isinstance(v, (int, float)) and v > 0
+    }
+
+
+@contextlib.contextmanager
+def _locked(path: Path) -> Iterator[None]:
+    """Advisory exclusive lock serializing read-merge-write cycles.
+
+    Uses ``flock`` on a sibling ``.lock`` file where available; on
+    platforms without ``fcntl`` (or an unwritable directory) the merge
+    proceeds lockless — still read-merge-write, so the unprotected
+    window shrinks from the whole pass to the read-to-rename gap.
+    """
+    if fcntl is None:
+        yield
+        return
+    try:
+        handle = open(path.with_suffix(".lock"), "a+")
+    except OSError:
+        yield
+        return
+    try:
+        fcntl.flock(handle, fcntl.LOCK_EX)
+        yield
+    finally:
+        with contextlib.suppress(OSError):
+            fcntl.flock(handle, fcntl.LOCK_UN)
+        handle.close()
 
 
 __all__ = ["DurationOracle", "EWMA_ALPHA", "MODEL_WEIGHT", "ORACLE_FILENAME",

@@ -16,9 +16,14 @@ module holds the policy and bookkeeping the hardened
 * :class:`AttemptRecord` — per-attempt provenance, recorded on every
   :class:`~repro.eval.runner.JobRecord` and folded into
   ``BENCH_runner.json``.
-* :class:`JobTimeout` — raised *inside* the worker by a ``SIGALRM``
-  itimer when an attempt exceeds the policy's wall clock, so a stuck
-  job dies without taking the worker (or the pass) with it.
+* :class:`JobTimeout` — raised *inside* the worker when an attempt
+  exceeds the policy's wall clock: by a ``SIGALRM`` itimer on a worker
+  main thread (spawned backend), so a stuck job dies without taking
+  the worker (or the pass) with it; off the main thread (the in-process
+  backend, the serve daemon's threads) by the post-hoc monotonic
+  deadline in :func:`repro.eval.jobs.run_attempt` — same exception,
+  same classification, but a wedged attempt cannot be interrupted
+  there (see that docstring for the trade-off).
 * :class:`ChaosPlan` — first-class synthetic failure jobs (sleep past
   the timeout, ``os._exit`` mid-job, fail-N-times-then-succeed via a
   state file).  The resilience tests and the CI ``fault-smoke`` job

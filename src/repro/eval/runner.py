@@ -17,13 +17,20 @@ are embarrassingly parallel, so the runner:
 ``jobs=1`` runs inline — no pool, no pickling — and is the reference
 the parallel path is tested against: results must be bit-identical.
 
+The pool itself is a pluggable :class:`~repro.eval.backends.WorkerBackend`
+(``backend="spawn"`` — the historical process pool — or ``"thread"``
+for an in-process pool with no pickling or startup cost; the eval
+daemon of :mod:`repro.eval.serve` shares the same abstraction).
+
 The runner is **resilient** (:mod:`repro.eval.resilience`): each job
 attempt runs under the :class:`~repro.eval.resilience.RetryPolicy`'s
 wall-clock timeout (a ``SIGALRM`` itimer inside the executing process,
-so a stuck job dies without taking its worker along), failed attempts
-are retried with deterministic exponential backoff, a crashed pool
-(worker OOM-killed or segfaulted: ``BrokenProcessPool``) is rebuilt and
-the innocent in-flight jobs requeued, and a job in flight across
+so a stuck job dies without taking its worker along; in-process
+backends fall back to the post-hoc monotonic deadline documented on
+:func:`repro.eval.jobs.run_attempt`), failed attempts are retried with
+deterministic exponential backoff, a crashed pool (worker OOM-killed
+or segfaulted: ``BrokenExecutor``) is rebuilt and the innocent
+in-flight jobs requeued, and a job in flight across
 ``poison_threshold`` consecutive crashes is quarantined as poison
 instead of sinking the pass.  Because every completed job is absorbed
 into the persistent :class:`~repro.eval.jobs.DiskCache` *as it
@@ -40,12 +47,12 @@ from __future__ import annotations
 import os
 import time
 from collections import deque
-from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
-from concurrent.futures.process import BrokenProcessPool
+from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, Future, wait
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.eval import models
+from repro.eval.backends import WorkerBackend, resolve_backend
 from repro.eval.jobs import (
     MISS,
     JobKey,
@@ -199,12 +206,18 @@ class ExperimentRunner:
     """Run a batch of simulation jobs, in parallel, through the caches."""
 
     def __init__(self, jobs: int = 1, use_disk_cache: bool = True,
-                 policy: Optional[RetryPolicy] = None):
+                 policy: Optional[RetryPolicy] = None,
+                 backend: Union[str, WorkerBackend, None] = None):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         self.jobs = jobs
         self.use_disk_cache = use_disk_cache
         self.policy = policy if policy is not None else RetryPolicy()
+        #: Worker backend for the ``jobs > 1`` pool path: a
+        #: :mod:`repro.eval.backends` name ("spawn", "thread",
+        #: "inline"), a ready instance, or None for the default spawned
+        #: process pool.  ``jobs=1`` always runs inline, backend-free.
+        self.backend = backend
 
     def run(self, specs: Sequence[JobSpec]) -> RunnerStats:
         """Execute ``specs`` (deduplicated), warming both cache levels.
@@ -316,7 +329,7 @@ class ExperimentRunner:
                   failures: List[Tuple[JobKey, BaseException]],
                   aborted: List[JobKey],
                   oracle: DurationOracle) -> None:
-        """Drain ``cold`` through a process pool, surviving crashes.
+        """Drain ``cold`` through a worker backend, surviving crashes.
 
         At most ``workers`` jobs are in flight at once, so when the pool
         crashes the suspect set is exactly the in-flight jobs: each
@@ -325,21 +338,26 @@ class ExperimentRunner:
         submitted and are requeued blamelessly.  The pool itself is
         rebuilt up to ``max_pool_rebuilds`` times, after which the pass
         gives up: suspects are recorded ``"failed"``, never-run victims
-        ``"aborted"``.
+        ``"aborted"``.  Crash recovery and the driver-side hard
+        deadline engage only as far as the backend supports them
+        (``can_crash`` / ``can_kill_workers``): an in-process thread
+        pool cannot lose a worker, and its wedged jobs cannot be
+        killed, so there the per-attempt post-hoc deadline is the
+        timeout story.
         """
         policy = self.policy
         workers = min(self.jobs, len(cold))
         stats.workers = workers
         queue: Deque[_PendingJob] = deque(_PendingJob(s) for s in cold)
         inflight: Dict[Future, Tuple[_PendingJob, float]] = {}
-        pool: Optional[ProcessPoolExecutor] = None
+        backend = resolve_backend(self.backend)
         rebuilds = 0
         hard_blamed: Optional[_PendingJob] = None
 
         try:
             while queue or inflight:
-                if pool is None:
-                    pool = ProcessPoolExecutor(max_workers=workers)
+                if not backend.running:
+                    backend.start(workers)
                 now = time.monotonic()
 
                 # Submit ready jobs up to the in-flight bound.  Crash
@@ -368,9 +386,7 @@ class ExperimentRunner:
                     queue.rotate(-index)
                     job = queue.popleft()
                     queue.rotate(index)
-                    future = pool.submit(
-                        run_attempt, job.spec, policy.timeout_seconds
-                    )
+                    future = backend.submit(job.spec, policy.timeout_seconds)
                     # Submit-time monotonic stamp: the worker reports
                     # its own start-time reading back, and the
                     # difference is the job's queue delay.
@@ -405,7 +421,7 @@ class ExperimentRunner:
                                 + policy.backoff_seconds(job.attempt)
                             )
                             queue.append(job)
-                    except BrokenProcessPool as exc:
+                    except BrokenExecutor as exc:
                         crashed.append((job, exc, elapsed))
                     except Exception as exc:
                         if self._attempt_failed(job, "error", exc, elapsed,
@@ -423,21 +439,19 @@ class ExperimentRunner:
                                      max(0.0, started - submitted), report,
                                      disk, stats, oracle, job.attempts)
 
-                if crashed or self._pool_broken(pool):
+                if crashed or backend.broken():
                     # The pool is dead: every remaining in-flight future
                     # is doomed — fold them into the suspect set.
                     for future, (job, submitted) in list(inflight.items()):
                         crashed.append((
                             job,
-                            BrokenProcessPool(
-                                "worker process pool crashed with the job "
-                                "in flight"
+                            BrokenExecutor(
+                                "worker pool crashed with the job in flight"
                             ),
                             time.monotonic() - submitted,
                         ))
                     inflight.clear()
-                    pool.shutdown(wait=False, cancel_futures=True)
-                    pool = None
+                    backend.shutdown(wait=False)
                     rebuilds += 1
                     stats.pool_rebuilds += 1
                     if rebuilds > policy.max_pool_rebuilds:
@@ -451,9 +465,10 @@ class ExperimentRunner:
                 # Driver-side hard deadline: a worker silent past the
                 # policy's hard deadline is presumed wedged beyond
                 # SIGALRM's reach; kill its pool and let the crash path
-                # attribute blame to it alone.
+                # attribute blame to it alone.  Only enforceable on
+                # backends whose workers can actually be killed.
                 hard = policy.hard_deadline_seconds
-                if hard is not None and inflight:
+                if hard is not None and inflight and backend.can_kill_workers:
                     now = time.monotonic()
                     overdue = [
                         (job, submitted)
@@ -462,10 +477,10 @@ class ExperimentRunner:
                     ]
                     if overdue:
                         hard_blamed = overdue[0][0]
-                        self._kill_pool(pool)
+                        backend.kill_workers()
         finally:
-            if pool is not None:
-                pool.shutdown(wait=False, cancel_futures=True)
+            if backend.running:
+                backend.shutdown(wait=False)
 
     def _wait_timeout(self, inflight, queue, now: float) -> Optional[float]:
         """How long :func:`wait` may block: until the next backoff expiry
@@ -482,21 +497,6 @@ class ExperimentRunner:
         if not deadlines:
             return None
         return max(0.01, min(deadlines) - now)
-
-    @staticmethod
-    def _pool_broken(pool: ProcessPoolExecutor) -> bool:
-        return getattr(pool, "_broken", False) is not False
-
-    @staticmethod
-    def _kill_pool(pool: ProcessPoolExecutor) -> None:
-        """Forcibly kill every worker; pending futures then resolve with
-        ``BrokenProcessPool`` and the crash-recovery path takes over."""
-        processes = getattr(pool, "_processes", None) or {}
-        for process in list(processes.values()):
-            try:
-                process.kill()
-            except OSError:
-                pass
 
     def _handle_crash(self, crashed, queue, stats: RunnerStats,
                       failures, hard_blamed: Optional[_PendingJob]) -> None:
@@ -626,10 +626,12 @@ def run_artifact_jobs(
     jobs: int = 1,
     use_disk_cache: bool = True,
     policy: Optional[RetryPolicy] = None,
+    backend: Union[str, WorkerBackend, None] = None,
 ) -> RunnerStats:
     """Convenience wrapper: one runner pass over ``specs``."""
     return ExperimentRunner(
-        jobs=jobs, use_disk_cache=use_disk_cache, policy=policy
+        jobs=jobs, use_disk_cache=use_disk_cache, policy=policy,
+        backend=backend,
     ).run(specs)
 
 

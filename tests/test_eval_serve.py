@@ -1,0 +1,244 @@
+"""The eval daemon: HTTP API, streaming, in-flight dedup, and identity
+with inline execution.
+
+One module-scoped daemon (thread backend — the 1-CPU degradation mode)
+serves every test; assertions use counter deltas, not absolutes.  The
+codec tests run without the server.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.core.slipstream import SlipstreamConfig
+from repro.eval import jobs, models
+from repro.eval.jobs import (
+    baseline_spec,
+    count_spec,
+    fault_spec,
+    slipstream_spec,
+)
+from repro.eval.models import run_cached
+from repro.eval.serve import (
+    ServeClient,
+    ServeError,
+    SpecError,
+    result_payload,
+    spec_from_json,
+    start_server_thread,
+)
+from repro.fault.injector import FaultSite
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    saved = (models._DISK, models._DISK_ENABLED)
+    models.clear_cache()
+    jobs.reset_simulation_count()
+    cache_dir = tmp_path_factory.mktemp("serve-cache")
+    models.configure_disk_cache(enabled=True, cache_dir=str(cache_dir))
+    handle = start_server_thread(jobs=2, backend="thread")
+    yield handle
+    handle.stop()
+    models.clear_cache()
+    models._DISK, models._DISK_ENABLED = saved
+
+
+@pytest.fixture
+def client(server):
+    return ServeClient(port=server.port)
+
+
+# ----------------------------------------------------------------------
+# The JSON job codec (no server needed).
+# ----------------------------------------------------------------------
+
+
+class TestSpecCodec:
+    def test_simple_models_roundtrip(self):
+        assert spec_from_json(
+            {"model": "count", "benchmark": "jpeg"}
+        ).key == count_spec("jpeg").key
+        assert spec_from_json(
+            {"model": "ss64", "benchmark": "go", "scale": 2}
+        ).key == baseline_spec("go", 2).key
+
+    def test_cmp_with_triggers(self):
+        decoded = spec_from_json({
+            "model": "cmp", "benchmark": "jpeg",
+            "removal_triggers": ["BR"],
+        })
+        assert decoded.key == slipstream_spec("jpeg", 1, ("BR",)).key
+
+    def test_cmp_with_config_fields(self):
+        decoded = spec_from_json({
+            "model": "cmp", "benchmark": "jpeg",
+            "config": {"confidence_threshold": 4, "static_hints": True},
+        })
+        expected = slipstream_spec("jpeg", config=SlipstreamConfig(
+            confidence_threshold=4, static_hints=True
+        ))
+        assert decoded.key == expected.key
+
+    def test_fault_with_sites(self):
+        decoded = spec_from_json({
+            "model": "fault", "benchmark": "jpeg",
+            "points": 3, "sites": ["A_RESULT"],
+        })
+        expected = fault_spec("jpeg", 1, 3, (FaultSite.A_RESULT,))
+        assert decoded.key == expected.key
+
+    @pytest.mark.parametrize("payload", [
+        "not an object",
+        {"benchmark": "jpeg"},
+        {"model": "nope", "benchmark": "jpeg"},
+        {"model": "count", "benchmark": "nope"},
+        {"model": "count", "benchmark": "jpeg", "scale": 0},
+        {"model": "count", "benchmark": "jpeg", "scale": "big"},
+        {"model": "count", "benchmark": "jpeg", "scale": True},
+        {"model": "count", "benchmark": "jpeg", "points": 3},
+        {"model": "cmp", "benchmark": "jpeg", "removal_triggers": ["XX"]},
+        {"model": "cmp", "benchmark": "jpeg", "config": {"core": {}}},
+        {"model": "cmp", "benchmark": "jpeg",
+         "config": {"confidence_threshold": "low"}},
+        {"model": "cmp", "benchmark": "jpeg",
+         "config": {"removal_mechanism": "magic"}},
+        {"model": "fault", "benchmark": "jpeg", "sites": ["NOPE"]},
+        {"model": "fault", "benchmark": "jpeg", "points": 0},
+    ])
+    def test_malformed_payloads_rejected(self, payload):
+        with pytest.raises(SpecError):
+            spec_from_json(payload)
+
+
+# ----------------------------------------------------------------------
+# The HTTP API.
+# ----------------------------------------------------------------------
+
+
+class TestServeAPI:
+    def test_health(self, client, server):
+        health = client.health()
+        assert health["ok"] is True
+        assert health["backend"] == "thread"
+        assert health["workers"] == 2
+        assert set(health["stats"]) >= {"simulated", "deduped", "submitted"}
+
+    def test_batch_streams_every_job_with_digest(self, client):
+        batch = [
+            {"model": "count", "benchmark": "jpeg"},
+            {"model": "count", "benchmark": "go"},
+        ]
+        lines = client.submit_all(batch)
+        assert sorted(line["index"] for line in lines) == [0, 1]
+        for line in lines:
+            assert line["ok"] is True
+            assert line["source"] in ("fresh", "memory", "disk", "inflight")
+            assert len(line["digest"]) == 64
+            json.dumps(line["result"])  # canonical body is pure JSON
+
+    def test_results_identical_to_inline(self, client):
+        spec = count_spec("jpeg")
+        served = client.submit_all([{"model": "count", "benchmark": "jpeg"}])
+        inline = result_payload(0, spec.key, "inline", run_cached(spec))
+        assert served[0]["digest"] == inline["digest"]
+        assert served[0]["result"] == inline["result"]
+
+    def test_intra_batch_dedup_simulates_once(self, client):
+        before = jobs.simulation_count()
+        batch = [{"model": "count", "benchmark": "compress"}] * 3
+        lines = client.submit_all(batch)
+        assert len(lines) == 3
+        assert {line["digest"] for line in lines} == {lines[0]["digest"]}
+        assert jobs.simulation_count() - before <= 1
+
+    def test_warm_cache_requests_do_zero_simulation(self, client):
+        batch = [{"model": "count", "benchmark": "jpeg"},
+                 {"model": "count", "benchmark": "go"}]
+        client.submit_all(batch)  # ensure warm
+        before = jobs.simulation_count()
+        lines = client.submit_all(batch)
+        assert jobs.simulation_count() == before
+        assert all(line["source"] in ("memory", "disk", "inflight")
+                   for line in lines)
+
+    def test_concurrent_clients_share_inflight_work(self, client, server):
+        # 4 clients race the same cold grid; the daemon must simulate
+        # each unique job at most once (dedup or cache, either path).
+        batch = [{"model": "count", "benchmark": "jpeg", "scale": 2},
+                 {"model": "count", "benchmark": "go", "scale": 2}]
+        before = jobs.simulation_count()
+        results = [None] * 4
+        errors = []
+
+        def tenant(slot):
+            try:
+                results[slot] = ServeClient(port=server.port).submit_all(batch)
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=tenant, args=(slot,))
+                   for slot in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert jobs.simulation_count() - before <= len(batch)
+        digests = {
+            line["job"]: line["digest"] for line in results[0]
+        }
+        for outcome in results:
+            assert len(outcome) == len(batch)
+            for line in outcome:
+                assert line["ok"] is True
+                assert line["digest"] == digests[line["job"]]
+
+    def test_malformed_submit_is_400(self, client):
+        for jobs_payload in ([{"model": "nope", "benchmark": "jpeg"}],
+                             [{"model": "count", "benchmark": "jpeg",
+                               "extra": 1}],
+                             "not a list"):
+            with pytest.raises(ServeError) as err:
+                client.submit_all(jobs_payload)  # type: ignore[arg-type]
+            assert err.value.status == 400
+
+    def test_non_json_body_is_400(self, client, server):
+        import http.client
+
+        conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=30)
+        conn.request("POST", "/v1/submit", body=b"{not json")
+        response = conn.getresponse()
+        assert response.status == 400
+        conn.close()
+
+    def test_unknown_path_is_404(self, client):
+        with pytest.raises(ServeError) as err:
+            client._request("GET", "/v1/nope")
+        assert err.value.status == 404
+
+    def test_wrong_method_is_405(self, client):
+        with pytest.raises(ServeError) as err:
+            client._request("GET", "/v1/submit")
+        assert err.value.status == 405
+        with pytest.raises(ServeError) as err:
+            client._request("POST", "/v1/health", payload={})
+        assert err.value.status == 405
+
+
+class TestServeLifecycle:
+    def test_shutdown_endpoint_stops_daemon(self, tmp_path):
+        saved = (models._DISK, models._DISK_ENABLED)
+        models.configure_disk_cache(enabled=True,
+                                    cache_dir=str(tmp_path / "cache"))
+        try:
+            handle = start_server_thread(jobs=1, backend="inline")
+            client = ServeClient(port=handle.port)
+            assert client.health()["backend"] == "inline"
+            assert client.shutdown() == {"ok": True, "stopping": True}
+            handle.thread.join(timeout=30)
+            assert not handle.thread.is_alive()
+        finally:
+            models.clear_cache()
+            models._DISK, models._DISK_ENABLED = saved
