@@ -1,4 +1,4 @@
-"""Operating modes of the two-context chip (paper, sections 1 and 7).
+"""Operating modes of the multi-context chip (paper, sections 1 and 7).
 
 The paper's larger agenda is a CMP/SMT chip whose second context can be
 flexibly redeployed: "high job throughput and parallel-program
@@ -6,28 +6,42 @@ performance (conventional SMT/CMP), improved single-program performance
 and reliability (slipstreaming), or fully-reliable operation with
 little or no impact on single-program performance (AR-SMT / SRT)."
 
-This module packages those three modes over the same two-core
-substrate:
+This module generalizes those hardcoded two-context modes into a
+declarative N-stream framework.  A mode is a :class:`RedundancyMode`
+spec — stream count, per-stream config transform, comparison/vote
+policy, recovery policy — and :func:`run_mode` dispatches on the spec
+instead of on a hand-written if-ladder.  Registered modes:
 
-* ``THROUGHPUT`` — the two cores run two independent programs; the
-  chip maximises job throughput and provides no redundancy.
-* ``SLIPSTREAM`` — the default slipstream configuration: one program,
-  partial redundancy, single-program speedup, partial fault coverage.
-* ``RELIABLE`` — AR-SMT-style full redundancy: instruction removal is
-  disabled (empty trigger set), so the A-stream executes the complete
-  program and *every* instruction is redundantly executed and
-  compared.  Fault coverage of pipeline transients is complete (at the
-  cost of the slipstream speedup); the delay buffer still feeds the
-  R-stream perfect predictions, so the overhead over a single core is
-  small — the AR-SMT observation the paper builds on.
+* ``THROUGHPUT`` — independent programs on independent cores; maximum
+  job throughput, no redundancy.
+* ``SLIPSTREAM`` — the paper's A/R pair: partial redundancy,
+  single-program speedup, partial fault coverage, rollback recovery.
+* ``RELIABLE`` — AR-SMT-style full redundancy (removal disabled): every
+  instruction redundantly executed and compared.
+* ``TMR`` — Elzar-style triple modular redundancy
+  (:class:`repro.core.nstream.TMRProcessor`): three full streams,
+  majority voting at retirement, single-stream strikes masked at the
+  voter with no rollback.  Accepts an ``n_streams`` override (any odd
+  count >= 3).
+* ``REPLAY`` — RepTFD-style replay-window detection
+  (:class:`repro.core.nstream.ReplayWindowProcessor`): one primary
+  stream plus a detector re-executing suspected windows against a
+  trailing shadow context.
+* ``DECORRELATED`` — the slipstream pair with DME-style shifted data
+  address spaces and rotated register assignments, undone at
+  comparison time (:func:`decorrelated_config`).  Functionally
+  identical to slipstream on clean runs; under fault injection,
+  layout-correlated strikes (``FaultSite.CORRELATED``) can no longer
+  produce identically-wrong values that silently agree.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, replace
-from typing import List, Optional, Sequence
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.core.nstream import ReplayWindowProcessor, TMRProcessor
 from repro.core.slipstream import (
     SlipstreamConfig,
     SlipstreamProcessor,
@@ -42,6 +56,24 @@ class OperatingMode(enum.Enum):
     THROUGHPUT = "throughput"
     SLIPSTREAM = "slipstream"
     RELIABLE = "reliable"
+    TMR = "tmr"
+    REPLAY = "replay"
+    DECORRELATED = "decorrelated"
+
+
+class ModeError(ValueError):
+    """Structured mode-dispatch error.
+
+    Carries the offending mode name, the number of programs supplied,
+    and a human-oriented hint, so callers (CLI, serve codec) can build
+    precise diagnostics instead of parsing message strings.
+    """
+
+    def __init__(self, mode: str, n_programs: int, hint: str):
+        self.mode = mode
+        self.n_programs = n_programs
+        self.hint = hint
+        super().__init__(f"mode {mode!r} with {n_programs} program(s): {hint}")
 
 
 @dataclass
@@ -53,7 +85,9 @@ class ModeResult:
     #: once per *distinct* program (redundant copies are not work).
     useful_instructions: int
     cycles: int
-    #: Fraction of useful instructions redundantly executed/validated.
+    #: Redundancy factor: fraction of useful instructions redundantly
+    #: executed/validated (0..1 for the pairwise modes; ``n - 1`` for
+    #: TMR, whose extra copies are full re-executions).
     redundancy: float
     core_results: List[object]
 
@@ -74,26 +108,178 @@ def static_hint_config(base: Optional[SlipstreamConfig] = None) -> SlipstreamCon
     return replace(base or SlipstreamConfig(), static_hints=True)
 
 
+def decorrelated_config(
+    base: Optional[SlipstreamConfig] = None,
+) -> SlipstreamConfig:
+    """Slipstream with DME-style decorrelated contexts.
+
+    The two streams use shifted data address spaces and rotated
+    register assignments, undone by translation hardware at comparison
+    time — clean-run behaviour is identical, but the translation adds
+    one cycle to every delay-buffer transfer, and layout-correlated
+    faults flip *different logical bits* in the two contexts (see
+    ``FaultSite.CORRELATED`` in :mod:`repro.fault.injector`).
+    """
+    cfg = base or SlipstreamConfig()
+    return replace(
+        cfg,
+        decorrelated=True,
+        transfer_latency=cfg.transfer_latency + 1,
+    )
+
+
+@dataclass(frozen=True)
+class RedundancyMode:
+    """Declarative spec of one redundancy mode.
+
+    ``compare`` names the result-validation policy (``pairwise`` delay
+    buffer comparison, ``vote`` majority voting, ``replay`` window
+    re-execution, ``none``); ``recover`` the repair policy
+    (``rollback`` flush + context restore, ``mask`` in-place minority
+    repair, ``replay`` rollback-to-shadow, ``none``).
+
+    ``campaign_sites`` lists the :class:`repro.fault.injector.FaultSite`
+    *values* this mode's fault campaign exercises (plain strings to
+    keep the core layer free of a fault-layer import).
+
+    ``config_transform`` maps a base :class:`SlipstreamConfig` to this
+    mode's effective config; it is excluded from equality/fingerprints
+    (callables are identity, not value) — mode identity is the name.
+    """
+
+    name: str
+    n_streams: int
+    compare: str
+    recover: str
+    description: str
+    campaign_sites: Tuple[str, ...] = ()
+    allows_n_override: bool = False
+    config_transform: Optional[
+        Callable[[Optional[SlipstreamConfig]], SlipstreamConfig]
+    ] = field(default=None, compare=False, repr=False)
+
+    def transformed_config(
+        self, base: Optional[SlipstreamConfig] = None
+    ) -> SlipstreamConfig:
+        if self.config_transform is not None:
+            return self.config_transform(base)
+        return base or SlipstreamConfig()
+
+
+REDUNDANCY_MODES: Dict[str, RedundancyMode] = {
+    spec.name: spec
+    for spec in (
+        RedundancyMode(
+            name="throughput",
+            n_streams=1,
+            compare="none",
+            recover="none",
+            description="independent programs, no redundancy",
+        ),
+        RedundancyMode(
+            name="slipstream",
+            n_streams=2,
+            compare="pairwise",
+            recover="rollback",
+            description="A/R pair, partial redundancy, rollback recovery",
+            campaign_sites=("a_result", "r_transient", "r_arch"),
+        ),
+        RedundancyMode(
+            name="reliable",
+            n_streams=2,
+            compare="pairwise",
+            recover="rollback",
+            description="AR-SMT full redundancy (removal disabled)",
+            campaign_sites=("a_result", "r_transient", "r_arch"),
+            config_transform=reliable_config,
+        ),
+        RedundancyMode(
+            name="tmr",
+            n_streams=3,
+            compare="vote",
+            recover="mask",
+            description="triple modular redundancy, majority vote, "
+            "no-rollback masking",
+            campaign_sites=("r_transient", "r_arch"),
+            allows_n_override=True,
+        ),
+        RedundancyMode(
+            name="replay",
+            n_streams=1,
+            compare="replay",
+            recover="replay",
+            description="primary stream + replay-window detector",
+            campaign_sites=("r_transient", "r_arch"),
+        ),
+        RedundancyMode(
+            name="decorrelated",
+            n_streams=2,
+            compare="pairwise",
+            recover="rollback",
+            description="slipstream with DME-decorrelated contexts",
+            campaign_sites=("a_result", "r_transient", "r_arch", "correlated"),
+            config_transform=decorrelated_config,
+        ),
+    )
+}
+
+#: Modes the fault campaign can sweep (`--modes all`).
+CAMPAIGN_MODES: Tuple[str, ...] = ("slipstream", "tmr", "replay", "decorrelated")
+
+
+def resolve_mode(mode: Union[OperatingMode, str]) -> RedundancyMode:
+    """Look up the :class:`RedundancyMode` spec for a mode name/enum."""
+    name = mode.value if isinstance(mode, OperatingMode) else str(mode)
+    spec = REDUNDANCY_MODES.get(name)
+    if spec is None:
+        raise ModeError(
+            name, 0, f"unknown mode; known modes: {sorted(REDUNDANCY_MODES)}"
+        )
+    return spec
+
+
 def run_mode(
-    mode: OperatingMode,
+    mode: Union[OperatingMode, str],
     programs: Sequence[Program],
     core: CoreConfig = SS_64x4,
     config: Optional[SlipstreamConfig] = None,
+    n_streams: Optional[int] = None,
 ) -> ModeResult:
-    """Run the two-context chip in the requested mode.
+    """Run the chip in the requested mode.
 
-    ``THROUGHPUT`` takes one or two programs (two cores, one each);
-    ``SLIPSTREAM`` and ``RELIABLE`` take exactly one program (both
-    contexts run it).
+    ``THROUGHPUT`` takes one or two programs (two cores, one each); all
+    redundancy modes take exactly one program (every context runs it).
+    ``n_streams`` overrides the spec's stream count for modes that
+    allow it (TMR: any odd count >= 3).
     """
-    if mode is OperatingMode.THROUGHPUT:
+    spec = resolve_mode(mode)
+    op_mode = OperatingMode(spec.name)
+    streams = spec.n_streams
+    if n_streams is not None:
+        if not spec.allows_n_override:
+            raise ModeError(
+                spec.name, len(programs),
+                f"mode is fixed at {spec.n_streams} stream(s); "
+                "n_streams override not supported",
+            )
+        if n_streams < 3 or n_streams % 2 == 0:
+            raise ModeError(
+                spec.name, len(programs),
+                "n_streams must be an odd count of at least 3",
+            )
+        streams = n_streams
+
+    if op_mode is OperatingMode.THROUGHPUT:
         if not 1 <= len(programs) <= 2:
-            raise ValueError("throughput mode takes one or two programs")
+            raise ModeError(
+                spec.name, len(programs),
+                "throughput mode takes one or two programs",
+            )
         results: List[CoreRunResult] = [
             SuperscalarCore(core, program).run() for program in programs
         ]
         return ModeResult(
-            mode=mode,
+            mode=op_mode,
             useful_instructions=sum(r.retired for r in results),
             cycles=max(r.cycles for r in results),
             redundancy=0.0,
@@ -101,16 +287,44 @@ def run_mode(
         )
 
     if len(programs) != 1:
-        raise ValueError(f"{mode.value} mode takes exactly one program")
+        raise ModeError(
+            spec.name, len(programs),
+            f"{spec.name} mode takes exactly one program",
+        )
     program = programs[0]
-    if mode is OperatingMode.RELIABLE:
-        slip_config = reliable_config(config)
-    else:
-        slip_config = config or SlipstreamConfig()
+
+    if op_mode is OperatingMode.TMR:
+        base = SuperscalarCore(core, program).run()
+        tmr = TMRProcessor(
+            program, n_streams=streams, base_cycles=base.cycles
+        ).run()
+        return ModeResult(
+            mode=op_mode,
+            useful_instructions=tmr.retired,
+            cycles=tmr.cycles,
+            redundancy=float(streams - 1),
+            core_results=[base, tmr],
+        )
+
+    if op_mode is OperatingMode.REPLAY:
+        base = SuperscalarCore(core, program).run()
+        rep = ReplayWindowProcessor(program, base_cycles=base.cycles).run()
+        redundancy = (
+            rep.replayed_instructions / rep.retired if rep.retired else 0.0
+        )
+        return ModeResult(
+            mode=op_mode,
+            useful_instructions=rep.retired,
+            cycles=rep.cycles,
+            redundancy=min(redundancy, 1.0),
+            core_results=[base, rep],
+        )
+
+    slip_config = spec.transformed_config(config)
     result: SlipstreamResult = SlipstreamProcessor(program, slip_config).run()
     redundancy = result.a_executed / result.retired if result.retired else 0.0
     return ModeResult(
-        mode=mode,
+        mode=op_mode,
         useful_instructions=result.retired,
         cycles=result.cycles,
         redundancy=min(redundancy, 1.0),

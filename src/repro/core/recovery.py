@@ -33,13 +33,19 @@ RESTORES_PER_CYCLE = 4
 
 @dataclass
 class RecoveryCost:
-    """Latency breakdown of one recovery action."""
+    """Latency breakdown of one recovery/repair action.
+
+    ``registers`` is the number of registers restored — the full
+    64-entry file for the paper's A/R rollback, but N-stream repair
+    policies (:mod:`repro.core.nstream`) may restore a different count.
+    """
 
     memory_locations: int
+    registers: int = REGISTER_COUNT_RESTORED
 
     @property
     def latency(self) -> int:
-        register_cycles = -(-REGISTER_COUNT_RESTORED // RESTORES_PER_CYCLE)
+        register_cycles = -(-self.registers // RESTORES_PER_CYCLE)
         memory_cycles = -(-self.memory_locations // RESTORES_PER_CYCLE)
         return RECOVERY_STARTUP_CYCLES + register_cycles + memory_cycles
 

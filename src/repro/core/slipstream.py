@@ -141,6 +141,18 @@ class SlipstreamConfig:
     #: pinned entries never reset.  Off by default: the golden suite is
     #: bit-identical with this flag off.
     static_hints: bool = False
+    #: DME-style structurally decorrelated contexts: the A- and
+    #: R-stream use shifted data address spaces and rotated register
+    #: assignments, undone by translation at delay-buffer/comparison
+    #: boundaries.  Clean-run behaviour is identical (the translation is
+    #: a bijection the comparison undoes), so the co-simulation itself
+    #: is unchanged; the flag is consumed by the fault model
+    #: (:class:`repro.fault.injector.FaultInjector`), where a
+    #: layout-correlated strike flips *different logical bits* in the
+    #: two contexts instead of silently agreeing.  The translation cost
+    #: is modelled by the mode's +1 ``transfer_latency``
+    #: (:func:`repro.core.modes.decorrelated_config`).
+    decorrelated: bool = False
     predictor: TracePredictorConfig = field(default_factory=TracePredictorConfig)
     max_instructions: int = 50_000_000
 

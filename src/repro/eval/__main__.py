@@ -38,6 +38,7 @@ from repro.eval.experiments import (
     ablation_ir_scope,
     ablation_static_hints,
     fault_coverage_study,
+    redundancy_frontier_study,
     figure6,
     ineffectuality_crosscheck,
     figure7,
@@ -345,6 +346,30 @@ def render_report(scale: int) -> str:
       "\n(scenario #2; the paper's partial-coverage caveat and its ECC"
       "\nrecommendation).  `tests/test_fault_injection.py` demonstrates"
       "\nthe harmful scenario-2 variant explicitly.\n")
+
+    # Coverage-vs-throughput frontier --------------------------------
+    w("### Coverage-vs-throughput frontier (redundancy modes)\n")
+    frontier = redundancy_frontier_study(scale=scale)
+    rows = []
+    for r in frontier.frontier():
+        cov = "n/a" if r["coverage"] is None else f'{r["coverage"]:.2f}'
+        ipc = "n/a" if r["throughput_ipc"] is None else f'{r["throughput_ipc"]:.2f}'
+        rel = "n/a" if r["relative_ipc"] is None else f'{r["relative_ipc"]:.2f}'
+        lat = ("-" if r["mean_detect_latency"] is None
+               else f'{r["mean_detect_latency"]:.1f}')
+        rows.append((r["mode"], r["n_streams"], r["points"], r["harmful"],
+                     cov, ipc, rel, lat))
+    w(_md_table(["mode", "streams", "points", "harmful", "coverage",
+                 "IPC", "useful IPC/context vs SS(64x4)",
+                 "mean detect latency"], rows))
+    w("\nEach redundancy mode buys fault coverage with throughput:"
+      "\nslipstream detects what the R-stream redundantly executes;"
+      "\n`tmr` outvotes any single-stream strike with zero rollbacks at"
+      "\nroughly one third the per-context useful throughput; `replay`"
+      "\nre-executes only sampled windows, so escapes rise as the scrub"
+      "\ninterval stretches; `decorrelated` shifts the streams'"
+      "\naddress/register layouts so a layout-correlated double strike"
+      "\ncan no longer silently agree (DESIGN.md §7.12).\n")
 
     # Ablations ---------------------------------------------------------
     w(f"## Ablations (DESIGN.md E-AB1, on the {ABLATION_BENCHMARK} analog)\n")

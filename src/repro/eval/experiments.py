@@ -355,6 +355,34 @@ def fault_coverage_study(
     return run_fault_study(benchmark, scale, points, tuple(sites))
 
 
+def redundancy_frontier_study(
+    benchmarks: Optional[Sequence[str]] = None,
+    points: Optional[int] = None,
+    seed: Optional[int] = None,
+    scale: int = 1,
+):
+    """The coverage-vs-throughput frontier: one seeded multi-mode
+    campaign striking every :data:`~repro.core.modes.CAMPAIGN_MODES`
+    entry, whose per-mode coverage / IPC / detection-latency rows the
+    report renders (returns a
+    :class:`~repro.fault.campaign.ScaledCampaignResult`)."""
+    from repro.core.modes import CAMPAIGN_MODES
+    from repro.eval.jobs import (
+        FRONTIER_BENCHMARKS, FRONTIER_POINTS, FRONTIER_SEED,
+    )
+    from repro.fault.campaign import CampaignConfig, run_scaled_campaign
+
+    config = CampaignConfig(
+        benchmarks=tuple(benchmarks or FRONTIER_BENCHMARKS),
+        scale=scale,
+        points_per_benchmark=points if points is not None else FRONTIER_POINTS,
+        seed=seed if seed is not None else FRONTIER_SEED,
+        modes=CAMPAIGN_MODES,
+    )
+    result, _stats = run_scaled_campaign(config, jobs=1)
+    return result
+
+
 # ----------------------------------------------------------------------
 # Ablations (DESIGN.md E-AB1): the design knobs section 2.1.3 and the
 # conclusions discuss.

@@ -47,9 +47,15 @@ import repro
 from repro.analysis.ceiling import ceiling_report
 from repro.analysis.ineffectual import cross_check
 from repro.arch.functional import FunctionalSimulator
+from repro.core.modes import decorrelated_config
 from repro.core.slipstream import SlipstreamConfig, SlipstreamProcessor
 from repro.eval.resilience import ChaosPlan, JobTimeout, execute_chaos
-from repro.fault.coverage import hang_budget, inject_one, run_campaign
+from repro.fault.coverage import (
+    hang_budget,
+    inject_one,
+    inject_one_nstream,
+    run_campaign,
+)
 from repro.fault.injector import FaultSite, TransientFault
 from repro.fingerprint import canonical, fingerprint
 from repro.obs import RunReport, build_report, job_observability
@@ -94,8 +100,10 @@ class JobKey:
 
     #: "count" | "ss64" | "ss128" | "cmp" | "fault" | "xcheck" |
     #: "ceiling" (static ineffectuality ceiling; repro.analysis.ceiling) |
-    #: "finj" (one fault-campaign injection point) | "chaos" (synthetic
-    #: runner-resilience job; see :mod:`repro.eval.resilience`).
+    #: "finj" (one fault-campaign injection point) | "nref" (fault-free
+    #: N-stream reference run; see :mod:`repro.core.nstream`) | "chaos"
+    #: (synthetic runner-resilience job; see
+    #: :mod:`repro.eval.resilience`).
     model: str
     benchmark: str
     scale: int = 1
@@ -136,6 +144,9 @@ class JobSpec:
     ecc: bool = False
     #: Scripted failure behaviour ("chaos" jobs).
     chaos: Optional[ChaosPlan] = None
+    #: Redundancy mode ("finj"/"nref" jobs): one of
+    #: :data:`repro.core.modes.CAMPAIGN_MODES`.
+    mode: str = "slipstream"
 
 
 def count_spec(benchmark: str, scale: int = 1) -> JobSpec:
@@ -204,17 +215,36 @@ def injection_spec(
     bit: int = 7,
     scale: int = 1,
     ecc: bool = False,
+    mode: str = "slipstream",
 ) -> JobSpec:
     """One fault-campaign point: inject (site, dynamic instruction, bit)
-    into one workload and classify the run.  The clean reference is the
-    default "cmp" job of the same benchmark/scale, shared through the
-    caches (prewarmed by :mod:`repro.fault.campaign`)."""
+    into one workload under one redundancy mode and classify the run.
+    The clean reference is the matching mode's fault-free job of the
+    same benchmark/scale, shared through the caches (prewarmed by
+    :mod:`repro.fault.campaign`).
+
+    Slipstream-mode keys keep the pre-framework fingerprint shape
+    (``[fault, ecc]``), so existing cache entries and golden campaign
+    artifacts are unaffected; other modes fold the mode name in.
+    """
     fault = TransientFault(site=site, target_seq=target_seq, bit=bit)
+    payload = [fault, ecc] if mode == "slipstream" else [fault, ecc, mode]
     key = JobKey(
         "finj", benchmark, scale,
-        config_fingerprint=fingerprint([fault, ecc]),
+        config_fingerprint=fingerprint(payload),
     )
-    return JobSpec(key, fault=fault, ecc=ecc)
+    return JobSpec(key, fault=fault, ecc=ecc, mode=mode)
+
+
+def mode_reference_spec(benchmark: str, mode: str, scale: int = 1) -> JobSpec:
+    """The fault-free N-stream reference run ("nref"): the TMR or
+    replay-window engine on one workload, anchored to the cached ss64
+    baseline's cycle count."""
+    key = JobKey(
+        "nref", benchmark, scale,
+        config_fingerprint=fingerprint([mode]),
+    )
+    return JobSpec(key, mode=mode)
 
 
 def chaos_spec(name: str, plan: ChaosPlan) -> JobSpec:
@@ -282,6 +312,8 @@ def simulate(spec: JobSpec, obs: Optional[Observability] = None):
                                      spec.sites)
     if model == "finj":
         return _simulate_injection(spec)
+    if model == "nref":
+        return _simulate_mode_reference(spec)
     if model == "xcheck":
         program = benchmark_program(key.benchmark, key.scale)
         return cross_check(program)
@@ -294,24 +326,58 @@ def simulate(spec: JobSpec, obs: Optional[Observability] = None):
     raise ValueError(f"unknown job model {model!r}")
 
 
+def _simulate_mode_reference(spec: JobSpec):
+    """The fault-free N-stream reference run ("nref" jobs)."""
+    from repro.core.nstream import ReplayWindowProcessor, TMRProcessor
+    from repro.eval import models  # lazy: models imports this module
+
+    key = spec.key
+    program = benchmark_program(key.benchmark, key.scale)
+    base = models.run_baseline(key.benchmark, key.scale)
+    if spec.mode == "tmr":
+        return TMRProcessor(program, base_cycles=base.cycles).run()
+    if spec.mode == "replay":
+        return ReplayWindowProcessor(program, base_cycles=base.cycles).run()
+    raise ValueError(f"unknown nref mode {spec.mode!r}")
+
+
 def _simulate_injection(spec: JobSpec):
     """One fault-campaign point: fetch the shared clean reference
     through the caches (a disk hit when the campaign driver prewarmed
-    it), then run the injected co-simulation."""
+    it), then run the injected simulation under the spec's redundancy
+    mode."""
     from repro.eval import models  # lazy: models imports this module
 
     key = spec.key
     assert spec.fault is not None
     program = benchmark_program(key.benchmark, key.scale)
-    reference = models.run_slipstream_model(key.benchmark, key.scale)
-    return inject_one(
+    if spec.mode in ("tmr", "replay"):
+        reference = models.run_mode_reference(key.benchmark, spec.mode,
+                                              key.scale)
+        return inject_one_nstream(
+            program,
+            spec.fault,
+            spec.mode,
+            reference_output=reference.output,
+            baseline_detections=reference.detections,
+            ecc=spec.ecc,
+            max_instructions=hang_budget(reference.retired),
+            base_cycles=None,
+        )
+    config = decorrelated_config() if spec.mode == "decorrelated" else None
+    reference = models.run_slipstream_model(key.benchmark, key.scale,
+                                            config=config)
+    result = inject_one(
         program,
         spec.fault,
+        config=config,
         reference_output=reference.output,
         baseline_detections=reference.ir_mispredictions,
         ecc=spec.ecc,
         max_instructions=hang_budget(reference.retired),
     )
+    result.mode = spec.mode
+    return result
 
 
 def simulate_with_report(spec: JobSpec):
@@ -447,6 +513,12 @@ ABLATION_DELAY_CAPACITIES = (32, 256, 1024)
 ABLATION_IR_SCOPES = (1, 8, 16)
 FAULT_STUDY_BENCHMARK = "jpeg"
 FAULT_STUDY_POINTS = 4
+#: The redundancy-mode frontier study rendered in the eval report
+#: (coverage vs throughput across CAMPAIGN_MODES); kept to two
+#: workloads and few points so report rendering stays fast.
+FRONTIER_BENCHMARKS = ("jpeg", "li")
+FRONTIER_POINTS = 4
+FRONTIER_SEED = 2000
 #: Benchmarks measured with the statically-seeded removal table
 #: (``SlipstreamConfig(static_hints=True)``) next to their default runs.
 STATIC_HINT_BENCHMARKS = ("li", "m88ksim", "vortex")
@@ -485,6 +557,14 @@ def enumerate_artifact_jobs(
         if name in names:
             add(slipstream_spec(
                 name, scale, config=SlipstreamConfig(static_hints=True)))
+    for name in FRONTIER_BENCHMARKS:
+        if name in names:
+            # Fault-free references of the redundancy-mode frontier
+            # study: pre-warming them here keeps the report's campaign
+            # pass down to the injection points themselves.
+            add(slipstream_spec(name, scale, config=decorrelated_config()))
+            add(mode_reference_spec(name, "tmr", scale))
+            add(mode_reference_spec(name, "replay", scale))
     add(fault_spec(FAULT_STUDY_BENCHMARK, points=FAULT_STUDY_POINTS))
     for threshold in ABLATION_CONFIDENCE_THRESHOLDS:
         add(slipstream_spec(

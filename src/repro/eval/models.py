@@ -41,6 +41,7 @@ from repro.eval.jobs import (
     crosscheck_spec,
     fault_spec,
     injection_spec,
+    mode_reference_spec,
     simulate,
     slipstream_spec,
 )
@@ -158,12 +159,19 @@ def run_injection(
     bit: int = 7,
     scale: int = 1,
     ecc: bool = False,
+    mode: str = "slipstream",
 ) -> InjectionResult:
     """One classified fault injection (a scaled-campaign strike point),
-    against the cached fault-free slipstream reference."""
+    against the matching mode's cached fault-free reference."""
     return run_cached(
-        injection_spec(benchmark, site, target_seq, bit, scale, ecc)
+        injection_spec(benchmark, site, target_seq, bit, scale, ecc, mode)
     )  # type: ignore[return-value]
+
+
+def run_mode_reference(benchmark: str, mode: str, scale: int = 1):
+    """Fault-free N-stream reference run (``"tmr"`` or ``"replay"``);
+    returns a :class:`repro.core.nstream.NStreamResult`."""
+    return run_cached(mode_reference_spec(benchmark, mode, scale))
 
 
 @dataclass

@@ -60,6 +60,7 @@ from typing import (
     Union,
 )
 
+from repro.core.modes import CAMPAIGN_MODES
 from repro.core.slipstream import SlipstreamConfig
 from repro.eval import models
 from repro.eval.backends import BACKENDS, WorkerBackend, resolve_backend
@@ -73,7 +74,9 @@ from repro.eval.jobs import (
     count_spec,
     crosscheck_spec,
     fault_spec,
+    injection_spec,
     job_label,
+    mode_reference_spec,
     slipstream_spec,
 )
 from repro.eval.oracle import DurationOracle
@@ -122,6 +125,7 @@ CONFIG_FIELDS: Dict[str, type] = {
     "max_instructions": int,
     "removal_mechanism": str,
     "static_hints": bool,
+    "decorrelated": bool,
 }
 
 _REMOVAL_TRIGGERS = ("BR", "WW", "SV")
@@ -135,7 +139,13 @@ _ALLOWED_KEYS = {
     "ceiling": _BASE_KEYS,
     "cmp": _BASE_KEYS | {"removal_triggers", "config"},
     "fault": _BASE_KEYS | {"points", "sites"},
+    "finj": _BASE_KEYS | {"site", "target_seq", "bit", "ecc", "mode"},
+    "nref": _BASE_KEYS | {"mode"},
 }
+
+#: N-stream fault-free references the daemon will simulate on request;
+#: the pairwise modes reuse the existing "cmp" model instead.
+_NREF_MODES = ("tmr", "replay")
 
 _BENCHMARK_NAMES: Optional[Tuple[str, ...]] = None
 
@@ -217,6 +227,38 @@ def _parse_sites(raw: Any) -> Tuple[FaultSite, ...]:
     return tuple(sites)
 
 
+def _parse_site(raw: Any) -> FaultSite:
+    if not isinstance(raw, str):
+        raise SpecError(f"'site' must be a string, got {raw!r}")
+    try:
+        return FaultSite[raw]
+    except KeyError:
+        raise SpecError(
+            f"unknown fault site {raw!r}; expected one of "
+            f"{sorted(FaultSite.__members__)}"
+        ) from None
+
+
+def _parse_mode(raw: Any, allowed: Tuple[str, ...],
+                default: Optional[str] = None) -> str:
+    if raw is None:
+        if default is None:
+            raise SpecError(f"'mode' is required; "
+                            f"expected one of {list(allowed)}")
+        return default
+    if not isinstance(raw, str) or raw not in allowed:
+        raise SpecError(f"unknown mode {raw!r}; "
+                        f"expected one of {list(allowed)}")
+    return raw
+
+
+def _require_bool(payload: Dict[str, Any], key: str) -> bool:
+    value = payload.get(key, False)
+    if not isinstance(value, bool):
+        raise SpecError(f"{key!r} must be a boolean, got {value!r}")
+    return value
+
+
 def spec_from_json(payload: Any) -> JobSpec:
     """Decode one job object from a submit payload into a
     :class:`~repro.eval.jobs.JobSpec`; :class:`SpecError` on anything
@@ -254,6 +296,21 @@ def spec_from_json(payload: Any) -> JobSpec:
             config = _parse_config(payload["config"], triggers)
             return slipstream_spec(benchmark, scale, config=config)
         return slipstream_spec(benchmark, scale, triggers)
+    if model == "finj":
+        site = _parse_site(payload.get("site"))
+        if "target_seq" not in payload:
+            raise SpecError("'target_seq' is required for model 'finj'")
+        target_seq = _require_int(payload, "target_seq", default=0,
+                                  minimum=0, maximum=2 ** 31)
+        bit = _require_int(payload, "bit", default=7, minimum=0, maximum=31)
+        ecc = _require_bool(payload, "ecc")
+        mode = _parse_mode(payload.get("mode"), CAMPAIGN_MODES,
+                           default="slipstream")
+        return injection_spec(benchmark, site, target_seq, bit, scale,
+                              ecc, mode)
+    if model == "nref":
+        mode = _parse_mode(payload.get("mode"), _NREF_MODES)
+        return mode_reference_spec(benchmark, mode, scale)
     # model == "fault"
     points = _require_int(payload, "points", default=6, minimum=1,
                           maximum=1024)

@@ -14,6 +14,9 @@ Examples::
 
     # quick seeded smoke on one cheap workload
     python -m repro.fault --benchmarks jpeg --points 6 --seed 7
+
+    # coverage-vs-throughput frontier over every redundancy mode
+    python -m repro.fault --benchmarks jpeg li --modes all --points 6
 """
 
 from __future__ import annotations
@@ -23,6 +26,7 @@ import json
 import sys
 from typing import List, Optional
 
+from repro.core.modes import CAMPAIGN_MODES
 from repro.eval.resilience import RetryPolicy
 from repro.fault.campaign import (
     DEFAULT_BENCH_FAULT_PATH,
@@ -51,6 +55,20 @@ def _parse_sites(names: List[str]) -> tuple:
     return tuple(sites)
 
 
+def _parse_modes(raw: str) -> tuple:
+    names = [m.strip() for m in raw.split(",") if m.strip()]
+    if names == ["all"]:
+        return CAMPAIGN_MODES
+    unknown = [m for m in names if m not in CAMPAIGN_MODES]
+    if unknown or not names:
+        raise SystemExit(
+            f"unknown redundancy mode(s) {unknown or [raw]} "
+            f"(choose from: {', '.join(CAMPAIGN_MODES)}, or 'all')"
+        )
+    deduped = tuple(dict.fromkeys(names))
+    return deduped
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     suite_names = [b.name for b in benchmark_suite()]
     parser = argparse.ArgumentParser(
@@ -70,6 +88,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                         default=[s.value for s in DEFAULT_SITES],
                         help="fault sites to sample "
                              f"(default: {' '.join(s.value for s in DEFAULT_SITES)})")
+    parser.add_argument("--modes", default="slipstream", metavar="M[,M...]",
+                        help="redundancy modes to strike, comma-separated "
+                             f"({', '.join(CAMPAIGN_MODES)}); 'all' runs "
+                             "every mode (default: slipstream)")
     parser.add_argument("--ecc", action="store_true",
                         help="model ECC on the R-stream's architectural "
                              "state (corrects single-bit r_arch strikes)")
@@ -96,6 +118,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         seed=args.seed,
         sites=_parse_sites(args.sites),
         ecc=args.ecc,
+        modes=_parse_modes(args.modes),
     )
     policy = RetryPolicy(timeout_seconds=args.timeout,
                          max_retries=args.retries)

@@ -8,19 +8,32 @@ across all eight workloads, every point becomes a cached
 :class:`~repro.eval.runner.ExperimentRunner`, and the classified
 outcomes aggregate into an outcome × site × workload coverage table.
 
+Campaigns can sweep several **redundancy modes**
+(:data:`repro.core.modes.CAMPAIGN_MODES`) over the same workloads: the
+paper's slipstream A/R pair, Elzar-style TMR voting, RepTFD-style
+replay-window detection, and DME-style decorrelated streams.  Each
+(mode, benchmark) pair gets its own strike points (sampled against
+that mode's own stream lengths and fault-site list) and the aggregate
+exposes a **coverage-vs-throughput frontier**: per-mode coverage,
+throughput IPC, and mean detection latency.
+
 Determinism is load-bearing: the sampler derives one
-``random.Random(f"{seed}:{benchmark}")`` stream per workload (string
-seeds hash independently of ``PYTHONHASHSEED``), sites rotate
-round-robin so every site is exercised on every workload, and the
-emitted ``BENCH_fault.json`` payload contains no wall-clock — the same
-seed yields a byte-identical artifact, whether run with ``--jobs 1`` or
-a full pool, cold or resumed from the disk cache.
+``random.Random(f"{seed}:{benchmark}")`` stream per workload for the
+slipstream mode (byte-compatible with single-mode campaigns from
+before the N-stream framework) and ``f"{seed}:{benchmark}:{mode}"``
+for the other modes, sites rotate round-robin so every site is
+exercised on every workload, and the emitted ``BENCH_fault.json``
+payload contains no wall-clock — the same seed yields a byte-identical
+artifact, whether run with ``--jobs 1`` or a full pool, cold or
+resumed from the disk cache.
 
 With ``ecc=True`` the campaign models ECC on the R-stream's
 architectural state (:mod:`repro.fault.ecc`): ``R_ARCH`` strikes
 classify as ``ECC_CORRECTED`` instead of ``DETECTED_UNRECOVERABLE`` /
 ``SILENT_CORRUPTION``, closing the paper's unrecoverable hole —
-coverage of redundantly-executed instructions reaches 100%.
+coverage of redundantly-executed instructions reaches 100%.  Under TMR
+the voter claims strikes before any ECC scrub, so TMR campaigns report
+``MASKED_BY_VOTE``, never ``ECC_CORRECTED``.
 """
 
 from __future__ import annotations
@@ -32,6 +45,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 import json
 import random
 
+from repro.core.modes import CAMPAIGN_MODES, resolve_mode
 from repro.fault.coverage import (
     HANDLED_OUTCOMES,
     HARMFUL_OUTCOMES,
@@ -53,9 +67,39 @@ DEFAULT_SITES: Tuple[FaultSite, ...] = (
     FaultSite.R_ARCH,
 )
 
+#: Sequence-number stream each site's strikes are sampled against.
+#: ``CORRELATED`` strikes target the A-stream's numbering (the A-side
+#: hit lands first; its R-stream companion is located by pc + value).
+_A_NUMBERED_SITES = (FaultSite.A_RESULT, FaultSite.CORRELATED)
+
 
 def _default_benchmarks() -> Tuple[str, ...]:
     return tuple(b.name for b in benchmark_suite())
+
+
+def mode_sites(
+    mode: str, configured: Tuple[FaultSite, ...]
+) -> Tuple[FaultSite, ...]:
+    """The fault sites a mode's campaign points rotate through.
+
+    The slipstream mode keeps the campaign's configured sites verbatim
+    (back-compatible).  Other modes intersect the configured list with
+    the sites their :class:`~repro.core.modes.RedundancyMode` spec
+    declares meaningful, falling back to the spec's full list when the
+    intersection is empty (so a default-sites campaign still exercises
+    TMR/replay, which have no A-stream).  The decorrelated mode
+    additionally appends ``CORRELATED`` — the site it exists to handle.
+    """
+    if mode == "slipstream":
+        return configured
+    spec = resolve_mode(mode)
+    allowed = tuple(FaultSite(value) for value in spec.campaign_sites)
+    sites = tuple(s for s in configured if s in allowed)
+    if not sites:
+        sites = allowed
+    if mode == "decorrelated" and FaultSite.CORRELATED not in sites:
+        sites = sites + (FaultSite.CORRELATED,)
+    return sites
 
 
 @dataclass(frozen=True)
@@ -66,8 +110,10 @@ class CampaignConfig:
     instructions so strikes land in steady state rather than in loop
     preambles whose values are often dead (mostly-``MASKED`` strikes
     carry no information).  ``points_per_benchmark`` counts sampled
-    strike points per workload; sites rotate round-robin across them,
-    so with the default three sites each site receives one third.
+    strike points per (mode, workload) pair; sites rotate round-robin
+    across them, so with the default three sites each site receives one
+    third.  ``modes`` lists the redundancy modes to sweep
+    (:data:`repro.core.modes.CAMPAIGN_MODES`).
     """
 
     benchmarks: Tuple[str, ...] = field(default_factory=_default_benchmarks)
@@ -77,6 +123,7 @@ class CampaignConfig:
     sites: Tuple[FaultSite, ...] = DEFAULT_SITES
     ecc: bool = False
     warmup_fraction: float = 0.25
+    modes: Tuple[str, ...] = ("slipstream",)
 
     def __post_init__(self) -> None:
         if not self.benchmarks:
@@ -87,6 +134,14 @@ class CampaignConfig:
             raise ValueError("points_per_benchmark must be >= 1")
         if not 0.0 <= self.warmup_fraction < 1.0:
             raise ValueError("warmup_fraction must be in [0, 1)")
+        if not self.modes:
+            raise ValueError("campaign needs at least one mode")
+        for mode in self.modes:
+            if mode not in CAMPAIGN_MODES:
+                raise ValueError(
+                    f"unknown campaign mode {mode!r}; "
+                    f"known: {', '.join(CAMPAIGN_MODES)}"
+                )
 
 
 @dataclass(frozen=True)
@@ -95,52 +150,90 @@ class CampaignPoint:
 
     benchmark: str
     fault: TransientFault
+    mode: str = "slipstream"
 
 
 def sample_points(
     config: CampaignConfig,
-    stream_lengths: Dict[str, Dict[str, int]],
+    stream_lengths: Dict[str, Dict[str, object]],
 ) -> List[CampaignPoint]:
     """Sample the campaign's strike points, deterministically.
 
-    ``stream_lengths`` maps each benchmark to its per-stream dynamic
-    instruction counts — ``{"A": executed_by_a, "R": retired}`` — which
-    bound the sampled sequence numbers (A-stream numbering only covers
-    the instructions the A-stream actually executed).  Each benchmark
-    gets its own seeded RNG stream, so adding a benchmark to the
-    campaign does not perturb the points sampled for the others.
+    ``stream_lengths`` bounds the sampled sequence numbers, in one of
+    two shapes: ``{benchmark: {"A": executed_by_a, "R": retired}}``
+    (single-mode campaigns — every configured mode reuses the same
+    lengths), or ``{mode: {benchmark: {"A": ..., "R": ...}}}`` with one
+    inner table per configured mode (A-stream numbering only covers the
+    instructions the A-stream actually executed; TMR/replay use their
+    own retirement counts for both keys).
+
+    Each (mode, benchmark) pair gets its own seeded RNG stream —
+    ``f"{seed}:{benchmark}"`` for the slipstream mode, byte-compatible
+    with pre-framework campaigns, and ``f"{seed}:{benchmark}:{mode}"``
+    otherwise — so adding a benchmark or a mode to the campaign does
+    not perturb the points sampled for the others.
     """
+    by_mode: Dict[str, Dict[str, Dict[str, int]]]
+    if stream_lengths and all(key in CAMPAIGN_MODES for key in stream_lengths):
+        by_mode = stream_lengths  # type: ignore[assignment]
+    else:
+        by_mode = {mode: stream_lengths for mode in config.modes}  # type: ignore[dict-item]
     points: List[CampaignPoint] = []
-    for benchmark in config.benchmarks:
-        lengths = stream_lengths[benchmark]
-        rng = random.Random(f"{config.seed}:{benchmark}")
-        for index in range(config.points_per_benchmark):
-            site = config.sites[index % len(config.sites)]
-            n = lengths["A" if site is FaultSite.A_RESULT else "R"]
-            lo = int(n * config.warmup_fraction)
-            seq = rng.randrange(lo, n) if n > lo else 0
-            bit = rng.randrange(32)
-            points.append(CampaignPoint(
-                benchmark=benchmark,
-                fault=TransientFault(site=site, target_seq=seq, bit=bit),
-            ))
+    for mode in config.modes:
+        sites = mode_sites(mode, config.sites)
+        for benchmark in config.benchmarks:
+            lengths = by_mode[mode][benchmark]
+            stream = (
+                f"{config.seed}:{benchmark}"
+                if mode == "slipstream"
+                else f"{config.seed}:{benchmark}:{mode}"
+            )
+            rng = random.Random(stream)
+            for index in range(config.points_per_benchmark):
+                site = sites[index % len(sites)]
+                n = lengths["A" if site in _A_NUMBERED_SITES else "R"]
+                lo = int(n * config.warmup_fraction)
+                seq = rng.randrange(lo, n) if n > lo else 0
+                bit = rng.randrange(32)
+                points.append(CampaignPoint(
+                    benchmark=benchmark,
+                    fault=TransientFault(site=site, target_seq=seq, bit=bit),
+                    mode=mode,
+                ))
     return points
+
+
+def _geomean(values: Sequence[float]) -> Optional[float]:
+    clean = [v for v in values if v and v > 0]
+    if not clean:
+        return None
+    product = 1.0
+    for v in clean:
+        product *= v
+    return product ** (1.0 / len(clean))
 
 
 @dataclass
 class ScaledCampaignResult:
     """Aggregate of one scaled campaign.
 
-    ``per_benchmark`` holds each workload's classified injections;
-    ``failed_points`` lists the job labels of campaign points that did
-    not complete (the hardened runner retries, quarantines and reports
-    — a lost point is recorded, never silently dropped).
+    ``per_benchmark`` holds each workload's classified injections
+    (every mode's results merged; each :class:`InjectionResult` carries
+    its ``mode``); ``failed_points`` lists the job labels of campaign
+    points that did not complete (the hardened runner retries,
+    quarantines and reports — a lost point is recorded, never silently
+    dropped).  ``mode_ipc`` carries each mode's fault-free throughput
+    IPC (geometric mean across the campaign's benchmarks) and
+    ``baseline_ipc`` the single-core superscalar reference, both filled
+    in by :func:`run_scaled_campaign`.
     """
 
     config: CampaignConfig
     points: List[CampaignPoint] = field(default_factory=list)
     per_benchmark: Dict[str, CampaignResult] = field(default_factory=dict)
     failed_points: List[str] = field(default_factory=list)
+    mode_ipc: Dict[str, Optional[float]] = field(default_factory=dict)
+    baseline_ipc: Optional[float] = None
 
     # -- aggregation -------------------------------------------------
 
@@ -155,6 +248,12 @@ class ScaledCampaignResult:
     def combined(self) -> CampaignResult:
         """All benchmarks' injections as one campaign."""
         return CampaignResult(results=self.results)
+
+    def for_mode(self, mode: str) -> CampaignResult:
+        """One mode's injections across all benchmarks."""
+        return CampaignResult(
+            results=[r for r in self.results if r.mode == mode]
+        )
 
     @property
     def coverage(self) -> Optional[float]:
@@ -197,6 +296,46 @@ class ScaledCampaignResult:
             }
         return out
 
+    def frontier(self) -> List[dict]:
+        """The coverage-vs-throughput frontier, one row per mode.
+
+        Each row reports the mode's stream count, harmful/handled
+        tallies, coverage, fault-free throughput IPC, and mean
+        detection latency in retirements.  ``relative_ipc`` is the
+        *useful* throughput per context — the mode's IPC divided by its
+        stream count, over the single-core baseline — so the redundancy
+        cost shows on the throughput axis: TMR retires one useful
+        stream on three contexts (~0.33), replay keeps nearly the whole
+        core (~0.9), the pairwise modes sit in between (~0.5).
+        """
+        rows: List[dict] = []
+        for mode in self.config.modes:
+            sub = self.for_mode(mode)
+            latencies = [
+                r.detect_latency
+                for r in sub.results
+                if r.detect_latency is not None
+            ]
+            ipc = self.mode_ipc.get(mode)
+            n_streams = resolve_mode(mode).n_streams
+            relative = None
+            if ipc is not None and self.baseline_ipc:
+                relative = ipc / n_streams / self.baseline_ipc
+            rows.append({
+                "mode": mode,
+                "n_streams": n_streams,
+                "points": len(sub.results),
+                "fired": sub.fired,
+                "harmful": sub.harmful,
+                "coverage": sub.coverage,
+                "throughput_ipc": ipc,
+                "relative_ipc": relative,
+                "mean_detect_latency": (
+                    sum(latencies) / len(latencies) if latencies else None
+                ),
+            })
+        return rows
+
     def metrics(self) -> MetricsRegistry:
         """Detection-latency and recovery-penalty distributions.
 
@@ -204,6 +343,8 @@ class ScaledCampaignResult:
         detection; penalty is the triggered recovery's cost in cycles.
         Only detected outcomes contribute (an ECC correction has no
         detection event — the error never becomes architectural).
+        Per-mode outcome counters (``fault.mode.<mode>.<outcome>``)
+        break the same tallies down by redundancy mode.
         """
         registry = MetricsRegistry()
         latency = registry.histogram("fault.detect_latency")
@@ -211,8 +352,12 @@ class ScaledCampaignResult:
         outcomes = registry.counter  # one counter per outcome
         for result in self.results:
             outcomes(f"fault.outcome.{result.outcome.value}").inc()
+            outcomes(f"fault.mode.{result.mode}.{result.outcome.value}").inc()
             if result.detect_latency is not None:
                 latency.observe(result.detect_latency)
+                registry.histogram(
+                    f"fault.mode.{result.mode}.detect_latency"
+                ).observe(result.detect_latency)
             if result.recovery_penalty is not None:
                 penalty.observe(result.recovery_penalty)
         return registry
@@ -243,7 +388,9 @@ class ScaledCampaignResult:
                 "sites": [s.value for s in self.config.sites],
                 "ecc": self.config.ecc,
                 "warmup_fraction": self.config.warmup_fraction,
+                "modes": list(self.config.modes),
             },
+            "modes": list(self.config.modes),
             "points": len(self.points),
             "completed": len(self.results),
             "failed_points": sorted(self.failed_points),
@@ -267,6 +414,31 @@ class ScaledCampaignResult:
                 }
                 for benchmark, campaign in sorted(self.per_benchmark.items())
             },
+            "per_mode": {
+                mode: {
+                    "coverage": _round(self.for_mode(mode).coverage),
+                    "fired": self.for_mode(mode).fired,
+                    "harmful": self.for_mode(mode).harmful,
+                    "outcomes": {
+                        outcome.value: count
+                        for outcome, count in sorted(
+                            self.for_mode(mode).counts().items(),
+                            key=lambda kv: kv[0].value,
+                        )
+                    },
+                }
+                for mode in self.config.modes
+            },
+            "frontier": [
+                {
+                    **row,
+                    "coverage": _round(row["coverage"]),
+                    "throughput_ipc": _round(row["throughput_ipc"]),
+                    "relative_ipc": _round(row["relative_ipc"]),
+                    "mean_detect_latency": _round(row["mean_detect_latency"]),
+                }
+                for row in self.frontier()
+            ],
             "metrics": registry.snapshot(),
         }
 
@@ -284,9 +456,101 @@ def campaign_specs(config: CampaignConfig,
             bit=point.fault.bit,
             scale=config.scale,
             ecc=config.ecc,
+            mode=point.mode,
         )
         for point in points
     ]
+
+
+def _reference_specs(config: CampaignConfig) -> List["JobSpec"]:
+    """Fault-free reference jobs for every (mode, benchmark) pair."""
+    from repro.eval.jobs import (
+        baseline_spec,
+        mode_reference_spec,
+        slipstream_spec,
+    )
+    from repro.core.modes import decorrelated_config
+
+    specs: List["JobSpec"] = []
+    seen = set()
+
+    def add(spec: "JobSpec") -> None:
+        if spec.key not in seen:
+            seen.add(spec.key)
+            specs.append(spec)
+
+    for mode in config.modes:
+        for benchmark in config.benchmarks:
+            if mode == "slipstream":
+                add(slipstream_spec(benchmark, config.scale))
+            elif mode == "decorrelated":
+                add(slipstream_spec(
+                    benchmark, config.scale, config=decorrelated_config()
+                ))
+            else:
+                add(baseline_spec(benchmark, config.scale))
+                add(mode_reference_spec(benchmark, mode, config.scale))
+    return specs
+
+
+def _mode_stream_lengths(
+    config: CampaignConfig,
+) -> Dict[str, Dict[str, Dict[str, int]]]:
+    """Per-mode stream lengths, from the cached fault-free references."""
+    from repro.core.modes import decorrelated_config
+    from repro.eval import models
+
+    lengths: Dict[str, Dict[str, Dict[str, int]]] = {}
+    for mode in config.modes:
+        table: Dict[str, Dict[str, int]] = {}
+        for benchmark in config.benchmarks:
+            if mode in ("slipstream", "decorrelated"):
+                cfg = decorrelated_config() if mode == "decorrelated" else None
+                ref = models.run_slipstream_model(
+                    benchmark, config.scale, config=cfg
+                )
+                table[benchmark] = {
+                    "R": ref.retired,
+                    "A": ref.retired - ref.a_removed,
+                }
+            else:
+                ref = models.run_mode_reference(benchmark, mode, config.scale)
+                table[benchmark] = {"R": ref.retired, "A": ref.retired}
+        lengths[mode] = table
+    return lengths
+
+
+def _mode_throughput(
+    config: CampaignConfig,
+) -> Tuple[Dict[str, Optional[float]], Optional[float]]:
+    """(per-mode fault-free IPC geomeans, single-core baseline IPC)."""
+    from repro.core.modes import decorrelated_config
+    from repro.eval import models
+
+    mode_ipc: Dict[str, Optional[float]] = {}
+    for mode in config.modes:
+        ipcs: List[float] = []
+        for benchmark in config.benchmarks:
+            if mode in ("slipstream", "decorrelated"):
+                cfg = decorrelated_config() if mode == "decorrelated" else None
+                ref = models.run_slipstream_model(
+                    benchmark, config.scale, config=cfg
+                )
+            else:
+                ref = models.run_mode_reference(benchmark, mode, config.scale)
+            ipcs.append(ref.ipc)
+        mode_ipc[mode] = _geomean(ipcs)
+    baseline = None
+    if len(config.modes) > 1 or any(
+        mode in ("tmr", "replay") for mode in config.modes
+    ):
+        # The n-stream references already forced the ss64 baselines
+        # into the cache, so for tmr/replay this adds no simulation.
+        baseline = _geomean([
+            models.run_baseline(benchmark, config.scale).ipc
+            for benchmark in config.benchmarks
+        ])
+    return mode_ipc, baseline
 
 
 def run_scaled_campaign(
@@ -297,9 +561,10 @@ def run_scaled_campaign(
 ) -> Tuple[ScaledCampaignResult, "RunnerStats"]:
     """Run one scaled campaign through the hardened runner.
 
-    Two runner passes: first the fault-free reference runs (one
-    slipstream simulation per workload — also the source of the stream
-    lengths the sampler needs), then every sampled strike point as a
+    Two runner passes: first the fault-free reference runs per (mode,
+    benchmark) pair — one slipstream/decorrelated co-simulation or one
+    baseline + N-stream reference, also the source of the stream
+    lengths the sampler needs — then every sampled strike point as a
     ``finj`` job.  Both passes absorb into the persistent cache, so an
     interrupted campaign resumes where it stopped and a repeated one is
     pure cache hits.  A failing point does not sink the campaign: the
@@ -311,24 +576,15 @@ def run_scaled_campaign(
     not included; with a warm cache it is pure hits anyway).
     """
     from repro.eval import models
-    from repro.eval.jobs import job_label, slipstream_spec
+    from repro.eval.jobs import job_label
     from repro.eval.runner import ExperimentRunner, RunnerError
 
     runner = ExperimentRunner(jobs=jobs, use_disk_cache=use_disk_cache,
                               policy=policy)
 
     # Pass 1: fault-free references (stream lengths + reference outputs).
-    runner.run([
-        slipstream_spec(benchmark, config.scale)
-        for benchmark in config.benchmarks
-    ])
-    stream_lengths: Dict[str, Dict[str, int]] = {}
-    for benchmark in config.benchmarks:
-        reference = models.run_slipstream_model(benchmark, config.scale)
-        stream_lengths[benchmark] = {
-            "R": reference.retired,
-            "A": reference.retired - reference.a_removed,
-        }
+    runner.run(_reference_specs(config))
+    stream_lengths = _mode_stream_lengths(config)
 
     points = sample_points(config, stream_lengths)
     specs = campaign_specs(config, points)
@@ -349,6 +605,7 @@ def run_scaled_campaign(
             point.benchmark, CampaignResult()
         )
         campaign.results.append(injection)
+    result.mode_ipc, result.baseline_ipc = _mode_throughput(config)
     return result, stats
 
 
@@ -371,6 +628,29 @@ def write_fault_bench(
     return target
 
 
+def format_frontier_table(result: ScaledCampaignResult) -> str:
+    """Human-readable coverage-vs-throughput frontier for the CLI."""
+    rows = result.frontier()
+    if not rows:
+        return "(no modes)"
+    header = (f"{'mode':<14}{'streams':>8}{'harmful':>9}{'coverage':>10}"
+              f"{'ipc':>8}{'rel':>7}{'latency':>9}")
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        cov = row["coverage"]
+        ipc = row["throughput_ipc"]
+        rel = row["relative_ipc"]
+        lat = row["mean_detect_latency"]
+        lines.append(
+            f"{row['mode']:<14}{row['n_streams']:>8}{row['harmful']:>9}"
+            + (f"{cov:>10.1%}" if cov is not None else f"{'n/a':>10}")
+            + (f"{ipc:>8.3f}" if ipc is not None else f"{'n/a':>8}")
+            + (f"{rel:>7.2f}" if rel is not None else f"{'n/a':>7}")
+            + (f"{lat:>9.1f}" if lat is not None else f"{'n/a':>9}")
+        )
+    return "\n".join(lines)
+
+
 def format_coverage_table(result: ScaledCampaignResult) -> str:
     """Human-readable outcome × site × workload table for the CLI."""
     lines: List[str] = []
@@ -381,8 +661,12 @@ def format_coverage_table(result: ScaledCampaignResult) -> str:
     )
     if not present:
         return "(no completed campaign points)"
+    all_sites = sorted(
+        {r.fault.site for r in result.results} | set(result.config.sites),
+        key=lambda s: s.value,
+    )
     site_width = max(len("site"), max(
-        (len(s.value) for s in result.config.sites), default=4))
+        (len(s.value) for s in all_sites), default=4))
     bench_width = max(len("workload"), max(
         (len(b) for b in result.config.benchmarks), default=8))
     header = (f"{'workload':<{bench_width}}  {'site':<{site_width}}  "
@@ -410,6 +694,10 @@ def format_coverage_table(result: ScaledCampaignResult) -> str:
     if result.config.ecc:
         lines.append(f"ECC corrections:                   "
                      f"{result.ecc_corrections}")
+    if len(result.config.modes) > 1:
+        lines.append("")
+        lines.append("coverage-vs-throughput frontier:")
+        lines.append(format_frontier_table(result))
     if result.failed_points:
         lines.append(f"failed points: {len(result.failed_points)} "
                      f"({', '.join(result.failed_points[:4])}...)")
@@ -423,6 +711,8 @@ __all__ = [
     "ScaledCampaignResult",
     "campaign_specs",
     "format_coverage_table",
+    "format_frontier_table",
+    "mode_sites",
     "run_scaled_campaign",
     "sample_points",
     "write_fault_bench",

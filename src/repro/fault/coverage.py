@@ -53,6 +53,10 @@ from repro.isa.program import Program
 class FaultOutcome(enum.Enum):
     DETECTED_RECOVERED = "detected_recovered"
     ECC_CORRECTED = "ecc_corrected"
+    #: A voting mode (TMR) outvoted the corrupted stream at retirement:
+    #: the strike mattered (a replica's result was wrong) but the voter
+    #: masked it in place, with no rollback and no ECC involvement.
+    MASKED_BY_VOTE = "masked_by_vote"
     MASKED = "masked"
     SILENT_CORRUPTION = "silent_corruption"
     DETECTED_UNRECOVERABLE = "detected_unrecoverable"
@@ -66,6 +70,7 @@ class FaultOutcome(enum.Enum):
 HARMFUL_OUTCOMES = frozenset({
     FaultOutcome.DETECTED_RECOVERED,
     FaultOutcome.ECC_CORRECTED,
+    FaultOutcome.MASKED_BY_VOTE,
     FaultOutcome.SILENT_CORRUPTION,
     FaultOutcome.DETECTED_UNRECOVERABLE,
     FaultOutcome.HANG,
@@ -75,6 +80,7 @@ HARMFUL_OUTCOMES = frozenset({
 HANDLED_OUTCOMES = frozenset({
     FaultOutcome.DETECTED_RECOVERED,
     FaultOutcome.ECC_CORRECTED,
+    FaultOutcome.MASKED_BY_VOTE,
 })
 
 
@@ -96,6 +102,9 @@ class InjectionResult:
     detect_latency: Optional[int] = None
     recovery_penalty: Optional[int] = None
     ecc_corrected: bool = False
+    #: Redundancy mode the injection ran under (see
+    #: ``repro.core.modes.CAMPAIGN_MODES``).
+    mode: str = "slipstream"
 
 
 @dataclass
@@ -238,7 +247,10 @@ def inject_one(
             config if config is not None else SlipstreamConfig(),
             max_instructions=max_instructions,
         )
-    injector = FaultInjector(fault, ecc=ECCModel() if ecc else None)
+    decorrelated = bool(config.decorrelated) if config is not None else False
+    injector = FaultInjector(
+        fault, ecc=ECCModel() if ecc else None, decorrelated=decorrelated
+    )
     try:
         run = SlipstreamProcessor(program, run_config, fault_hook=injector).run()
     except SimulationError:
@@ -270,6 +282,120 @@ def inject_one(
         detect_latency=detect_latency,
         recovery_penalty=recovery_penalty,
         ecc_corrected=injector.report.ecc_corrected,
+    )
+
+
+def inject_one_nstream(
+    program: Program,
+    fault: TransientFault,
+    mode: str,
+    reference_output: Optional[Sequence[int]] = None,
+    baseline_detections: Optional[int] = None,
+    ecc: bool = False,
+    max_instructions: Optional[int] = None,
+    n_streams: int = 3,
+    base_cycles: Optional[int] = None,
+) -> InjectionResult:
+    """Run an N-stream redundancy engine with one injected fault.
+
+    ``mode`` selects the engine: ``"tmr"``
+    (:class:`repro.core.nstream.TMRProcessor`) or ``"replay"``
+    (:class:`repro.core.nstream.ReplayWindowProcessor`).
+
+    Under TMR the voter claims every single-stream strike *at
+    retirement*, before any ECC scrub of architectural state could run
+    — so the injector is built **without** the ECC model even when the
+    campaign enables ECC, and a correct-output detected run classifies
+    as ``MASKED_BY_VOTE``, never ``ECC_CORRECTED``.  The replay mode
+    has no voter; its ECC model applies as in the slipstream machine.
+    """
+    from repro.core.nstream import (
+        DEFAULT_MAX_INSTRUCTIONS,
+        ReplayWindowProcessor,
+        TMRProcessor,
+    )
+
+    if mode not in ("tmr", "replay"):
+        raise ValueError(f"unknown N-stream mode {mode!r}")
+    ecc_model = ECCModel() if (ecc and mode != "tmr") else None
+    injector = FaultInjector(fault, ecc=ecc_model)
+    budget = (
+        max_instructions
+        if max_instructions is not None
+        else DEFAULT_MAX_INSTRUCTIONS
+    )
+    if mode == "tmr":
+        engine = TMRProcessor(
+            program,
+            n_streams=n_streams,
+            fault_hook=injector,
+            base_cycles=base_cycles,
+            max_instructions=budget,
+        )
+    else:
+        engine = ReplayWindowProcessor(
+            program,
+            fault_hook=injector,
+            base_cycles=base_cycles,
+            max_instructions=budget,
+        )
+    if reference_output is None or baseline_detections is None:
+        clean = FunctionalSimulator(program).run()
+        reference_output = clean.output
+        baseline_detections = 0
+    try:
+        run = engine.run()
+    except SimulationError:
+        if not injector.report.fired:
+            raise
+        return InjectionResult(
+            fault=fault,
+            outcome=FaultOutcome.HANG,
+            struck_compared=injector.report.struck_compared,
+            detections=0,
+            ecc_corrected=injector.report.ecc_corrected,
+            mode=mode,
+        )
+    if not injector.report.fired:
+        return InjectionResult(
+            fault=fault,
+            outcome=FaultOutcome.NOT_FIRED,
+            struck_compared=None,
+            detections=run.detections,
+            mode=mode,
+        )
+    correct = list(run.output) == list(reference_output)
+    detected = run.detections > baseline_detections
+    if injector.report.ecc_corrected and correct:
+        outcome = FaultOutcome.ECC_CORRECTED
+    elif correct and detected:
+        # TMR's detection *is* the masking vote; replay's detection is
+        # a successful rollback to the clean shadow continuation.
+        outcome = (
+            FaultOutcome.MASKED_BY_VOTE
+            if mode == "tmr"
+            else FaultOutcome.DETECTED_RECOVERED
+        )
+    elif correct:
+        outcome = FaultOutcome.MASKED
+    elif detected:
+        outcome = FaultOutcome.DETECTED_UNRECOVERABLE
+    else:
+        outcome = FaultOutcome.SILENT_CORRUPTION
+    detect_latency = recovery_penalty = None
+    if detected and outcome is not FaultOutcome.MASKED:
+        detect_latency, recovery_penalty = _detection_span(
+            run, injector.report
+        )
+    return InjectionResult(
+        fault=fault,
+        outcome=outcome,
+        struck_compared=injector.report.struck_compared,
+        detections=run.detections,
+        detect_latency=detect_latency,
+        recovery_penalty=recovery_penalty,
+        ecc_corrected=injector.report.ecc_corrected,
+        mode=mode,
     )
 
 

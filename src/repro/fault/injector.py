@@ -2,7 +2,8 @@
 
 A fault strikes one dynamic instruction (identified by its per-stream
 retirement sequence number) and flips one bit of its result value.
-Three sites model the paper's analysis (section 3):
+Four sites model the paper's analysis (section 3) plus the
+layout-correlation class the DME-style decorrelated mode targets:
 
 * ``A_RESULT`` — a fault in the A-stream's pipeline or context.  The
   A-stream retires the corrupted value into its architectural state.
@@ -26,6 +27,22 @@ Three sites model the paper's analysis (section 3):
   the corrupted R-stream state — detectable at best, unrecoverable
   (the paper's motivation for ECC on the R-stream's register file and
   data cache).
+
+* ``CORRELATED`` — one physical disturbance (a particle strike on a
+  shared structure, a voltage droplet) hitting the *same physical
+  location* in both contexts.  With correlated layouts (the default
+  slipstream machine: both streams use identical data address spaces
+  and register assignments) the same logical bit of the same logical
+  value flips in both streams, the comparison hardware sees two
+  identically-wrong values agree, and the corruption retires silently.
+  Under the **decorrelated** mode (``SlipstreamConfig.decorrelated``,
+  DME-style shifted address spaces and rotated register assignments,
+  undone at comparison time) the same physical location maps to
+  *different* logical bits in the two contexts, the corruptions
+  disagree, and the comparison catches the strike like any
+  IR-misprediction.  The injector models the layout rotation as a bit
+  rotation of the flipped position in the R-stream's copy of the
+  strike.
 """
 
 from __future__ import annotations
@@ -45,6 +62,14 @@ class FaultSite(enum.Enum):
     A_RESULT = "a_result"
     R_TRANSIENT = "r_transient"
     R_ARCH = "r_arch"
+    CORRELATED = "correlated"
+
+
+#: Logical-bit rotation the decorrelated layout applies between the two
+#: contexts: the physical location that holds bit ``b`` of a value in
+#: the A-stream's context holds bit ``(b + 13) % 32`` of the same value
+#: in the R-stream's context (13 is coprime to 32, so every bit moves).
+DECORRELATION_ROTATION = 13
 
 
 @dataclass(frozen=True)
@@ -74,7 +99,11 @@ class FaultReport:
     number (the strike point, in the faulted stream's retirement
     numbering); ``ecc_corrected`` is set when an
     :class:`~repro.fault.ecc.ECCModel` absorbed an architectural strike
-    before it could land.
+    before it could land.  For ``CORRELATED`` strikes,
+    ``companion_struck`` records whether the R-stream's copy of the
+    physical disturbance also landed, and ``companion_agreed`` whether
+    the two corrupted values agreed at the comparison hardware (the
+    silent-agreement case the decorrelated layout prevents).
     """
 
     fired: bool = False
@@ -84,6 +113,8 @@ class FaultReport:
     pc: Optional[int] = None
     seq: Optional[int] = None
     ecc_corrected: bool = False
+    companion_struck: bool = False
+    companion_agreed: bool = False
 
 
 class FaultInjector:
@@ -92,17 +123,31 @@ class FaultInjector:
     ``ecc`` optionally models ECC on the R-stream's architectural state
     (:mod:`repro.fault.ecc`): a protected site's strike is counted and
     corrected instead of corrupting the state.
+
+    ``decorrelated`` tells the injector whether the machine runs the
+    DME-style decorrelated layouts (``SlipstreamConfig.decorrelated``):
+    a ``CORRELATED`` strike then flips a *rotated* bit in the R-stream's
+    context, so the two corrupted values cannot silently agree.
     """
 
-    def __init__(self, fault: TransientFault, ecc: Optional["ECCModel"] = None):
+    def __init__(self, fault: TransientFault, ecc: Optional["ECCModel"] = None,
+                 decorrelated: bool = False):
         self.fault = fault
         self.ecc = ecc
+        self.decorrelated = decorrelated
         self.report = FaultReport()
+        #: CORRELATED bookkeeping: the A-side strike's (pc, original
+        #: value, corrupted value), awaiting the R-stream companion.
+        self._companion_pc: Optional[int] = None
+        self._companion_value: Optional[int] = None
+        self._companion_corrupt: Optional[int] = None
 
     def __call__(
         self, stream: str, dyn: DynInstr, state: ArchState, compared: bool
     ) -> DynInstr:
         fault = self.fault
+        if fault.site is FaultSite.CORRELATED:
+            return self._correlated(stream, dyn, state, compared)
         if self.report.fired:
             return dyn
         if fault.site is FaultSite.A_RESULT and stream != "A":
@@ -149,6 +194,64 @@ class FaultInjector:
         # the comparison still sees the correctly computed value.
         self._write_back(dyn, state, corrupted)
         return dyn
+
+    # ------------------------------------------------------------------
+    # The CORRELATED site: one physical disturbance, two contexts.
+    # ------------------------------------------------------------------
+
+    def _correlated(
+        self, stream: str, dyn: DynInstr, state: ArchState, compared: bool
+    ) -> DynInstr:
+        fault = self.fault
+        if not self.report.fired:
+            # Waiting for the A-side strike (A-stream seq numbering).
+            if stream != "A" or dyn.seq != fault.target_seq:
+                return dyn
+            if dyn.value is None:
+                self.report = FaultReport(fired=True, struck_compared=compared,
+                                          pc=dyn.pc, seq=dyn.seq)
+                return dyn
+            corrupted = _flip(dyn.value, fault.bit)
+            self.report = FaultReport(
+                fired=True,
+                struck_compared=compared,
+                original_value=dyn.value,
+                corrupted_value=corrupted,
+                pc=dyn.pc,
+                seq=dyn.seq,
+            )
+            self._companion_pc = dyn.pc
+            self._companion_value = dyn.value
+            self._companion_corrupt = corrupted
+            self._write_back(dyn, state, corrupted)
+            return self._replace(dyn, corrupted)
+        if self._companion_pc is None or stream != "R":
+            return dyn
+        # The companion is the R-stream's redundant execution of the
+        # same dynamic instance: same PC, same (uncorrupted) computed
+        # value — the redundant computation reproduces it by
+        # construction, since the strike corrupted the A-stream's
+        # *result*, not its inputs.
+        if dyn.pc != self._companion_pc or dyn.value != self._companion_value:
+            return dyn
+        r_bit = fault.bit
+        if self.decorrelated:
+            r_bit = (fault.bit + DECORRELATION_ROTATION) % 32
+        corrupted_r = _flip(dyn.value, r_bit)
+        self._companion_pc = None
+        self.report.companion_struck = True
+        agreed = corrupted_r == self._companion_corrupt
+        self.report.companion_agreed = agreed
+        if compared and not agreed:
+            # The comparison hardware sees two different wrong values:
+            # the mismatch is flagged before retirement and the flush
+            # re-executes, so the R-stream's state stays correct (and
+            # the recovery it triggers repairs the A-stream's).
+            return self._replace(dyn, corrupted_r)
+        # Identically-wrong values agree (correlated layouts), or the
+        # instruction was never compared: the corruption retires.
+        self._write_back(dyn, state, corrupted_r)
+        return self._replace(dyn, corrupted_r)
 
     @staticmethod
     def _write_back(dyn: DynInstr, state: ArchState, corrupted: int) -> None:

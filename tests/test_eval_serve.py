@@ -17,6 +17,8 @@ from repro.eval.jobs import (
     baseline_spec,
     count_spec,
     fault_spec,
+    injection_spec,
+    mode_reference_spec,
     slipstream_spec,
 )
 from repro.eval.models import run_cached
@@ -89,6 +91,42 @@ class TestSpecCodec:
         expected = fault_spec("jpeg", 1, 3, (FaultSite.A_RESULT,))
         assert decoded.key == expected.key
 
+    def test_finj_defaults_to_slipstream(self):
+        decoded = spec_from_json({
+            "model": "finj", "benchmark": "jpeg",
+            "site": "R_ARCH", "target_seq": 4000,
+        })
+        expected = injection_spec("jpeg", FaultSite.R_ARCH, 4000)
+        assert decoded.key == expected.key
+        assert decoded.mode == "slipstream"
+
+    def test_finj_with_every_field(self):
+        decoded = spec_from_json({
+            "model": "finj", "benchmark": "li", "scale": 2,
+            "site": "R_TRANSIENT", "target_seq": 123, "bit": 30,
+            "ecc": True, "mode": "tmr",
+        })
+        expected = injection_spec("li", FaultSite.R_TRANSIENT, 123,
+                                  bit=30, scale=2, ecc=True, mode="tmr")
+        assert decoded.key == expected.key
+        assert decoded.mode == "tmr"
+
+    def test_nref_roundtrip(self):
+        decoded = spec_from_json({
+            "model": "nref", "benchmark": "jpeg", "mode": "replay",
+        })
+        assert decoded.key == mode_reference_spec("jpeg", "replay").key
+
+    def test_decorrelated_config_field(self):
+        decoded = spec_from_json({
+            "model": "cmp", "benchmark": "jpeg",
+            "config": {"decorrelated": True},
+        })
+        expected = slipstream_spec("jpeg", config=SlipstreamConfig(
+            decorrelated=True
+        ))
+        assert decoded.key == expected.key
+
     @pytest.mark.parametrize("payload", [
         "not an object",
         {"benchmark": "jpeg"},
@@ -106,6 +144,19 @@ class TestSpecCodec:
          "config": {"removal_mechanism": "magic"}},
         {"model": "fault", "benchmark": "jpeg", "sites": ["NOPE"]},
         {"model": "fault", "benchmark": "jpeg", "points": 0},
+        {"model": "finj", "benchmark": "jpeg", "site": "R_ARCH"},
+        {"model": "finj", "benchmark": "jpeg", "target_seq": 1},
+        {"model": "finj", "benchmark": "jpeg", "site": "r_arch",
+         "target_seq": 1},
+        {"model": "finj", "benchmark": "jpeg", "site": "R_ARCH",
+         "target_seq": 1, "bit": 32},
+        {"model": "finj", "benchmark": "jpeg", "site": "R_ARCH",
+         "target_seq": 1, "ecc": "yes"},
+        {"model": "finj", "benchmark": "jpeg", "site": "R_ARCH",
+         "target_seq": 1, "mode": "reliable"},
+        {"model": "nref", "benchmark": "jpeg"},
+        {"model": "nref", "benchmark": "jpeg", "mode": "slipstream"},
+        {"model": "nref", "benchmark": "jpeg", "mode": "tmr", "bit": 3},
     ])
     def test_malformed_payloads_rejected(self, payload):
         with pytest.raises(SpecError):
@@ -203,6 +254,26 @@ class TestServeAPI:
             with pytest.raises(ServeError) as err:
                 client.submit_all(jobs_payload)  # type: ignore[arg-type]
             assert err.value.status == 400
+
+    def test_nstream_campaign_jobs_submit_over_http(self, client):
+        """Satellite: N-stream campaign jobs are first-class daemon
+        submissions; a malformed mode is a 400, never a daemon
+        exception."""
+        lines = client.submit_all([
+            {"model": "finj", "benchmark": "jpeg", "site": "R_ARCH",
+             "target_seq": 4000, "mode": "tmr"},
+            {"model": "nref", "benchmark": "jpeg", "mode": "replay"},
+        ])
+        assert len(lines) == 2
+        assert all(line["ok"] for line in lines)
+        with pytest.raises(ServeError) as err:
+            client.submit_all([
+                {"model": "finj", "benchmark": "jpeg", "site": "R_ARCH",
+                 "target_seq": 1, "mode": "quadruple"},
+            ])
+        assert err.value.status == 400
+        assert "mode" in err.value.detail
+        assert client.health()["ok"]  # daemon survived
 
     def test_non_json_body_is_400(self, client, server):
         import http.client

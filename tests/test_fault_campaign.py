@@ -8,11 +8,14 @@ import json
 
 import pytest
 
+from repro.core.modes import CAMPAIGN_MODES
 from repro.eval import jobs, models
 from repro.fault.campaign import (
     CampaignConfig,
     ScaledCampaignResult,
     format_coverage_table,
+    format_frontier_table,
+    mode_sites,
     run_scaled_campaign,
     sample_points,
     write_fault_bench,
@@ -337,6 +340,152 @@ class TestScaledCampaign:
         assert all(r.recovery_penalty is not None for r in detected)
 
 
+class TestModeSites:
+    SITES = (FaultSite.A_RESULT, FaultSite.R_TRANSIENT, FaultSite.R_ARCH)
+
+    def test_slipstream_keeps_configured_sites_verbatim(self):
+        assert mode_sites("slipstream", self.SITES) == self.SITES
+
+    def test_tmr_drops_a_stream_sites(self):
+        sites = mode_sites("tmr", self.SITES)
+        assert FaultSite.A_RESULT not in sites
+        assert set(sites) == {FaultSite.R_TRANSIENT, FaultSite.R_ARCH}
+
+    def test_decorrelated_appends_correlated(self):
+        sites = mode_sites("decorrelated", self.SITES)
+        assert sites[-1] is FaultSite.CORRELATED
+        assert set(self.SITES) <= set(sites)
+
+    def test_empty_intersection_falls_back_to_spec(self):
+        sites = mode_sites("tmr", (FaultSite.A_RESULT,))
+        assert sites  # never an empty campaign
+        assert FaultSite.A_RESULT not in sites
+
+
+class TestMultiModeSampling:
+    FLAT = {BENCH: {"A": 8000, "R": 10000}}
+    BY_MODE = {
+        "slipstream": {BENCH: {"A": 8000, "R": 10000}},
+        "tmr": {BENCH: {"A": 9000, "R": 9000}},
+    }
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            CampaignConfig(benchmarks=(BENCH,), modes=("reliable",))
+        with pytest.raises(ValueError):
+            CampaignConfig(benchmarks=(BENCH,), modes=("nonsense",))
+
+    def test_slipstream_stream_unchanged_by_extra_modes(self):
+        """Back-compat: a multi-mode campaign's slipstream points are
+        identical to the slipstream-only campaign's (the new modes draw
+        from their own seeded RNG streams)."""
+        solo = CampaignConfig(benchmarks=(BENCH,), points_per_benchmark=6,
+                              seed=7)
+        multi = CampaignConfig(benchmarks=(BENCH,), points_per_benchmark=6,
+                               seed=7, modes=CAMPAIGN_MODES)
+        solo_points = sample_points(solo, self.FLAT)
+        multi_points = [p for p in sample_points(multi, self.FLAT)
+                        if p.mode == "slipstream"]
+        assert [(p.benchmark, p.fault) for p in solo_points] == \
+            [(p.benchmark, p.fault) for p in multi_points]
+
+    def test_modes_draw_distinct_strike_points(self):
+        config = CampaignConfig(benchmarks=(BENCH,), points_per_benchmark=6,
+                                seed=7, modes=("slipstream", "replay"))
+        points = sample_points(config, self.FLAT)
+        slip = [p.fault.target_seq for p in points if p.mode == "slipstream"]
+        repl = [p.fault.target_seq for p in points if p.mode == "replay"]
+        assert len(slip) == len(repl) == 6
+        assert slip != repl
+
+    def test_nested_lengths_keyed_by_mode(self):
+        config = CampaignConfig(benchmarks=(BENCH,), points_per_benchmark=30,
+                                seed=3, modes=("slipstream", "tmr"))
+        for point in sample_points(config, self.BY_MODE):
+            lengths = self.BY_MODE[point.mode][BENCH]
+            n = lengths["A" if point.fault.site is FaultSite.A_RESULT
+                        else "R"]
+            assert point.fault.target_seq < n
+
+
+class TestMultiModeCampaign:
+    MULTI = dict(benchmarks=(BENCH,), points_per_benchmark=4, seed=11,
+                 modes=CAMPAIGN_MODES)
+
+    def test_every_mode_contributes_points(self, fresh_caches):
+        result, _ = run_scaled_campaign(CampaignConfig(**self.MULTI))
+        assert not result.failed_points
+        by_mode = {mode: result.for_mode(mode) for mode in CAMPAIGN_MODES}
+        for mode, sub in by_mode.items():
+            assert len(sub.results) == 4, mode
+            assert all(r.mode == mode for r in sub.results)
+
+    def test_frontier_rows_complete(self, fresh_caches):
+        result, _ = run_scaled_campaign(CampaignConfig(**self.MULTI))
+        rows = result.frontier()
+        assert [r["mode"] for r in rows] == list(CAMPAIGN_MODES)
+        for row in rows:
+            assert row["throughput_ipc"] is not None
+            assert row["relative_ipc"] is not None
+        frontier = {r["mode"]: r for r in rows}
+        assert frontier["tmr"]["n_streams"] == 3
+        # The throughput axis prices redundancy per context: TMR burns
+        # three contexts on one useful stream, replay keeps most of one.
+        assert frontier["tmr"]["relative_ipc"] < \
+            frontier["slipstream"]["relative_ipc"] < \
+            frontier["replay"]["relative_ipc"]
+        table = format_frontier_table(result)
+        for mode in CAMPAIGN_MODES:
+            assert mode in table
+
+    def test_payload_carries_per_mode_breakdown(self, fresh_caches,
+                                                tmp_path):
+        result, _ = run_scaled_campaign(CampaignConfig(**self.MULTI))
+        payload = json.loads(
+            write_fault_bench(result, tmp_path / "m.json").read_text())
+        assert payload["modes"] == list(CAMPAIGN_MODES)
+        assert set(payload["per_mode"]) == set(CAMPAIGN_MODES)
+        assert [r["mode"] for r in payload["frontier"]] == \
+            list(CAMPAIGN_MODES)
+        for mode, entry in payload["per_mode"].items():
+            assert entry["fired"] >= 0
+            assert "outcomes" in entry
+
+    def test_multi_mode_artifact_byte_deterministic(self, fresh_caches,
+                                                    tmp_path):
+        config = CampaignConfig(**self.MULTI)
+        first, _ = run_scaled_campaign(config)
+        path1 = write_fault_bench(first, tmp_path / "a.json")
+        second, stats = run_scaled_campaign(config)
+        path2 = write_fault_bench(second, tmp_path / "b.json")
+        assert stats.simulated == 0  # warm rerun
+        assert path1.read_bytes() == path2.read_bytes()
+
+    def test_per_mode_metrics_registered(self, fresh_caches):
+        result, _ = run_scaled_campaign(CampaignConfig(**self.MULTI))
+        snapshot = result.metrics().snapshot()
+        fired_modes = {r.mode for r in result.results
+                       if r.outcome is not FaultOutcome.NOT_FIRED}
+        for mode in fired_modes:
+            keys = [k for k in snapshot
+                    if k.startswith(f"fault.mode.{mode}.")]
+            assert keys, f"no per-mode metrics for {mode}"
+
+    def test_single_mode_payload_keeps_slipstream_shape(self, fresh_caches,
+                                                        tmp_path):
+        """The default campaign still reports mode slipstream only, and
+        every pre-framework payload key survives."""
+        result, _ = run_scaled_campaign(CampaignConfig(**SMALL))
+        payload = json.loads(
+            write_fault_bench(result, tmp_path / "s.json").read_text())
+        assert payload["modes"] == ["slipstream"]
+        for key in ("completed", "config", "coverage", "ecc_corrections",
+                    "fired", "harmful", "metrics", "outcomes",
+                    "per_benchmark", "points", "redundant_coverage",
+                    "table"):
+            assert key in payload, key
+
+
 class TestFaultCLI:
     def test_cli_json_and_artifact(self, fresh_caches, tmp_path, capsys):
         from repro.fault.__main__ import main
@@ -365,4 +514,35 @@ class TestFaultCLI:
 
         with pytest.raises(SystemExit):
             main(["--benchmarks", BENCH, "--sites", "nonsense",
+                  "--bench-out", "-"])
+
+    def test_cli_modes_all_prints_frontier(self, fresh_caches, tmp_path,
+                                           capsys):
+        from repro.fault.__main__ import main
+
+        out = tmp_path / "modes.json"
+        code = main(["--benchmarks", BENCH, "--modes", "all",
+                     "--points", "2", "--seed", "11",
+                     "--bench-out", str(out)])
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "frontier" in captured
+        payload = json.loads(out.read_text())
+        assert payload["modes"] == list(CAMPAIGN_MODES)
+
+    def test_cli_modes_comma_list(self, fresh_caches, capsys):
+        from repro.fault.__main__ import main
+
+        code = main(["--benchmarks", BENCH, "--modes", "slipstream,tmr",
+                     "--points", "2", "--seed", "11", "--bench-out", "-",
+                     "--format", "json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["modes"] == ["slipstream", "tmr"]
+
+    def test_cli_rejects_unknown_mode(self, fresh_caches):
+        from repro.fault.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["--benchmarks", BENCH, "--modes", "slipstream,quintuple",
                   "--bench-out", "-"])
