@@ -72,6 +72,16 @@ def _md_table(headers, rows):
     return "\n".join(lines)
 
 
+def _backend_name(value: str) -> str:
+    """Validate --backend: a registry name or remote[:HOST:PORT]."""
+    if value in BACKENDS or value == "remote" or value.startswith("remote:"):
+        return value
+    raise argparse.ArgumentTypeError(
+        f"unknown backend {value!r}; expected one of "
+        f"{', '.join(sorted(BACKENDS))} or remote[:HOST:PORT]"
+    )
+
+
 def parse_args(argv: Optional[List[str]] = None) -> argparse.Namespace:
     parser = argparse.ArgumentParser(
         prog="python -m repro.eval",
@@ -82,11 +92,12 @@ def parse_args(argv: Optional[List[str]] = None) -> argparse.Namespace:
     parser.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
                         help="worker processes for the simulation sweep "
                              "(default 1: inline)")
-    parser.add_argument("--backend", choices=sorted(BACKENDS), default=None,
+    parser.add_argument("--backend", type=_backend_name, default=None,
                         metavar="NAME",
                         help="worker backend for --jobs > 1: "
-                             f"{', '.join(sorted(BACKENDS))} "
-                             "(default spawn)")
+                             f"{', '.join(sorted(BACKENDS))}, or "
+                             "remote[:HOST:PORT] to forward jobs to an "
+                             "eval daemon (default spawn)")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the persistent result cache")
     parser.add_argument("--timeout", type=float, default=None, metavar="SEC",

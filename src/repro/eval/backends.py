@@ -25,6 +25,12 @@ choice:
   the abstraction against it, and it proves any future backend — a
   remote stub forwarding specs to another machine, say — only needs
   the same five methods.
+* ``RemoteBackend`` (:mod:`repro.eval.remote`) — exactly that remote
+  stub, grown up: forwards specs to an eval daemon over its NDJSON
+  wire protocol and verifies every result's sha256 digest locally.
+  Named ``"remote"`` / ``"remote:HOST:PORT"`` here but defined in its
+  own module (it depends on :mod:`repro.eval.serve`, which depends on
+  this one), so :func:`resolve_backend` imports it lazily.
 
 Backends are deliberately *not* part of a job's identity: the same
 spec produces the same cached result whichever backend computed it.
@@ -218,17 +224,28 @@ def resolve_backend(
     backend: Union[str, WorkerBackend, None], default: str = "spawn"
 ) -> WorkerBackend:
     """A ready-to-start backend instance from a name, an instance, or
-    None (the default name).  Unknown names raise ``ValueError``."""
+    None (the default name).  Unknown names raise ``ValueError``.
+
+    ``"remote"`` (daemon URL from ``$REPRO_EVAL_REMOTE``) and
+    ``"remote:HOST:PORT"`` resolve to :class:`repro.eval.remote.
+    RemoteBackend`, imported lazily to keep this module free of the
+    serve/remote dependency cycle.
+    """
     if backend is None:
         backend = default
     if isinstance(backend, WorkerBackend):
         return backend
+    if backend == "remote" or backend.startswith("remote:"):
+        from repro.eval.remote import RemoteBackend
+
+        _, _, url = backend.partition(":")
+        return RemoteBackend(url=url or None)
     try:
         return BACKENDS[backend]()
     except KeyError:
         raise ValueError(
             f"unknown worker backend {backend!r}; "
-            f"expected one of {sorted(BACKENDS)}"
+            f"expected one of {sorted(BACKENDS)} or 'remote[:HOST:PORT]'"
         ) from None
 
 

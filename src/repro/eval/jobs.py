@@ -603,6 +603,23 @@ def code_fingerprint() -> str:
     return _code_fingerprint
 
 
+def cache_entry_digest(key: JobKey, code_version: Optional[str] = None) -> str:
+    """Digest naming ``key``'s disk-cache entry (and its shard).
+
+    sha256 over (canonical key, code-version fingerprint), truncated to
+    24 hex chars.  The *same* digest both shards the disk cache
+    (:meth:`DiskCache._entry_name`; shard dir = first two chars) and
+    steers daemon federation (:mod:`repro.eval.remote`): a job is
+    dispatched to the worker daemon whose digest bucket owns it, so
+    repeated fleet sweeps land each job back on the worker whose disk
+    cache is already warm for it.
+    """
+    return sha256(
+        repr((canonical(key), code_version or code_fingerprint()))
+        .encode("utf-8")
+    ).hexdigest()[:24]
+
+
 #: Per-process monotonically-increasing component of temp-file names.
 #: ``os.getpid()`` alone is NOT unique across the threads of one
 #: process: two threads storing the same key would interleave writes
@@ -656,9 +673,7 @@ class DiskCache:
 
     def _entry_name(self, key: JobKey) -> Tuple[str, str]:
         """(shard directory, file name) of ``key``'s entry."""
-        digest = sha256(
-            repr((canonical(key), self.code_version)).encode("utf-8")
-        ).hexdigest()[:24]
+        digest = cache_entry_digest(key, self.code_version)
         name = f"{key.model}-{key.benchmark}-s{key.scale}-{digest}.pkl"
         return digest[:2], name
 

@@ -135,6 +135,18 @@ class DurationOracle:
         scale = median(exact) if exact else 1.0
         return MODEL_WEIGHT.get(key.model, 1.0) * scale
 
+    def rank_longest_first(self, specs):
+        """``specs`` sorted longest-expected-first (stable).
+
+        The LJF submission order shared by the runner's pool path and
+        the federation dispatcher's per-worker queues
+        (:mod:`repro.eval.remote`): draining the expensive jobs first
+        keeps a pool — or a fleet — from idling behind one straggler
+        discovered late.
+        """
+        return sorted(specs, key=lambda s: self.estimate(s.key),
+                      reverse=True)
+
     def observe(self, key: JobKey, cpu_seconds: float) -> None:
         """Fold one fresh simulation's measured CPU time into the EWMA."""
         if cpu_seconds <= 0.0:

@@ -1,0 +1,789 @@
+"""Remote execution and daemon federation: the eval stack as a fleet.
+
+The slipstream paper scales throughput by spreading redundant contexts
+over a CMP's processing elements; this module makes the eval stack
+scale the same way over *machines*.  Two layers:
+
+* :class:`RemoteBackend` — a :class:`~repro.eval.backends.WorkerBackend`
+  whose "pool" is an eval daemon (:mod:`repro.eval.serve`) somewhere
+  else.  Submitted :class:`~repro.eval.jobs.JobSpec`s are encoded with
+  :func:`~repro.eval.serve.spec_to_json`, coalesced into pipelined
+  ``/v1/submit`` batches over one persistent keep-alive
+  :class:`~repro.eval.serve.ServeClient` connection, and resolved as
+  the daemon streams result lines back.  Each line carries the result
+  both as canonical JSON + sha256 digest and as a base64 pickle; the
+  backend unpickles, *recomputes* the canonical digest locally and
+  compares it to the wire digest — the cross-machine correctness gate.
+  A mismatch raises :class:`WorkerDigestError` naming the worker.  A
+  version gate runs at :meth:`RemoteBackend.start`: the worker's
+  ``/v1/health`` code fingerprint must equal ours, because neither
+  pickles nor digests are comparable across simulator versions.
+
+* :class:`FederationBackend` — a front daemon's backend composing N
+  :class:`RemoteBackend` workers plus a local fallback pool.  Jobs are
+  sharded by :func:`~repro.eval.jobs.cache_entry_digest` — the *same*
+  digest that shards the disk cache — so a job always lands on the
+  worker whose disk cache is warm for it.  Each worker has a
+  longest-job-first queue ordered by the
+  :class:`~repro.eval.oracle.DurationOracle`'s learned estimates; a
+  pump thread per worker drains its queue in pipelined batches and,
+  when its own queue runs dry, *steals from the tail* (the cheapest
+  jobs) of a peer backlogged beyond a full dispatch window — stealing
+  moves a job off its cache-warm home, so it only pays against a real
+  backlog.  A worker dying mid-batch marks it
+  dead, and its un-acked jobs — queued or in flight without a result
+  line — migrate to the survivors (bounded by the
+  :class:`~repro.eval.resilience.RetryPolicy`'s retry budget), never
+  losing or double-counting a result: a job whose result line already
+  streamed back resolved its future and is not requeued.  With zero
+  live workers the federation degrades gracefully to the local
+  backend.
+
+Everything is observable through the shared obs
+:class:`~repro.obs.registry.MetricsRegistry` (``federation.*``
+counters, per-worker queue-depth gauges), surfaced by the front
+daemon's ``/v1/metrics`` endpoint.
+"""
+
+from __future__ import annotations
+
+import base64
+import http.client
+import os
+import pickle
+import threading
+import time
+from bisect import insort
+from collections import deque
+from concurrent.futures import BrokenExecutor, Future
+from concurrent.futures import CancelledError as FutureCancelledError
+from concurrent.futures import as_completed
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.eval.backends import WorkerBackend, resolve_backend
+from repro.eval.jobs import JobSpec, cache_entry_digest, code_fingerprint, job_label
+from repro.eval.oracle import DurationOracle
+from repro.eval.resilience import RetryPolicy
+from repro.eval.serve import (
+    ServeClient,
+    ServeError,
+    SpecError,
+    canonical_result_blob,
+    spec_to_json,
+)
+from repro.obs.registry import MetricsRegistry
+
+#: Jobs coalesced into one pipelined ``/v1/submit`` round trip.
+PIPELINE_DEPTH = 64
+#: Per-worker in-flight window of the federation dispatcher.
+FEDERATION_BATCH = 16
+#: Environment variable naming the default remote daemon (HOST:PORT).
+REMOTE_ENV = "REPRO_EVAL_REMOTE"
+
+
+class RemoteError(RuntimeError):
+    """Base of every remote/federation transport error."""
+
+
+class RemoteVersionError(RemoteError):
+    """Worker daemon runs a different simulator version than we do;
+    neither its pickles nor its digests are comparable to ours."""
+
+
+class RemoteProtocolError(RemoteError):
+    """A worker daemon violated the wire protocol (missing pickle
+    payload, stream closed without a result, unparseable line)."""
+
+
+class RemoteJobError(RemoteError):
+    """A job attempt failed *on* the worker (its own retries included);
+    the transport itself is fine."""
+
+
+class WorkerDigestError(RemoteError):
+    """A worker's result does not hash to the digest it claimed — the
+    cross-machine correctness gate tripped.  Structured: carries the
+    offending worker's URL and the job label."""
+
+    def __init__(self, worker: str, job: str, expected: Optional[str],
+                 actual: str):
+        super().__init__(
+            f"digest mismatch from worker {worker} for job {job}: "
+            f"wire digest {expected!r}, unpickled result hashes to "
+            f"{actual!r}"
+        )
+        self.worker = worker
+        self.job = job
+        self.expected = expected
+        self.actual = actual
+
+
+def parse_worker_url(url: str) -> Tuple[str, int]:
+    """(host, port) from ``HOST:PORT`` or ``http://HOST:PORT``."""
+    trimmed = url.strip()
+    for prefix in ("http://", "https://"):
+        if trimmed.startswith(prefix):
+            trimmed = trimmed[len(prefix):]
+            break
+    trimmed = trimmed.rstrip("/")
+    host, sep, port = trimmed.rpartition(":")
+    if not sep or not host or not port.isdigit():
+        raise ValueError(f"worker URL {url!r} is not HOST:PORT")
+    return host, int(port)
+
+
+def decode_result_line(line: Any, spec: JobSpec,
+                       worker: str) -> Tuple[object, float, float]:
+    """(result object, wall seconds, cpu seconds) from one wire line.
+
+    Verifies the cross-machine correctness gate: the base64 pickle is
+    decoded and the canonical-JSON sha256 of the *reconstructed* object
+    must equal the digest the worker sent.  Raises the structured
+    :class:`WorkerDigestError` (naming ``worker``) on mismatch,
+    :class:`RemoteJobError` when the worker reports the job failed, and
+    :class:`RemoteProtocolError` on malformed lines.
+    """
+    job = job_label(spec.key)
+    if not isinstance(line, dict):
+        raise RemoteProtocolError(
+            f"worker {worker}: non-object result line for {job}"
+        )
+    if not line.get("ok", False):
+        raise RemoteJobError(
+            f"worker {worker}: job {job} failed remotely: "
+            f"{line.get('error', 'unknown error')}"
+        )
+    encoded = line.get("pickle")
+    if not isinstance(encoded, str):
+        raise RemoteProtocolError(
+            f"worker {worker}: result line for {job} carries no pickle "
+            f"payload (daemon too old?)"
+        )
+    try:
+        result = pickle.loads(base64.b64decode(encoded.encode("ascii")))
+    except Exception as exc:  # noqa: BLE001 - any decode failure
+        raise RemoteProtocolError(
+            f"worker {worker}: unpicklable result for {job}: {exc}"
+        ) from exc
+    _body, digest = canonical_result_blob(result)
+    wire_digest = line.get("digest")
+    if digest != wire_digest:
+        raise WorkerDigestError(worker=worker, job=job,
+                                expected=wire_digest, actual=digest)
+    try:
+        wall = float(line.get("wall_seconds") or 0.0)
+        cpu = float(line.get("cpu_seconds") or 0.0)
+    except (TypeError, ValueError):
+        wall = cpu = 0.0
+    return result, wall, cpu
+
+
+@dataclass
+class _RemoteItem:
+    """One queued (spec, payload, future) awaiting a wire round trip."""
+
+    spec: JobSpec
+    payload: Dict[str, Any]
+    future: "Future"
+
+
+class RemoteBackend(WorkerBackend):
+    """A worker pool that lives behind an eval daemon's HTTP API.
+
+    The five :class:`~repro.eval.backends.WorkerBackend` methods over
+    the wire: :meth:`start` connects and version-gates, :meth:`submit`
+    enqueues and returns a future, a dispatcher thread coalesces the
+    queue into pipelined batches over one keep-alive connection and
+    resolves futures as result lines stream back.  A connection lost
+    mid-stream marks the backend ``broken()`` and fails the un-acked
+    futures with ``BrokenExecutor`` — exactly the crash contract the
+    runner and the federation layer already handle (shutdown, restart,
+    or migrate).
+    """
+
+    name = "remote"
+    can_crash = True
+
+    def __init__(self, url: Optional[str] = None, timeout: float = 600.0):
+        super().__init__()
+        self.url = url if url is not None else os.environ.get(REMOTE_ENV)
+        self.timeout = timeout
+        self.remote_fingerprint: Optional[str] = None
+        self._client: Optional[ServeClient] = None
+        self._queue: Deque[_RemoteItem] = deque()
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+        self._thread: Optional[threading.Thread] = None
+        self._running = False
+        self._broken = False
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def broken(self) -> bool:
+        return self._broken
+
+    def start(self, workers: int) -> None:
+        """Connect, health-probe, and version-gate the worker daemon.
+
+        The effective pool width is the *daemon's* worker count, not
+        the caller's ``workers`` argument — parallelism lives on the
+        far side.
+        """
+        if self._running:
+            raise RuntimeError("remote backend already running")
+        if not self.url:
+            raise ValueError(
+                "remote backend needs a worker URL: use "
+                f"'remote:HOST:PORT' or set ${REMOTE_ENV}"
+            )
+        host, port = parse_worker_url(self.url)
+        client = ServeClient(host=host, port=port, timeout=self.timeout)
+        health = client.health()
+        theirs = health.get("code_fingerprint")
+        ours = code_fingerprint()
+        if theirs != ours:
+            client.close()
+            raise RemoteVersionError(
+                f"worker {self.url} runs code fingerprint {theirs!r}, "
+                f"this process runs {ours!r}: results are not comparable"
+            )
+        self.remote_fingerprint = theirs
+        self._client = client
+        self._workers = max(1, int(health.get("workers")
+                                   or health.get("jobs") or 1))
+        self._broken = False
+        self._running = True
+        self._thread = threading.Thread(
+            target=self._dispatch_loop,
+            name=f"repro-remote-{host}-{port}", daemon=True,
+        )
+        self._thread.start()
+
+    def submit(self, spec: JobSpec,
+               timeout_seconds: Optional[float] = None) -> "Future":
+        future: Future = Future()
+        if not self._running:
+            raise RuntimeError("remote backend is not running")
+        if self._broken:
+            raise BrokenExecutor(f"worker {self.url} connection is broken")
+        try:
+            payload = spec_to_json(spec)
+        except SpecError as exc:
+            # Not remotable (chaos jobs, non-whitelisted configs):
+            # fail the attempt, never ship a lossy encoding.
+            future.set_exception(exc)
+            return future
+        with self._wake:
+            self._queue.append(_RemoteItem(spec, payload, future))
+            self._wake.notify()
+        return future
+
+    def shutdown(self, wait: bool = False) -> None:
+        with self._wake:
+            self._running = False
+            leftovers = list(self._queue)
+            self._queue.clear()
+            self._wake.notify_all()
+        for item in leftovers:
+            item.future.cancel()
+        thread, self._thread = self._thread, None
+        if not wait and self._client is not None:
+            # Interrupt a dispatcher blocked mid-stream.
+            self._client.close()
+        if thread is not None and wait:
+            thread.join(timeout=self.timeout)
+        if self._client is not None:
+            self._client.close()
+            self._client = None
+        self._workers = 0
+
+    # ------------------------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._wake:
+                while self._running and not self._queue:
+                    self._wake.wait(timeout=0.5)
+                if not self._running:
+                    return
+                items = [self._queue.popleft()
+                         for _ in range(min(len(self._queue),
+                                            PIPELINE_DEPTH))]
+                broken = self._broken
+            if broken:
+                err = BrokenExecutor(
+                    f"worker {self.url} connection is broken"
+                )
+                for item in items:
+                    if not item.future.done():
+                        item.future.set_exception(err)
+                continue
+            self._send_batch(items)
+
+    def _send_batch(self, items: List[_RemoteItem]) -> None:
+        """One pipelined round trip: N jobs out, N result lines back,
+        futures resolved in the daemon's completion order."""
+        assert self._client is not None
+        pending = {index: item for index, item in enumerate(items)}
+        started = time.monotonic()
+        try:
+            for line in self._client.submit(
+                [item.payload for item in items], include_pickle=True
+            ):
+                item = pending.pop(line.get("index"), None)  # type: ignore[arg-type]
+                if item is None:
+                    continue
+                try:
+                    result, wall, cpu = decode_result_line(
+                        line, item.spec, self.url or "?"
+                    )
+                except RemoteError as exc:
+                    if not item.future.done():
+                        item.future.set_exception(exc)
+                    continue
+                if not item.future.done():
+                    item.future.set_result(
+                        (result, wall, cpu, started, None)
+                    )
+            for item in pending.values():
+                if not item.future.done():
+                    item.future.set_exception(RemoteProtocolError(
+                        f"worker {self.url} closed the stream without a "
+                        f"result for {job_label(item.spec.key)}"
+                    ))
+        except (ServeError, http.client.HTTPException, ConnectionError,
+                OSError, AttributeError, ValueError) as exc:
+            # The daemon died or the connection dropped mid-stream:
+            # every un-acked future fails broken; already-streamed
+            # lines already resolved theirs (exactly-once).
+            # (AttributeError/ValueError are how http.client surfaces a
+            # socket closed under it — e.g. shutdown(wait=False) racing
+            # a dispatcher still draining the chunked-stream trailer.)
+            if not self._running:
+                for item in pending.values():
+                    item.future.cancel()
+                return
+            self._broken = True
+            err = BrokenExecutor(
+                f"worker {self.url} failed mid-batch: "
+                f"{type(exc).__name__}: {exc}"
+            )
+            for item in pending.values():
+                if not item.future.done():
+                    item.future.set_exception(err)
+
+
+@dataclass
+class _FedEntry:
+    """One federated job: outer future plus migration bookkeeping."""
+
+    spec: JobSpec
+    future: "Future"
+    estimate: float
+    attempts: int = 0
+
+
+@dataclass
+class _FedWorker:
+    """One remote worker daemon's queue and liveness state."""
+
+    index: int
+    url: str
+    backend: RemoteBackend
+    queue: List[_FedEntry] = field(default_factory=list)
+    alive: bool = False
+    error: Optional[str] = None
+    dispatched: int = 0
+
+
+class FederationBackend(WorkerBackend):
+    """Shard jobs across worker daemons; survive their deaths.
+
+    Composes N :class:`RemoteBackend` workers behind the one
+    :class:`~repro.eval.backends.WorkerBackend` surface the eval
+    service already drives.  Dispatch policy:
+
+    * **Home worker by cache digest.**  ``cache_entry_digest(key)`` —
+      the digest that shards the disk cache — picks the home worker,
+      so re-runs of a grid land each job back on the worker whose
+      cache already holds it.  A dead home falls through to the next
+      live worker in ring order.
+    * **Longest-job-first queues.**  Each worker's queue is kept
+      sorted by the duration oracle's estimate; pumps drain from the
+      front (the expensive jobs) so no worker idles behind a late
+      straggler.
+    * **Work stealing.**  A pump whose queue is empty steals the
+      *tail* (cheapest jobs) of the most-loaded live peer's queue —
+      but only from a peer backlogged beyond one dispatch window,
+      because a stolen job runs against a cache-cold worker.
+    * **Migration.**  A worker failure requeues its un-acked jobs on
+      the survivors, each migration counting against the retry
+      policy's budget; with no survivors the jobs run on the local
+      fallback backend.  Jobs whose result line already streamed back
+      are resolved and never requeued — no result is lost or double
+      counted.
+
+    ``can_crash`` is False: worker death is handled *inside* the
+    backend; the service never sees a broken pool.
+    """
+
+    name = "federation"
+    can_crash = False
+
+    def __init__(
+        self,
+        urls: Sequence[str],
+        local: Union[str, WorkerBackend, None] = None,
+        policy: Optional[RetryPolicy] = None,
+        oracle: Optional[DurationOracle] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        timeout: float = 600.0,
+    ):
+        super().__init__()
+        if not urls:
+            raise ValueError("federation needs at least one worker URL")
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.oracle = oracle if oracle is not None else DurationOracle(None)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.timeout = timeout
+        self._fleet = [
+            _FedWorker(index, url, RemoteBackend(url, timeout=timeout))
+            for index, url in enumerate(urls)
+        ]
+        self._local = resolve_backend(local, default="thread")
+        self._local_jobs = 1
+        self._local_lock = threading.Lock()
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+        self._running = False
+        self._threads: List[threading.Thread] = []
+        for counter in ("federation.jobs_forwarded", "federation.jobs_local",
+                        "federation.jobs_migrated", "federation.jobs_stolen",
+                        "federation.worker_failures"):
+            self.metrics.counter(counter)
+        self.metrics.gauge("federation.workers_alive")
+        for worker in self._fleet:
+            self.metrics.gauge(f"federation.queue_depth.{worker.index}")
+
+    # -- lifecycle ------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    @property
+    def workers(self) -> int:
+        """Effective fleet width: live remote workers' pool sizes, or
+        the local fallback width when the whole fleet is dead."""
+        if not self._running:
+            return 0
+        with self._lock:
+            width = sum(max(1, w.backend.workers)
+                        for w in self._fleet if w.alive)
+        return width or self._local_jobs
+
+    def start(self, workers: int) -> None:
+        """Probe every worker daemon; dead ones are recorded, not
+        fatal — a fully-dead fleet degrades to local execution."""
+        if self._running:
+            raise RuntimeError("federation backend already running")
+        self._local_jobs = max(1, workers)
+        alive = 0
+        for worker in self._fleet:
+            try:
+                worker.backend.start(1)
+            except Exception as exc:  # noqa: BLE001 - recorded, not fatal
+                worker.alive = False
+                worker.error = f"{type(exc).__name__}: {exc}"
+                self.metrics.counter("federation.worker_failures").inc()
+            else:
+                worker.alive = True
+                worker.error = None
+                alive += 1
+        self.metrics.gauge("federation.workers_alive").set(alive)
+        self._running = True
+        self._threads = []
+        for worker in self._fleet:
+            if not worker.alive:
+                continue
+            thread = threading.Thread(
+                target=self._pump, args=(worker,),
+                name=f"repro-fed-pump-{worker.index}", daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def shutdown(self, wait: bool = False) -> None:
+        with self._wake:
+            self._running = False
+            leftovers: List[_FedEntry] = []
+            for worker in self._fleet:
+                leftovers.extend(worker.queue)
+                worker.queue.clear()
+            self._wake.notify_all()
+        for entry in leftovers:
+            entry.future.cancel()
+        for worker in self._fleet:
+            if worker.backend.running:
+                worker.backend.shutdown(wait=wait)
+        threads, self._threads = self._threads, []
+        if wait:
+            for thread in threads:
+                thread.join(timeout=self.timeout)
+        with self._local_lock:
+            if self._local.running:
+                self._local.shutdown(wait=wait)
+        self._workers = 0
+
+    # -- submission -----------------------------------------------------
+
+    def submit(self, spec: JobSpec,
+               timeout_seconds: Optional[float] = None) -> "Future":
+        if not self._running:
+            raise RuntimeError("federation backend is not running")
+        try:
+            spec_to_json(spec)
+        except SpecError:
+            # Not expressible on the wire: the local pool runs it.
+            return self._submit_local(spec, timeout_seconds)
+        with self._wake:
+            worker = self._home_worker(spec)
+            if worker is not None:
+                entry = _FedEntry(spec, Future(),
+                                  self.oracle.estimate(spec.key))
+                self._enqueue(worker, entry)
+                self._wake.notify_all()
+                return entry.future
+        # Zero live workers: graceful degradation to local execution.
+        return self._submit_local(spec, timeout_seconds)
+
+    def _home_worker(self, spec: JobSpec) -> Optional[_FedWorker]:
+        """The job's digest-sharded home, or the next live worker in
+        ring order when the home is dead (lock held)."""
+        home = int(cache_entry_digest(spec.key)[:2], 16) % len(self._fleet)
+        for offset in range(len(self._fleet)):
+            worker = self._fleet[(home + offset) % len(self._fleet)]
+            if worker.alive:
+                return worker
+        return None
+
+    def _enqueue(self, worker: _FedWorker, entry: _FedEntry) -> None:
+        """Insert keeping the queue longest-estimate-first (lock held)."""
+        insort(worker.queue, entry, key=lambda e: -e.estimate)
+        self.metrics.gauge(
+            f"federation.queue_depth.{worker.index}"
+        ).set(len(worker.queue))
+
+    def _submit_local(self, spec: JobSpec,
+                      timeout_seconds: Optional[float]) -> "Future":
+        with self._local_lock:
+            self.metrics.counter("federation.jobs_local").inc()
+            if not self._local.running:
+                self._local.start(self._local_jobs)
+            return self._local.submit(spec, timeout_seconds)
+
+    # -- the per-worker pump --------------------------------------------
+
+    def _pump(self, worker: _FedWorker) -> None:
+        """Drain one worker's queue in pipelined batches; steal when
+        dry; hand the worker's jobs to the survivors when it dies."""
+        while True:
+            with self._wake:
+                while (self._running and worker.alive
+                       and not worker.queue
+                       and self._steal_victim(worker) is None):
+                    self._wake.wait(timeout=0.25)
+                if not self._running or not worker.alive:
+                    return
+                batch = self._take_batch(worker)
+            if batch:
+                self._dispatch(worker, batch)
+
+    def _steal_victim(self, worker: _FedWorker) -> Optional[_FedWorker]:
+        """The most-loaded live peer worth stealing from (lock held).
+
+        A steal moves a job off its digest-sharded home, so the
+        executing worker's cache is cold for it — re-running the grid
+        later would re-simulate it.  Stealing therefore only kicks in
+        when a peer is backlogged beyond a full dispatch window (more
+        queued than it can even start): below that, cache affinity is
+        worth more than the rebalance.
+        """
+        victim = None
+        for peer in self._fleet:
+            if (peer is worker or not peer.alive
+                    or len(peer.queue) <= FEDERATION_BATCH):
+                continue
+            if victim is None or len(peer.queue) > len(victim.queue):
+                victim = peer
+        return victim
+
+    def _take_batch(self, worker: _FedWorker) -> List[_FedEntry]:
+        """Up to FEDERATION_BATCH entries: own queue front (longest
+        jobs first), else the tail (cheapest jobs) of the most-loaded
+        live peer (lock held)."""
+        batch = worker.queue[:FEDERATION_BATCH]
+        if batch:
+            del worker.queue[:len(batch)]
+            self.metrics.gauge(
+                f"federation.queue_depth.{worker.index}"
+            ).set(len(worker.queue))
+            return batch
+        victim = self._steal_victim(worker)
+        if victim is None:
+            return []
+        steal = max(1, min(len(victim.queue) // 2, FEDERATION_BATCH))
+        batch = victim.queue[-steal:]
+        del victim.queue[-steal:]
+        self.metrics.counter("federation.jobs_stolen").inc(len(batch))
+        self.metrics.gauge(
+            f"federation.queue_depth.{victim.index}"
+        ).set(len(victim.queue))
+        return batch
+
+    def _dispatch(self, worker: _FedWorker, batch: List[_FedEntry]) -> None:
+        """Submit one batch to ``worker``, resolving outer futures in
+        completion order; collect the un-acked on failure."""
+        with self._lock:
+            self.metrics.counter("federation.jobs_forwarded").inc(len(batch))
+            worker.dispatched += len(batch)
+        inner: Dict["Future", _FedEntry] = {}
+        failed: List[_FedEntry] = []
+        failure: Optional[BaseException] = None
+        for entry in batch:
+            try:
+                inner[worker.backend.submit(entry.spec, None)] = entry
+            except Exception as exc:  # noqa: BLE001 - broken worker
+                failed.append(entry)
+                failure = exc
+        for future in as_completed(inner):
+            entry = inner[future]
+            try:
+                value = future.result()
+            except FutureCancelledError:
+                entry.future.cancel()
+            except (BrokenExecutor, RemoteProtocolError) as exc:
+                # Un-acked on a dying worker: candidate for migration.
+                failed.append(entry)
+                failure = exc
+            except Exception as exc:  # noqa: BLE001 - surfaced per-job
+                # RemoteJobError / WorkerDigestError / codec errors:
+                # real per-job outcomes, never migrated (a digest
+                # mismatch on another worker would mask the bug).
+                if not entry.future.done():
+                    entry.future.set_exception(exc)
+            else:
+                if not entry.future.done():
+                    entry.future.set_result(value)
+        if failed:
+            self._worker_failed(worker, failed, failure)
+
+    def _worker_failed(self, worker: _FedWorker, unacked: List[_FedEntry],
+                       cause: Optional[BaseException]) -> None:
+        """Mark ``worker`` dead and migrate every un-acked job — the
+        failed batch entries plus whatever was still queued — to the
+        survivors (or the local pool when none remain)."""
+        reason = (f"{type(cause).__name__}: {cause}" if cause is not None
+                  else "worker failed")
+        local_fallback: List[_FedEntry] = []
+        with self._wake:
+            if worker.alive:
+                worker.alive = False
+                worker.error = reason
+                self.metrics.counter("federation.worker_failures").inc()
+                self.metrics.gauge("federation.workers_alive").set(
+                    sum(1 for w in self._fleet if w.alive)
+                )
+            entries = unacked + worker.queue[:]
+            worker.queue.clear()
+            self.metrics.gauge(
+                f"federation.queue_depth.{worker.index}"
+            ).set(0)
+            if not self._running:
+                for entry in entries:
+                    entry.future.cancel()
+                entries = []
+            migrated = 0
+            for entry in entries:
+                entry.attempts += 1
+                if entry.attempts > self.policy.max_retries:
+                    if not entry.future.done():
+                        entry.future.set_exception(BrokenExecutor(
+                            f"job {job_label(entry.spec.key)} exhausted "
+                            f"{self.policy.max_retries} migrations; last "
+                            f"worker failure: {reason}"
+                        ))
+                    continue
+                target = self._home_worker(entry.spec)
+                if target is None:
+                    local_fallback.append(entry)
+                    continue
+                self._enqueue(target, entry)
+                migrated += 1
+            if migrated:
+                self.metrics.counter("federation.jobs_migrated").inc(migrated)
+                self._wake.notify_all()
+        if worker.backend.running:
+            worker.backend.shutdown(wait=False)
+        for entry in local_fallback:
+            self.metrics.counter("federation.jobs_migrated").inc()
+            self._chain_local(entry)
+
+    def _chain_local(self, entry: _FedEntry) -> None:
+        """Run one migrated job on the local fallback pool, forwarding
+        its outcome to the outer future."""
+        try:
+            inner = self._submit_local(entry.spec,
+                                       self.policy.timeout_seconds)
+        except Exception as exc:  # noqa: BLE001 - forwarded to caller
+            if not entry.future.done():
+                entry.future.set_exception(exc)
+            return
+
+        def forward(done: "Future", outer: "Future" = entry.future) -> None:
+            if outer.done():
+                return
+            try:
+                outer.set_result(done.result())
+            except FutureCancelledError:
+                outer.cancel()
+            except BaseException as exc:  # noqa: BLE001 - forwarded
+                outer.set_exception(exc)
+
+        inner.add_done_callback(forward)
+
+    # -- introspection --------------------------------------------------
+
+    def worker_states(self) -> List[Dict[str, Any]]:
+        """Per-worker fleet state, reported by the front daemon's
+        ``/v1/health`` under ``"federation"``."""
+        with self._lock:
+            return [
+                {
+                    "url": worker.url,
+                    "alive": worker.alive,
+                    "queue_depth": len(worker.queue),
+                    "dispatched": worker.dispatched,
+                    "error": worker.error,
+                }
+                for worker in self._fleet
+            ]
+
+
+__all__ = [
+    "FEDERATION_BATCH",
+    "FederationBackend",
+    "PIPELINE_DEPTH",
+    "REMOTE_ENV",
+    "RemoteBackend",
+    "RemoteError",
+    "RemoteJobError",
+    "RemoteProtocolError",
+    "RemoteVersionError",
+    "WorkerDigestError",
+    "decode_result_line",
+    "parse_worker_url",
+]

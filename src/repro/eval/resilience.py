@@ -29,6 +29,13 @@ module holds the policy and bookkeeping the hardened
   state file).  The resilience tests and the CI ``fault-smoke`` job
   injure the runner with these on purpose; they run through the exact
   same job pipeline as real simulations.
+
+The same :class:`RetryPolicy` budget also governs cross-machine
+failure handling: the daemon federation (:mod:`repro.eval.remote`)
+counts each migration of an un-acked job off a dead worker daemon as
+one attempt against ``max_retries``, so a job that keeps landing on
+dying workers is bounded exactly like a job that keeps crashing a
+local pool.
 """
 
 from __future__ import annotations

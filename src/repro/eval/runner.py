@@ -266,7 +266,7 @@ class ExperimentRunner:
             oracle = DurationOracle.for_cache_root(
                 disk.root if disk is not None else None
             )
-            cold.sort(key=lambda s: oracle.estimate(s.key), reverse=True)
+            cold[:] = oracle.rank_longest_first(cold)
             if self.jobs == 1:
                 self._run_inline(cold, disk, stats, failures, oracle)
             else:
@@ -358,6 +358,10 @@ class ExperimentRunner:
             while queue or inflight:
                 if not backend.running:
                     backend.start(workers)
+                    # A backend may resolve to a different effective
+                    # width than asked (a remote daemon reports *its*
+                    # pool size); record what the pass actually got.
+                    stats.workers = backend.workers or workers
                 now = time.monotonic()
 
                 # Submit ready jobs up to the in-flight bound.  Crash

@@ -28,27 +28,54 @@ Three properties carry the design:
   parallelism.  All service state (in-flight table, stats) lives on
   the single event loop thread, so no locks are needed around it.
 
-Wire protocol (HTTP/1.1, ``Connection: close`` per request):
+Wire protocol (HTTP/1.1, persistent ``keep-alive`` connections; the
+daemon answers every well-formed request with ``Connection:
+keep-alive`` and serves the next request on the same socket, closing
+only on client request, protocol errors, or the idle timeout):
 
 * ``POST /v1/submit`` with ``{"jobs": [{...}, ...]}`` — responds
   ``200`` with chunked ``application/x-ndjson``: one JSON line per job
-  *in completion order*, each carrying the submission ``index``.
-  Malformed requests get a ``400`` with ``{"ok": false, "error": ...}``.
-* ``GET /v1/health`` — backend, worker count, in-flight size, counters.
+  *in completion order*, each carrying the submission ``index``, the
+  result digest, and the measured ``cpu_seconds``/``wall_seconds``.
+  With ``{"jobs": [...], "pickle": true}`` each line also carries the
+  base64-pickled result object, which is how a
+  :class:`~repro.eval.remote.RemoteBackend` reconstructs real result
+  objects on the far side (the digest over the canonical JSON is
+  recomputed from the unpickled object — the cross-machine
+  correctness gate).  Malformed requests get a ``400`` with
+  ``{"ok": false, "error": ...}``.
+* ``GET /v1/health`` — backend, worker count, in-flight size, counters,
+  the code fingerprint (version gate for federation), and per-worker
+  federation state when the daemon fronts a fleet.
+* ``GET /v1/metrics`` — the obs :class:`~repro.obs.registry.MetricsRegistry`
+  snapshot (``serve.*`` service counters plus ``federation.*`` fleet
+  counters) as canonical JSON.
 * ``POST /v1/shutdown`` — acknowledge, then stop the daemon.
 
+**Federation**: started with ``--worker URL`` (repeatable), the daemon
+becomes a *front*: submitted jobs are sharded across the worker
+daemons by the same key digest that shards the disk cache, results
+stream back merged in completion order, and worker failures migrate
+un-acked jobs to the survivors (see :mod:`repro.eval.remote`).
+
 :class:`ServeClient` is the stdlib (``http.client``) client used by the
-tests, the stress benchmark, and CI's serve-smoke job.
+tests, the stress benchmark, CI's serve-smoke job, and the remote
+backend.  It holds one persistent keep-alive connection and reconnects
+transparently when the daemon (or the idle timeout) dropped it —
+every API request is idempotent, so a replay after a stale socket is
+safe.
 """
 
 from __future__ import annotations
 
 import argparse
 import asyncio
+import base64
 import contextlib
 import http.client
 import json
 import os
+import pickle
 import signal
 import sys
 import threading
@@ -71,6 +98,7 @@ from repro.eval.jobs import (
     baseline_spec,
     big_core_spec,
     ceiling_spec,
+    code_fingerprint,
     count_spec,
     crosscheck_spec,
     fault_spec,
@@ -83,6 +111,7 @@ from repro.eval.oracle import DurationOracle
 from repro.eval.resilience import RetryPolicy
 from repro.fault.injector import FaultSite
 from repro.fingerprint import canonical
+from repro.obs.registry import MetricsRegistry
 from repro.workloads.suite import benchmark_suite
 
 #: Upper bound on a submit body; a full artifact grid is ~kilobytes.
@@ -318,24 +347,102 @@ def spec_from_json(payload: Any) -> JobSpec:
                       _parse_sites(payload.get("sites")))
 
 
-def result_payload(index: int, key: JobKey, source: str,
-                   result: object) -> Dict[str, Any]:
-    """One JSONL result line: the canonical result body plus a sha256
-    digest of its sorted-key JSON, the identity clients compare against
-    inline runs."""
+def spec_to_json(spec: JobSpec) -> Dict[str, Any]:
+    """Encode a :class:`~repro.eval.jobs.JobSpec` as a submit-payload
+    job object — the inverse of :func:`spec_from_json`, used by the
+    remote backend to forward specs over the wire.
+
+    Every encoding is *verified* by decoding it back and comparing job
+    keys, so a spec the codec cannot faithfully express — a chaos job,
+    or a cmp config with non-whitelisted structure (core overrides, a
+    custom predictor) — raises :class:`SpecError` instead of silently
+    computing the wrong job on the far side.  Federation routes such
+    jobs to the local backend.
+    """
+    key = spec.key
+    model = key.model
+    if model not in _ALLOWED_KEYS:
+        raise SpecError(f"model {model!r} is not remotable")
+    payload: Dict[str, Any] = {"model": model, "benchmark": key.benchmark}
+    if key.scale != 1:
+        payload["scale"] = key.scale
+    if model == "cmp":
+        config = spec.config if spec.config is not None else SlipstreamConfig(
+            removal_triggers=key.removal_triggers
+        )
+        payload["removal_triggers"] = list(config.removal_triggers)
+        defaults = SlipstreamConfig()
+        overrides = {
+            name: getattr(config, name)
+            for name in sorted(CONFIG_FIELDS)
+            if getattr(config, name) != getattr(defaults, name)
+        }
+        if overrides:
+            payload["config"] = overrides
+    elif model == "fault":
+        payload["points"] = spec.points
+        payload["sites"] = [site.name for site in spec.sites]
+    elif model == "finj":
+        if spec.fault is None:
+            raise SpecError("finj spec carries no fault")
+        payload["site"] = spec.fault.site.name
+        payload["target_seq"] = spec.fault.target_seq
+        payload["bit"] = spec.fault.bit
+        payload["ecc"] = spec.ecc
+        payload["mode"] = spec.mode
+    elif model == "nref":
+        payload["mode"] = spec.mode
+    try:
+        decoded = spec_from_json(payload)
+    except SpecError as exc:
+        raise SpecError(
+            f"job {job_label(key)} is not remotable: {exc}"
+        ) from exc
+    if decoded.key != key:
+        raise SpecError(
+            f"job {job_label(key)} does not survive the wire codec "
+            f"(decoded as {job_label(decoded.key)}); not remotable"
+        )
+    return payload
+
+
+def canonical_result_blob(result: object) -> Tuple[Any, str]:
+    """(canonical JSON body, sha256 hex digest) of one job result — the
+    byte identity every transport (daemon, federation, remote backend)
+    must preserve bit-for-bit."""
     try:
         body: Any = canonical(result)
     except TypeError:
         body = {"repr": repr(result)}
     blob = json.dumps(body, sort_keys=True, separators=(",", ":"))
-    return {
+    return body, sha256(blob.encode("utf-8")).hexdigest()
+
+
+def result_payload(index: int, key: JobKey, source: str,
+                   result: object, cpu_seconds: float = 0.0,
+                   wall_seconds: float = 0.0,
+                   include_pickle: bool = False) -> Dict[str, Any]:
+    """One JSONL result line: the canonical result body plus a sha256
+    digest of its sorted-key JSON, the identity clients compare against
+    inline runs.  ``include_pickle`` adds the base64-pickled result
+    object for remote backends that need to reconstruct it; the digest
+    stays over the canonical JSON either way."""
+    body, digest = canonical_result_blob(result)
+    line = {
         "index": index,
         "job": job_label(key),
         "ok": True,
         "source": source,
-        "digest": sha256(blob.encode("utf-8")).hexdigest(),
+        "digest": digest,
         "result": body,
+        "cpu_seconds": cpu_seconds,
+        "wall_seconds": wall_seconds,
     }
+    if include_pickle:
+        line["pickle"] = base64.b64encode(
+            pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        ).decode("ascii")
+    return line
 
 
 def error_payload(index: int, key: JobKey, exc: BaseException) -> Dict[str, Any]:
@@ -381,16 +488,41 @@ class EvalService:
         backend: Union[str, WorkerBackend, None] = None,
         policy: Optional[RetryPolicy] = None,
         use_disk_cache: bool = True,
+        workers: Optional[Sequence[str]] = None,
     ):
         self.jobs = max(1, jobs)
         self.policy = policy if policy is not None else RetryPolicy()
-        self.backend = resolve_backend(backend, default="thread")
         self.disk = models.disk_cache() if use_disk_cache else None
         self.oracle = DurationOracle.for_cache_root(
             self.disk.root if self.disk is not None else None
         )
         self.stats = ServiceStats()
-        self._inflight: Dict[JobKey, "asyncio.Task[Tuple[str, object]]"] = {}
+        self.metrics = MetricsRegistry()
+        for name in ("serve.connections", "serve.requests", "serve.batches",
+                     "serve.jobs_submitted", "serve.jobs_served",
+                     "serve.dedup_joins", "serve.memory_hits",
+                     "serve.disk_hits", "serve.simulated", "serve.retries",
+                     "serve.failures"):
+            self.metrics.counter(name)
+        self.metrics.gauge("serve.inflight")
+        if workers:
+            # Federation front: shard jobs across worker daemons; the
+            # requested backend becomes the local fallback pool for
+            # non-remotable jobs and dead-fleet degradation.
+            from repro.eval.remote import FederationBackend
+
+            self.backend: WorkerBackend = FederationBackend(
+                workers,
+                local=resolve_backend(backend, default="thread"),
+                policy=self.policy,
+                oracle=self.oracle,
+                metrics=self.metrics,
+            )
+        else:
+            self.backend = resolve_backend(backend, default="thread")
+        self._inflight: Dict[
+            JobKey, "asyncio.Task[Tuple[str, object, float, float]]"
+        ] = {}
 
     # -- lifecycle ------------------------------------------------------
 
@@ -405,41 +537,55 @@ class EvalService:
 
     # -- execution ------------------------------------------------------
 
-    def submit(self, spec: JobSpec) -> Tuple["asyncio.Task[Tuple[str, object]]", bool]:
+    def submit(self, spec: JobSpec) -> Tuple[
+        "asyncio.Task[Tuple[str, object, float, float]]", bool
+    ]:
         """The in-flight task computing ``spec`` and whether this caller
         *joined* an existing one (the dedup path) instead of starting it."""
         key = spec.key
         existing = self._inflight.get(key)
         if existing is not None:
             self.stats.deduped += 1
+            self.metrics.counter("serve.dedup_joins").inc()
             return existing, True
         task = asyncio.ensure_future(self._compute(spec))
         self._inflight[key] = task
         task.add_done_callback(
-            lambda _t, key=key: self._inflight.pop(key, None)
+            lambda _t, key=key: self._job_done(key)
         )
+        self.metrics.gauge("serve.inflight").set(len(self._inflight))
         return task, False
 
-    async def _compute(self, spec: JobSpec) -> Tuple[str, object]:
+    def _job_done(self, key: JobKey) -> None:
+        self._inflight.pop(key, None)
+        self.metrics.gauge("serve.inflight").set(len(self._inflight))
+
+    async def _compute(
+        self, spec: JobSpec
+    ) -> Tuple[str, object, float, float]:
         """memory cache -> disk cache -> backend attempt(s) with the
-        policy's retries; stores fresh results at both cache levels."""
+        policy's retries; stores fresh results at both cache levels.
+        Returns (source, result, cpu seconds, wall seconds); cache hits
+        report zero cost."""
         key = spec.key
         cached = models._CACHE.get(key)
         if cached is not None:
             self.stats.memory_hits += 1
-            return "memory", cached
+            self.metrics.counter("serve.memory_hits").inc()
+            return "memory", cached, 0.0, 0.0
         if self.disk is not None:
             hit = await asyncio.to_thread(self.disk.load, key)
             if hit is not MISS:
                 models._CACHE[key] = hit
                 self.stats.disk_hits += 1
-                return "disk", hit
+                self.metrics.counter("serve.disk_hits").inc()
+                return "disk", hit, 0.0, 0.0
         attempt = 0
         while True:
             self.start()
             try:
                 future = self.backend.submit(spec, self.policy.timeout_seconds)
-                (result, _wall, cpu, _started,
+                (result, wall, cpu, _started,
                  _report) = await asyncio.wrap_future(future)
             except Exception:
                 # JobTimeout, BrokenExecutor, or whatever the attempt
@@ -448,9 +594,11 @@ class EvalService:
                     self.backend.shutdown(wait=False)
                 if attempt >= self.policy.max_retries:
                     self.stats.failures += 1
+                    self.metrics.counter("serve.failures").inc()
                     raise
                 attempt += 1
                 self.stats.retries += 1
+                self.metrics.counter("serve.retries").inc()
                 await asyncio.sleep(self.policy.backoff_seconds(attempt))
                 continue
             models._CACHE[key] = result
@@ -458,10 +606,11 @@ class EvalService:
                 await asyncio.to_thread(self.disk.store, key, result)
             self.oracle.observe(key, cpu)
             self.stats.simulated += 1
-            return "fresh", result
+            self.metrics.counter("serve.simulated").inc()
+            return "fresh", result, cpu, wall
 
     async def stream_batch(
-        self, specs: Sequence[JobSpec]
+        self, specs: Sequence[JobSpec], include_pickle: bool = False
     ) -> AsyncIterator[Dict[str, Any]]:
         """Result lines for one batch, yielded in completion order.
 
@@ -471,18 +620,24 @@ class EvalService:
         """
         self.stats.batches += 1
         self.stats.submitted += len(specs)
+        self.metrics.counter("serve.batches").inc()
+        self.metrics.counter("serve.jobs_submitted").inc(len(specs))
 
-        async def finish(index: int, spec: JobSpec,
-                         task: "asyncio.Task[Tuple[str, object]]",
-                         joined: bool) -> Dict[str, Any]:
+        async def finish(
+            index: int, spec: JobSpec,
+            task: "asyncio.Task[Tuple[str, object, float, float]]",
+            joined: bool,
+        ) -> Dict[str, Any]:
             try:
-                source, result = await asyncio.shield(task)
+                source, result, cpu, wall = await asyncio.shield(task)
             except asyncio.CancelledError:
                 raise
             except Exception as exc:  # noqa: BLE001 - reported per-job
                 return error_payload(index, spec.key, exc)
             return result_payload(
-                index, spec.key, "inflight" if joined else source, result
+                index, spec.key, "inflight" if joined else source, result,
+                cpu_seconds=cpu, wall_seconds=wall,
+                include_pickle=include_pickle,
             )
 
         waiters = []
@@ -491,14 +646,16 @@ class EvalService:
             waiters.append(finish(index, spec, task, joined))
         try:
             for done in asyncio.as_completed(waiters):
-                yield await done
+                line = await done
+                self.metrics.counter("serve.jobs_served").inc()
+                yield line
         finally:
             await asyncio.to_thread(self.oracle.save)
 
     # -- introspection --------------------------------------------------
 
     def health_payload(self) -> Dict[str, Any]:
-        return {
+        payload = {
             "ok": True,
             "backend": self.backend.name,
             "workers": self.backend.workers,
@@ -506,8 +663,14 @@ class EvalService:
             "inflight": len(self._inflight),
             "cache_root": str(self.disk.root) if self.disk is not None
             else None,
+            "code_fingerprint": code_fingerprint(),
             "stats": asdict(self.stats),
         }
+        # Federation fronts report per-worker fleet state.
+        worker_states = getattr(self.backend, "worker_states", None)
+        if worker_states is not None:
+            payload["federation"] = worker_states()
+        return payload
 
 
 # ----------------------------------------------------------------------
@@ -522,17 +685,33 @@ class _HttpError(Exception):
         self.message = message
 
 
+#: Default seconds an idle keep-alive connection is held open before
+#: the daemon reclaims it; clients reconnect transparently.
+KEEPALIVE_IDLE_SECONDS = 120.0
+
+
 class EvalServer:
-    """One listening daemon bound to an :class:`EvalService`."""
+    """One listening daemon bound to an :class:`EvalService`.
+
+    Connections are persistent: each handler loops over requests on
+    its socket (``Connection: keep-alive``) until the client closes,
+    asks to close, errors, or sits idle past
+    ``keepalive_idle_seconds``.  Open connections are tracked so
+    shutdown can reclaim idle keep-alive sockets instead of waiting
+    on them.
+    """
 
     def __init__(self, service: EvalService, host: str = "127.0.0.1",
-                 port: int = 0):
+                 port: int = 0,
+                 keepalive_idle_seconds: float = KEEPALIVE_IDLE_SECONDS):
         self.service = service
         self.host = host
         self.requested_port = port
+        self.keepalive_idle_seconds = keepalive_idle_seconds
         self.port: Optional[int] = None
         self._server: Optional[asyncio.AbstractServer] = None
         self._stop: Optional[asyncio.Event] = None
+        self._writers: set = set()
 
     async def start(self) -> None:
         self._stop = asyncio.Event()
@@ -555,6 +734,11 @@ class EvalServer:
             await self._stop.wait()
         finally:
             self._server.close()
+            # Reclaim lingering keep-alive connections so shutdown is
+            # never held hostage by an idle client socket.
+            for writer in list(self._writers):
+                with contextlib.suppress(ConnectionError, OSError):
+                    writer.close()
             await self._server.wait_closed()
             self.service.close()
 
@@ -562,37 +746,87 @@ class EvalServer:
 
     async def _handle(self, reader: asyncio.StreamReader,
                       writer: asyncio.StreamWriter) -> None:
+        """One connection: serve requests until close/idle/error.
+
+        Well-formed requests are answered ``Connection: keep-alive``
+        and the loop reads the next request off the same socket; error
+        responses close the connection so framing stays unambiguous.
+        """
+        self.service.metrics.counter("serve.connections").inc()
+        self._writers.add(writer)
         headers_sent = False
         try:
-            request = await self._read_request(reader)
-            if request is None:
-                return
-            method, path, body = request
-            if path == "/v1/health":
-                if method != "GET":
-                    raise _HttpError(405, "use GET /v1/health")
-                self._plain(writer, 200, self.service.health_payload())
-            elif path == "/v1/shutdown":
-                if method != "POST":
-                    raise _HttpError(405, "use POST /v1/shutdown")
-                self._plain(writer, 200, {"ok": True, "stopping": True})
-                await writer.drain()
-                self.request_stop()
-            elif path == "/v1/submit":
-                if method != "POST":
-                    raise _HttpError(405, "use POST /v1/submit")
-                specs = self._parse_submit(body)
-                headers_sent = True
-                await self._stream_submit(writer, specs)
-            else:
-                raise _HttpError(404, f"no such endpoint: {path}")
-            await writer.drain()
+            while True:
+                headers_sent = False
+                try:
+                    request = await asyncio.wait_for(
+                        self._read_request(reader),
+                        timeout=self.keepalive_idle_seconds,
+                    )
+                except asyncio.TimeoutError:
+                    break  # idle keep-alive connection: reclaim it
+                if request is None:
+                    break
+                method, path, headers, body = request
+                self.service.metrics.counter("serve.requests").inc()
+                keep_alive = headers.get("connection", "").lower() != "close"
+                stopping = False
+                try:
+                    if path == "/v1/health":
+                        if method != "GET":
+                            raise _HttpError(405, "use GET /v1/health")
+                        self._plain(writer, 200,
+                                    self.service.health_payload(),
+                                    keep_alive=keep_alive)
+                    elif path == "/v1/metrics":
+                        if method != "GET":
+                            raise _HttpError(405, "use GET /v1/metrics")
+                        self._plain(writer, 200, {
+                            "ok": True,
+                            "metrics": self.service.metrics.snapshot(),
+                        }, keep_alive=keep_alive)
+                    elif path == "/v1/shutdown":
+                        if method != "POST":
+                            raise _HttpError(405, "use POST /v1/shutdown")
+                        self._plain(writer, 200,
+                                    {"ok": True, "stopping": True},
+                                    keep_alive=False)
+                        stopping = True
+                    elif path == "/v1/submit":
+                        if method != "POST":
+                            raise _HttpError(405, "use POST /v1/submit")
+                        specs, want_pickle = self._parse_submit(body)
+                        headers_sent = True
+                        await self._stream_submit(writer, specs, want_pickle,
+                                                  keep_alive=keep_alive)
+                    else:
+                        raise _HttpError(404, f"no such endpoint: {path}")
+                    await writer.drain()
+                except _HttpError as err:
+                    if not headers_sent:
+                        self._plain(writer, err.status,
+                                    {"ok": False, "error": err.message},
+                                    keep_alive=False)
+                        await writer.drain()
+                    break
+                if stopping:
+                    self.request_stop()
+                    break
+                if not keep_alive:
+                    break
         except _HttpError as err:
+            # Malformed framing from _read_request: answer and close.
             if not headers_sent:
                 with contextlib.suppress(ConnectionError, OSError):
                     self._plain(writer, err.status,
-                                {"ok": False, "error": err.message})
+                                {"ok": False, "error": err.message},
+                                keep_alive=False)
                     await writer.drain()
+        except asyncio.CancelledError:
+            # Daemon teardown cancelled this handler (keep-alive
+            # handlers outlive requests): close the connection quietly
+            # instead of surfacing a cancellation traceback.
+            pass
         except (asyncio.IncompleteReadError, ConnectionError, OSError):
             pass  # client went away; in-flight jobs keep running
         except Exception as exc:  # noqa: BLE001 - last-resort 500
@@ -601,16 +835,17 @@ class EvalServer:
                     self._plain(writer, 500, {
                         "ok": False,
                         "error": f"{type(exc).__name__}: {exc}",
-                    })
+                    }, keep_alive=False)
                     await writer.drain()
         finally:
+            self._writers.discard(writer)
             with contextlib.suppress(ConnectionError, OSError):
                 writer.close()
                 await writer.wait_closed()
 
     async def _read_request(
         self, reader: asyncio.StreamReader
-    ) -> Optional[Tuple[str, str, bytes]]:
+    ) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
         try:
             request_line = await reader.readline()
         except (ValueError, asyncio.LimitOverrunError) as exc:
@@ -643,15 +878,18 @@ class EvalServer:
         if length > MAX_BODY_BYTES:
             raise _HttpError(413, f"body exceeds {MAX_BODY_BYTES} bytes")
         body = await reader.readexactly(length) if length else b""
-        return method, target, body
+        return method, target, headers, body
 
-    def _parse_submit(self, body: bytes) -> List[JobSpec]:
+    def _parse_submit(self, body: bytes) -> Tuple[List[JobSpec], bool]:
         try:
             payload = json.loads(body.decode("utf-8"))
         except (UnicodeDecodeError, ValueError) as exc:
             raise _HttpError(400, f"body is not JSON: {exc}") from exc
         if not isinstance(payload, dict) or "jobs" not in payload:
             raise _HttpError(400, 'body must be {"jobs": [...]}')
+        want_pickle = payload.get("pickle", False)
+        if not isinstance(want_pickle, bool):
+            raise _HttpError(400, "'pickle' must be a boolean")
         jobs = payload["jobs"]
         if not isinstance(jobs, list):
             raise _HttpError(400, "'jobs' must be a list")
@@ -663,18 +901,22 @@ class EvalServer:
                 specs.append(spec_from_json(job))
             except SpecError as exc:
                 raise _HttpError(400, f"jobs[{position}]: {exc}") from exc
-        return specs
+        return specs, want_pickle
 
     async def _stream_submit(self, writer: asyncio.StreamWriter,
-                             specs: List[JobSpec]) -> None:
+                             specs: List[JobSpec], want_pickle: bool,
+                             keep_alive: bool = True) -> None:
+        connection = "keep-alive" if keep_alive else "close"
         writer.write(
             b"HTTP/1.1 200 OK\r\n"
             b"Content-Type: application/x-ndjson\r\n"
             b"Transfer-Encoding: chunked\r\n"
-            b"Connection: close\r\n\r\n"
+            + f"Connection: {connection}\r\n\r\n".encode("latin-1")
         )
         await writer.drain()
-        async for line in self.service.stream_batch(specs):
+        async for line in self.service.stream_batch(
+            specs, include_pickle=want_pickle
+        ):
             data = (json.dumps(line, sort_keys=True) + "\n").encode("utf-8")
             writer.write(f"{len(data):x}\r\n".encode("latin-1")
                          + data + b"\r\n")
@@ -684,13 +926,14 @@ class EvalServer:
 
     @staticmethod
     def _plain(writer: asyncio.StreamWriter, status: int,
-               payload: Dict[str, Any]) -> None:
+               payload: Dict[str, Any], keep_alive: bool = False) -> None:
         body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        connection = "keep-alive" if keep_alive else "close"
         head = (
             f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
             f"Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
-            f"Connection: close\r\n\r\n"
+            f"Connection: {connection}\r\n\r\n"
         )
         writer.write(head.encode("latin-1") + body)
 
@@ -723,6 +966,7 @@ def start_server_thread(
     service: Optional[EvalService] = None,
     host: str = "127.0.0.1",
     port: int = 0,
+    keepalive_idle_seconds: float = KEEPALIVE_IDLE_SECONDS,
     **service_kwargs: Any,
 ) -> ServerHandle:
     """Run a daemon on a dedicated thread with its own event loop; used
@@ -734,7 +978,8 @@ def start_server_thread(
     box: Dict[str, Any] = {}
 
     async def amain() -> None:
-        server = EvalServer(svc, host=host, port=port)
+        server = EvalServer(svc, host=host, port=port,
+                            keepalive_idle_seconds=keepalive_idle_seconds)
         await server.start()
         box["server"] = server
         box["loop"] = asyncio.get_running_loop()
@@ -774,68 +1019,137 @@ class ServeError(RuntimeError):
 class ServeClient:
     """Minimal stdlib client for the daemon's API.
 
+    One persistent keep-alive connection serves every request —
+    pipelined batches over a warm socket instead of a TCP+parse
+    handshake per call.  A stale socket (daemon restarted, idle
+    timeout fired, connection dropped) is detected on the next request
+    and replayed once over a fresh connection; every daemon API
+    request is idempotent (submits are deduped/cached server-side), so
+    the transparent replay is safe.
+
     :meth:`submit` is a generator yielding result lines as the daemon
-    streams them — iterate promptly; the connection stays open until
-    the batch drains or the generator is closed.
+    streams them — iterate promptly.  Draining the stream fully keeps
+    the connection reusable; abandoning the generator mid-stream
+    closes it (the socket holds unread data).
     """
+
+    #: A request over a previously-good connection that fails with one
+    #: of these gets one transparent replay on a fresh connection.
+    _STALE_ERRORS = (http.client.HTTPException, ConnectionError,
+                     BrokenPipeError, OSError)
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
                  timeout: float = 600.0):
         self.host = host
         self.port = port
         self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    def close(self) -> None:
+        """Drop the persistent connection (safe to call any time; the
+        next request reconnects)."""
+        conn, self._conn = self._conn, None
+        if conn is not None:
+            with contextlib.suppress(OSError):
+                conn.close()
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
 
     def _request(self, method: str, path: str,
                  payload: Optional[Dict[str, Any]] = None):
-        conn = http.client.HTTPConnection(self.host, self.port,
-                                          timeout=self.timeout)
         body = None
         headers = {}
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        conn.request(method, path, body=body, headers=headers)
-        response = conn.getresponse()
+        response = None
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                break
+            except TimeoutError:
+                # A genuine deadline, not a stale socket: don't double
+                # the caller's wait with a replay.
+                self.close()
+                raise
+            except self._STALE_ERRORS:
+                self.close()
+                if attempt:
+                    raise
+        assert response is not None
         if response.status != 200:
             raw = response.read().decode("utf-8", "replace")
-            conn.close()
+            if response.will_close:
+                self.close()
             try:
                 detail = json.loads(raw).get("error", raw)
             except ValueError:
                 detail = raw
             raise ServeError(response.status, detail)
-        return conn, response
+        return response
+
+    def _json_body(self, response) -> Dict[str, Any]:
+        try:
+            raw = response.read()
+        except self._STALE_ERRORS:
+            self.close()
+            raise
+        if response.will_close:
+            self.close()
+        return json.loads(raw.decode("utf-8"))
 
     def health(self) -> Dict[str, Any]:
-        conn, response = self._request("GET", "/v1/health")
-        try:
-            return json.loads(response.read().decode("utf-8"))
-        finally:
-            conn.close()
+        return self._json_body(self._request("GET", "/v1/health"))
+
+    def metrics(self) -> Dict[str, Any]:
+        return self._json_body(self._request("GET", "/v1/metrics"))
 
     def shutdown(self) -> Dict[str, Any]:
-        conn, response = self._request("POST", "/v1/shutdown", payload={})
         try:
-            return json.loads(response.read().decode("utf-8"))
+            return self._json_body(
+                self._request("POST", "/v1/shutdown", payload={})
+            )
         finally:
-            conn.close()
+            self.close()  # the daemon is going away; don't reuse
 
-    def submit(self, jobs: Sequence[Dict[str, Any]]) -> Iterator[Dict[str, Any]]:
+    def submit(self, jobs: Sequence[Dict[str, Any]],
+               include_pickle: bool = False) -> Iterator[Dict[str, Any]]:
         """Yield one result line per job, in the daemon's completion
-        order (``http.client`` de-chunks the stream transparently)."""
-        conn, response = self._request("POST", "/v1/submit",
-                                       payload={"jobs": list(jobs)})
+        order (``http.client`` de-chunks the stream transparently).
+        ``include_pickle`` asks the daemon for base64-pickled result
+        objects on every line (the remote backend's transport)."""
+        payload: Dict[str, Any] = {"jobs": list(jobs)}
+        if include_pickle:
+            payload["pickle"] = True
+        response = self._request("POST", "/v1/submit", payload=payload)
+        drained = False
         try:
             while True:
-                line = response.readline()
+                try:
+                    line = response.readline()
+                except self._STALE_ERRORS:
+                    self.close()
+                    raise
                 if not line:
+                    drained = True
                     break
                 yield json.loads(line.decode("utf-8"))
         finally:
-            conn.close()
+            if not drained or response.will_close:
+                # Abandoned mid-stream (or the daemon is closing): the
+                # socket holds unread data and cannot be reused.
+                self.close()
 
-    def submit_all(self, jobs: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
-        return list(self.submit(jobs))
+    def submit_all(self, jobs: Sequence[Dict[str, Any]],
+                   include_pickle: bool = False) -> List[Dict[str, Any]]:
+        return list(self.submit(jobs, include_pickle=include_pickle))
 
 
 def default_backend_name() -> str:
@@ -869,11 +1183,22 @@ def build_parser() -> argparse.ArgumentParser:
                         help="disk-cache root to serve from")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the persistent disk cache")
+    parser.add_argument("--worker", action="append", default=None,
+                        metavar="URL",
+                        help="federate: shard submitted jobs across these "
+                             "worker daemons (host:port, repeatable); the "
+                             "local backend then only runs non-remotable "
+                             "jobs and dead-fleet fallbacks")
+    parser.add_argument("--keepalive-idle", type=float,
+                        default=KEEPALIVE_IDLE_SECONDS, metavar="SEC",
+                        help="seconds an idle keep-alive connection is "
+                             "held open")
     return parser
 
 
 async def _amain(service: EvalService, args: argparse.Namespace) -> int:
-    server = EvalServer(service, host=args.host, port=args.port)
+    server = EvalServer(service, host=args.host, port=args.port,
+                        keepalive_idle_seconds=args.keepalive_idle)
     await server.start()
     loop = asyncio.get_running_loop()
     for signame in ("SIGINT", "SIGTERM"):
@@ -907,6 +1232,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         backend=args.backend or default_backend_name(),
         policy=policy,
         use_disk_cache=not args.no_cache,
+        workers=args.worker,
     )
     try:
         return asyncio.run(_amain(service, args))
@@ -918,6 +1244,7 @@ __all__ = [
     "CONFIG_FIELDS",
     "EvalServer",
     "EvalService",
+    "KEEPALIVE_IDLE_SECONDS",
     "MAX_BATCH_JOBS",
     "MAX_BODY_BYTES",
     "ServeClient",
@@ -925,10 +1252,12 @@ __all__ = [
     "ServerHandle",
     "ServiceStats",
     "SpecError",
+    "canonical_result_blob",
     "default_backend_name",
     "error_payload",
     "main",
     "result_payload",
     "spec_from_json",
+    "spec_to_json",
     "start_server_thread",
 ]

@@ -1,0 +1,445 @@
+"""The remote backend and the digest-sharded daemon federation.
+
+Three tiers, matching what each failure mode needs:
+
+* codec/decode tests run with no server at all;
+* :class:`~repro.eval.remote.RemoteBackend` tests run against an
+  in-thread daemon (cheap, same-process);
+* federation tests run against **subprocess** worker daemons — the
+  in-process model memo (``models._CACHE``) is process-global, so
+  exactly-once-fleet-wide can only be observed across real process
+  boundaries, and killing a worker mid-batch needs a process to kill.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from concurrent.futures import BrokenExecutor
+from concurrent.futures import wait as wait_futures
+from pathlib import Path
+
+import pytest
+
+from repro.eval import jobs, models
+from repro.eval.backends import resolve_backend
+from repro.eval.jobs import (
+    baseline_spec,
+    cache_entry_digest,
+    chaos_spec,
+    count_spec,
+    fault_spec,
+    injection_spec,
+    mode_reference_spec,
+    slipstream_spec,
+)
+from repro.eval.models import run_cached
+from repro.eval.remote import (
+    FederationBackend,
+    RemoteBackend,
+    RemoteJobError,
+    RemoteProtocolError,
+    RemoteVersionError,
+    WorkerDigestError,
+    decode_result_line,
+    parse_worker_url,
+)
+import repro.eval.remote as remote_mod
+from repro.eval.resilience import ChaosPlan, RetryPolicy
+from repro.eval.serve import (
+    ServeClient,
+    SpecError,
+    canonical_result_blob,
+    result_payload,
+    spec_from_json,
+    spec_to_json,
+    start_server_thread,
+)
+from repro.fault.injector import FaultSite
+from repro.obs.registry import MetricsRegistry
+
+SRC_DIR = str(Path(__file__).resolve().parent.parent / "src")
+
+
+# ----------------------------------------------------------------------
+# Fixtures and helpers.
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture
+def fresh_caches():
+    """Disable the disk cache and clear the in-process memo, so every
+    comparison against inline execution starts cold."""
+    saved = (models._DISK, models._DISK_ENABLED)
+    models._DISK = None
+    models._DISK_ENABLED = False
+    models.clear_cache()
+    jobs.reset_simulation_count()
+    yield
+    models.clear_cache()
+    models._DISK, models._DISK_ENABLED = saved
+
+
+@pytest.fixture
+def daemon(fresh_caches):
+    """An in-thread daemon for the RemoteBackend transport tests."""
+    handle = start_server_thread(jobs=2, backend="thread",
+                                 use_disk_cache=False)
+    yield handle
+    handle.stop()
+
+
+def _spawn_worker(tmp_path, tag):
+    """One worker daemon subprocess; returns (process, port)."""
+    port_file = tmp_path / f"{tag}.port"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.eval", "serve", "--port", "0",
+         "--port-file", str(port_file), "--jobs", "2",
+         "--backend", "thread", "--cache-dir", str(tmp_path / f"c-{tag}")],
+        env=env, stderr=subprocess.DEVNULL,
+    )
+    deadline = time.monotonic() + 60.0
+    while not port_file.exists() or not port_file.read_text().strip():
+        if proc.poll() is not None:
+            raise RuntimeError(f"worker {tag} exited {proc.returncode}")
+        if time.monotonic() > deadline:
+            proc.kill()
+            raise RuntimeError(f"worker {tag} never bound a port")
+        time.sleep(0.05)
+    return proc, int(port_file.read_text().strip())
+
+
+def _reap(procs):
+    for proc in procs:
+        if proc.poll() is None:
+            proc.kill()
+        proc.wait(timeout=30)
+
+
+@pytest.fixture(scope="module")
+def fleet(tmp_path_factory):
+    """Two worker daemon subprocesses shared by the healthy-path
+    federation tests (each test uses its own disjoint spec set and
+    asserts on counter *deltas*)."""
+    tmp = tmp_path_factory.mktemp("fleet")
+    workers = [_spawn_worker(tmp, f"w{i}") for i in range(2)]
+    yield workers
+    _reap([proc for proc, _ in workers])
+
+
+def _digest(result):
+    return canonical_result_blob(result)[1]
+
+
+def _inline_digest(spec):
+    """The spec's digest under inline execution, forced cold."""
+    models.clear_cache()
+    return _digest(run_cached(spec))
+
+
+def _worker_sims(port):
+    client = ServeClient(port=port)
+    try:
+        return client.health()["stats"]["simulated"]
+    finally:
+        client.close()
+
+
+# ----------------------------------------------------------------------
+# Wire codec: spec encoding and result decoding (no server).
+# ----------------------------------------------------------------------
+
+
+class TestParseWorkerUrl:
+    def test_host_port(self):
+        assert parse_worker_url("127.0.0.1:8736") == ("127.0.0.1", 8736)
+
+    def test_http_prefix_and_trailing_slash(self):
+        assert parse_worker_url("http://worker-3:99/") == ("worker-3", 99)
+
+    @pytest.mark.parametrize("bad", ["worker", ":8736", "host:", "host:x"])
+    def test_invalid(self, bad):
+        with pytest.raises(ValueError):
+            parse_worker_url(bad)
+
+
+class TestSpecToJson:
+    """spec_to_json is the inverse of spec_from_json; every encoding is
+    roundtrip-verified by construction, so equality on keys is the
+    whole contract."""
+
+    @pytest.mark.parametrize("spec", [
+        count_spec("jpeg"),
+        baseline_spec("go", 2),
+        slipstream_spec("jpeg", 1, ("BR",)),
+        fault_spec("jpeg", 1, 3, (FaultSite.A_RESULT,)),
+        injection_spec("li", FaultSite.R_TRANSIENT, 123, bit=30,
+                       scale=2, ecc=True, mode="tmr"),
+        mode_reference_spec("jpeg", "tmr"),
+    ])
+    def test_roundtrip(self, spec):
+        assert spec_from_json(spec_to_json(spec)).key == spec.key
+
+    def test_chaos_is_not_remotable(self):
+        spec = chaos_spec("boom", ChaosPlan(behavior="raise"))
+        with pytest.raises(SpecError, match="not remotable"):
+            spec_to_json(spec)
+
+
+class TestDecodeResultLine:
+    def _line(self, spec, **kwargs):
+        models.clear_cache()
+        result = run_cached(spec)
+        return result, result_payload(0, spec.key, "fresh", result,
+                                      include_pickle=True, **kwargs)
+
+    def test_roundtrip(self, fresh_caches):
+        spec = count_spec("jpeg")
+        result, line = self._line(spec, cpu_seconds=1.5, wall_seconds=2.5)
+        decoded, wall, cpu = decode_result_line(line, spec, "w:1")
+        assert _digest(decoded) == _digest(result)
+        assert (wall, cpu) == (2.5, 1.5)
+
+    def test_digest_mismatch_names_the_worker(self, fresh_caches):
+        spec = count_spec("jpeg")
+        _result, line = self._line(spec)
+        line["digest"] = "0" * 24
+        with pytest.raises(WorkerDigestError) as excinfo:
+            decode_result_line(line, spec, "badhost:17")
+        err = excinfo.value
+        assert err.worker == "badhost:17"
+        assert err.expected == "0" * 24
+        assert "badhost:17" in str(err)
+        assert err.actual in str(err)
+
+    def test_remote_failure_line(self):
+        spec = count_spec("jpeg")
+        line = {"ok": False, "error": "JobTimeout: too slow"}
+        with pytest.raises(RemoteJobError, match="too slow"):
+            decode_result_line(line, spec, "w:1")
+
+    def test_missing_pickle_is_protocol_error(self, fresh_caches):
+        spec = count_spec("jpeg")
+        _result, line = self._line(spec)
+        del line["pickle"]
+        with pytest.raises(RemoteProtocolError, match="no pickle"):
+            decode_result_line(line, spec, "w:1")
+
+
+# ----------------------------------------------------------------------
+# RemoteBackend against an in-thread daemon.
+# ----------------------------------------------------------------------
+
+
+class TestRemoteBackend:
+    def test_resolve_backend_names(self):
+        backend = resolve_backend("remote:10.0.0.7:8736")
+        assert isinstance(backend, RemoteBackend)
+        assert backend.url == "10.0.0.7:8736"
+        with pytest.raises(ValueError, match="remote"):
+            resolve_backend("bogus")
+
+    def test_results_identical_to_inline(self, daemon):
+        backend = RemoteBackend(url=f"127.0.0.1:{daemon.port}")
+        backend.start(4)
+        try:
+            # Pool width comes from the daemon, not the caller.
+            assert backend.workers == 2
+            specs = [count_spec(b) for b in ("li", "jpeg", "compress")]
+            futures = [backend.submit(spec, None) for spec in specs]
+            for spec, future in zip(specs, futures):
+                result, wall, cpu, started, report = future.result(timeout=60)
+                assert _digest(result) == _inline_digest(spec)
+                assert cpu > 0.0 and wall > 0.0
+                assert report is None
+            assert not backend.broken()
+        finally:
+            backend.shutdown(wait=True)
+
+    def test_not_remotable_spec_fails_its_future(self, daemon):
+        backend = RemoteBackend(url=f"127.0.0.1:{daemon.port}")
+        backend.start(1)
+        try:
+            future = backend.submit(
+                chaos_spec("boom", ChaosPlan(behavior="raise")), None
+            )
+            with pytest.raises(SpecError, match="not remotable"):
+                future.result(timeout=10)
+        finally:
+            backend.shutdown(wait=True)
+
+    def test_version_gate(self, daemon, monkeypatch):
+        monkeypatch.setattr(remote_mod, "code_fingerprint",
+                            lambda: "someone-elses-simulator")
+        backend = RemoteBackend(url=f"127.0.0.1:{daemon.port}")
+        with pytest.raises(RemoteVersionError, match="not comparable"):
+            backend.start(1)
+        assert not backend.running
+
+    def test_daemon_death_breaks_the_backend(self, fresh_caches):
+        handle = start_server_thread(jobs=1, backend="thread",
+                                     use_disk_cache=False)
+        backend = RemoteBackend(url=f"127.0.0.1:{handle.port}")
+        backend.start(1)
+        try:
+            handle.stop()
+            future = backend.submit(count_spec("jpeg"), None)
+            with pytest.raises(BrokenExecutor):
+                future.result(timeout=30)
+            assert backend.broken()
+        finally:
+            backend.shutdown(wait=True)
+
+    def test_restart_after_shutdown(self, daemon):
+        backend = RemoteBackend(url=f"127.0.0.1:{daemon.port}")
+        backend.start(1)
+        backend.shutdown(wait=True)
+        assert not backend.running and backend.workers == 0
+        backend.start(1)
+        try:
+            future = backend.submit(count_spec("jpeg"), None)
+            result, *_ = future.result(timeout=60)
+            assert _digest(result) == _inline_digest(count_spec("jpeg"))
+        finally:
+            backend.shutdown(wait=True)
+
+
+# ----------------------------------------------------------------------
+# Federation across subprocess workers.
+# ----------------------------------------------------------------------
+
+
+class TestFederation:
+    def test_exactly_once_fleet_wide(self, fleet, fresh_caches):
+        """A cold batch (with a duplicated spec) across two workers:
+        every unique job simulates exactly once *fleet-wide*, and every
+        digest equals inline execution."""
+        urls = [f"127.0.0.1:{port}" for _, port in fleet]
+        specs = [count_spec(b, scale=s)
+                 for b in ("li", "jpeg", "compress", "gcc")
+                 for s in (1, 2)]
+        submitted = specs + [specs[0]]  # a duplicate must dedup remotely
+        sims_before = sum(_worker_sims(port) for _, port in fleet)
+        metrics = MetricsRegistry()
+        fed = FederationBackend(urls, local="inline", metrics=metrics)
+        fed.start(2)
+        try:
+            futures = [fed.submit(spec, None) for spec in submitted]
+            for spec, future in zip(submitted, futures):
+                result, *_ = future.result(timeout=300)
+                assert _digest(result) == _inline_digest(spec)
+        finally:
+            fed.shutdown(wait=True)
+        sims_after = sum(_worker_sims(port) for _, port in fleet)
+        assert sims_after - sims_before == len(specs)
+        snapshot = metrics.snapshot()
+        assert snapshot["federation.jobs_forwarded"] == len(submitted)
+        assert snapshot["federation.worker_failures"] == 0
+        assert snapshot["federation.jobs_local"] == 0
+
+    def test_front_daemon_end_to_end(self, fleet, fresh_caches):
+        """An HTTP front started with worker URLs shards a batch over
+        the fleet, streams identical-to-inline results, dedups a warm
+        replay without re-simulating, and exposes federation state on
+        /v1/health and /v1/metrics."""
+        urls = [f"127.0.0.1:{port}" for _, port in fleet]
+        specs = [count_spec(b, scale=5)
+                 for b in ("li", "jpeg", "compress", "gcc")]
+        payload = [spec_to_json(spec) for spec in specs]
+        sims_before = sum(_worker_sims(port) for _, port in fleet)
+        front = start_server_thread(jobs=2, backend="inline",
+                                    use_disk_cache=False, workers=urls)
+        try:
+            client = ServeClient(port=front.port)
+            cold = client.submit_all(payload)
+            warm = client.submit_all(payload)
+            health = client.health()
+            metrics = client.metrics()["metrics"]
+            client.close()
+        finally:
+            front.stop()
+        sims_after = sum(_worker_sims(port) for _, port in fleet)
+
+        assert all(line["ok"] for line in cold + warm)
+        by_index = {line["index"]: line for line in cold}
+        for index, spec in enumerate(specs):
+            assert by_index[index]["digest"] == _inline_digest(spec)
+        warm_by_index = {line["index"]: line for line in warm}
+        for index in range(len(specs)):
+            assert warm_by_index[index]["digest"] == by_index[index]["digest"]
+        # The warm replay was served from the front's memory, not
+        # re-simulated: the fleet ran each unique job exactly once.
+        assert sims_after - sims_before == len(specs)
+        states = health["federation"]
+        assert [s["alive"] for s in states] == [True, True]
+        assert health["backend"] == "federation"
+        assert metrics["federation.jobs_forwarded"] == len(specs)
+        assert metrics["serve.jobs_served"] == 2 * len(specs)
+
+    def test_worker_killed_mid_batch_migrates(self, tmp_path, fresh_caches):
+        """SIGKILL one worker while its batch is in flight: un-acked
+        jobs migrate to the survivor; nothing is lost, every result
+        still matches inline execution."""
+        workers = [_spawn_worker(tmp_path, f"k{i}") for i in range(2)]
+        try:
+            urls = [f"127.0.0.1:{port}" for _, port in workers]
+            candidates = [
+                count_spec(b, scale=s)
+                for b in ("li", "jpeg", "compress", "gcc",
+                          "go", "perl", "m88ksim", "vortex")
+                for s in (6, 7, 8)
+            ]
+            victim = int(cache_entry_digest(candidates[0].key)[:2], 16) % 2
+            specs = [
+                spec for spec in candidates
+                if int(cache_entry_digest(spec.key)[:2], 16) % 2 == victim
+            ][:6]
+            assert len(specs) == 6
+
+            metrics = MetricsRegistry()
+            fed = FederationBackend(urls, local="inline", metrics=metrics,
+                                    policy=RetryPolicy(max_retries=2))
+            fed.start(2)
+            try:
+                futures = [fed.submit(spec, None) for spec in specs]
+                # Kill the victim as soon as its first result lands.
+                wait_futures(futures, return_when="FIRST_COMPLETED")
+                workers[victim][0].send_signal(signal.SIGKILL)
+                for spec, future in zip(specs, futures):
+                    result, *_ = future.result(timeout=300)
+                    assert _digest(result) == _inline_digest(spec)
+                states = fed.worker_states()
+                assert states[victim]["alive"] is False
+                assert states[victim]["error"]
+                assert states[1 - victim]["alive"] is True
+            finally:
+                fed.shutdown(wait=True)
+            snapshot = metrics.snapshot()
+            assert snapshot["federation.worker_failures"] == 1
+            assert snapshot["federation.jobs_migrated"] >= 1
+        finally:
+            _reap([proc for proc, _ in workers])
+
+    def test_zero_live_workers_degrades_to_local(self, fresh_caches):
+        """Nothing listening on any worker URL: the federation starts
+        anyway, records the failures, and serves jobs from the local
+        fallback backend with correct results."""
+        metrics = MetricsRegistry()
+        fed = FederationBackend(["127.0.0.1:1", "127.0.0.1:9"],
+                                local="inline", metrics=metrics)
+        fed.start(1)
+        try:
+            assert fed.workers == 1  # the local fallback's width
+            assert all(not s["alive"] for s in fed.worker_states())
+            spec = count_spec("jpeg")
+            result, *_ = fed.submit(spec, None).result(timeout=60)
+            assert _digest(result) == _inline_digest(spec)
+        finally:
+            fed.shutdown(wait=True)
+        snapshot = metrics.snapshot()
+        assert snapshot["federation.worker_failures"] == 2
+        assert snapshot["federation.jobs_local"] == 1
+        assert snapshot["federation.jobs_forwarded"] == 0

@@ -297,8 +297,74 @@ class TestServeAPI:
             client._request("POST", "/v1/health", payload={})
         assert err.value.status == 405
 
+    def test_metrics_endpoint_snapshots_counters(self, client):
+        payload = client.metrics()
+        assert payload["ok"] is True
+        metrics = payload["metrics"]
+        assert metrics["serve.requests"] >= 1
+        assert set(metrics) >= {"serve.connections", "serve.batches",
+                                "serve.jobs_submitted", "serve.jobs_served",
+                                "serve.simulated"}
+        before = metrics["serve.jobs_served"]
+        client.submit_all([{"model": "count", "benchmark": "jpeg"}])
+        after = client.metrics()["metrics"]["serve.jobs_served"]
+        assert after == before + 1
+
+    def test_keepalive_reuses_one_connection(self, server):
+        """Health, metrics, and a fully-drained streamed submit all
+        ride one TCP connection: the daemon's connection counter moves
+        by exactly one for the whole client session."""
+        client = ServeClient(port=server.port)
+        before = client.metrics()["metrics"]["serve.connections"]
+        client.health()
+        client.submit_all([{"model": "count", "benchmark": "jpeg"},
+                           {"model": "count", "benchmark": "go"}])
+        after = client.metrics()["metrics"]["serve.connections"]
+        client.close()
+        assert after == before
+
+    def test_pickle_flag_roundtrips_result_objects(self, client):
+        import base64
+        import pickle
+
+        spec = count_spec("jpeg")
+        line = client.submit_all(
+            [{"model": "count", "benchmark": "jpeg"}], include_pickle=True
+        )[0]
+        restored = pickle.loads(base64.b64decode(line["pickle"]))
+        inline = result_payload(0, spec.key, "inline", restored)
+        assert inline["digest"] == line["digest"]
+        # cpu/wall accounting always rides the line (0.0 on cache hits).
+        assert "cpu_seconds" in line and "wall_seconds" in line
+
 
 class TestServeLifecycle:
+    def test_client_reconnects_after_idle_timeout(self, tmp_path):
+        """The daemon reclaims a keep-alive socket idle past the
+        timeout; the client's next request transparently reconnects
+        (every daemon API request is idempotent, so replay is safe)."""
+        saved = (models._DISK, models._DISK_ENABLED)
+        models._DISK, models._DISK_ENABLED = None, False
+        try:
+            handle = start_server_thread(jobs=1, backend="inline",
+                                         use_disk_cache=False,
+                                         keepalive_idle_seconds=0.2)
+            try:
+                client = ServeClient(port=handle.port)
+                assert client.health()["ok"]
+                import time
+
+                time.sleep(0.6)  # daemon drops the idle connection
+                assert client.health()["ok"]  # replayed on a fresh socket
+                connections = client.metrics()["metrics"]["serve.connections"]
+                client.close()
+                assert connections == 2
+            finally:
+                handle.stop()
+        finally:
+            models.clear_cache()
+            models._DISK, models._DISK_ENABLED = saved
+
     def test_shutdown_endpoint_stops_daemon(self, tmp_path):
         saved = (models._DISK, models._DISK_ENABLED)
         models.configure_disk_cache(enabled=True,
